@@ -1,0 +1,204 @@
+//! The parameterisable controller model (paper figure 4).
+//!
+//! The controller is pipelined through a program counter and an instruction
+//! register; a stack stores return addresses for the time-loop and nested
+//! for-loops; datapath flags steer conditional branches. The paper names
+//! its parameters explicitly: "The program and instruction bus width, the
+//! stack depth and the number of datapath flags are parameters of the
+//! controller."
+//!
+//! The audio core of section 7 uses a *stripped* controller: "there are no
+//! conditional instructions at all".
+
+use std::fmt;
+
+/// A controller instance: the parameter set of figure 4.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_arch::Controller;
+///
+/// let ctrl = Controller::stripped(64);
+/// assert!(!ctrl.supports_conditionals());
+/// assert_eq!(ctrl.program_depth(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Controller {
+    program_depth: u32,
+    stack_depth: u32,
+    flag_count: u32,
+    conditional: bool,
+}
+
+impl Controller {
+    /// A full controller: conditional branching on `flag_count` datapath
+    /// flags, `stack_depth` nested loops, `program_depth` instruction
+    /// words.
+    pub fn new(program_depth: u32, stack_depth: u32, flag_count: u32) -> Self {
+        Controller {
+            program_depth,
+            stack_depth,
+            flag_count,
+            conditional: flag_count > 0,
+        }
+    }
+
+    /// The stripped controller of the audio example: no conditional
+    /// instructions, single-level stack for the time-loop.
+    pub fn stripped(program_depth: u32) -> Self {
+        Controller {
+            program_depth,
+            stack_depth: 1,
+            flag_count: 0,
+            conditional: false,
+        }
+    }
+
+    /// Number of instruction words in the program memory.
+    pub fn program_depth(&self) -> u32 {
+        self.program_depth
+    }
+
+    /// Stack depth: 1 for the time-loop plus one level per nested for-loop.
+    pub fn stack_depth(&self) -> u32 {
+        self.stack_depth
+    }
+
+    /// Number of datapath flags wired into the branch logic.
+    pub fn flag_count(&self) -> u32 {
+        self.flag_count
+    }
+
+    /// Whether conditional branch instructions exist.
+    pub fn supports_conditionals(&self) -> bool {
+        self.conditional
+    }
+
+    /// Width in bits of the program-counter / branch-address field.
+    pub fn pc_width(&self) -> u32 {
+        width_for(self.program_depth.max(2))
+    }
+
+    /// Maximum for-loop nesting the stack supports (one level is reserved
+    /// for the time-loop).
+    pub fn max_for_depth(&self) -> u32 {
+        self.stack_depth.saturating_sub(1)
+    }
+}
+
+/// Builder for [`Controller`], for cores that need to tune parameters
+/// incrementally.
+#[derive(Debug, Clone)]
+pub struct ControllerBuilder {
+    program_depth: u32,
+    stack_depth: u32,
+    flag_count: u32,
+}
+
+impl ControllerBuilder {
+    /// Starts from a minimal controller of `program_depth` words.
+    pub fn new(program_depth: u32) -> Self {
+        ControllerBuilder {
+            program_depth,
+            stack_depth: 1,
+            flag_count: 0,
+        }
+    }
+
+    /// Sets the stack depth.
+    pub fn stack_depth(mut self, depth: u32) -> Self {
+        self.stack_depth = depth;
+        self
+    }
+
+    /// Sets the number of datapath flags (enables conditionals when > 0).
+    pub fn flags(mut self, count: u32) -> Self {
+        self.flag_count = count;
+        self
+    }
+
+    /// Builds the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program_depth` or `stack_depth` is zero — a core without
+    /// program memory or without the time-loop return slot cannot run.
+    pub fn build(self) -> Controller {
+        assert!(self.program_depth > 0, "program depth must be positive");
+        assert!(self.stack_depth > 0, "stack depth must be positive");
+        Controller {
+            program_depth: self.program_depth,
+            stack_depth: self.stack_depth,
+            flag_count: self.flag_count,
+            conditional: self.flag_count > 0,
+        }
+    }
+}
+
+fn width_for(n: u32) -> u32 {
+    32 - (n - 1).leading_zeros()
+}
+
+impl fmt::Display for Controller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "controller(program={}, stack={}, flags={}, conditional={})",
+            self.program_depth, self.stack_depth, self.flag_count, self.conditional
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripped_controller_has_no_conditionals() {
+        let c = Controller::stripped(64);
+        assert!(!c.supports_conditionals());
+        assert_eq!(c.flag_count(), 0);
+        assert_eq!(c.stack_depth(), 1);
+        assert_eq!(c.max_for_depth(), 0);
+    }
+
+    #[test]
+    fn full_controller_enables_conditionals() {
+        let c = Controller::new(256, 4, 2);
+        assert!(c.supports_conditionals());
+        assert_eq!(c.max_for_depth(), 3);
+    }
+
+    #[test]
+    fn pc_width_is_ceil_log2() {
+        assert_eq!(Controller::stripped(64).pc_width(), 6);
+        assert_eq!(Controller::stripped(65).pc_width(), 7);
+        assert_eq!(Controller::stripped(2).pc_width(), 1);
+        assert_eq!(Controller::stripped(1).pc_width(), 1);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let c = ControllerBuilder::new(128).stack_depth(3).flags(1).build();
+        assert_eq!(c.program_depth(), 128);
+        assert_eq!(c.stack_depth(), 3);
+        assert!(c.supports_conditionals());
+        assert_eq!(
+            c.to_string(),
+            "controller(program=128, stack=3, flags=1, conditional=true)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "program depth must be positive")]
+    fn zero_program_depth_panics() {
+        ControllerBuilder::new(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "stack depth must be positive")]
+    fn zero_stack_depth_panics() {
+        ControllerBuilder::new(8).stack_depth(0).build();
+    }
+}

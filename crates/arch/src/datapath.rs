@@ -1,0 +1,670 @@
+//! The datapath model (paper figure 3).
+//!
+//! A datapath is a set of *operation units* (OPUs) interconnected by a bus
+//! network. Operands are fetched from register files sitting at OPU inputs;
+//! results travel through a buffer onto a bus and optionally through a
+//! multiplexer into a destination register file. OPUs may produce flags for
+//! the controller.
+//!
+//! Resource-naming conventions (shared with RT generation):
+//!
+//! * the OPU itself — its name, e.g. `alu`;
+//! * the output buffer — [`Datapath::buffer_name`], `buf_<opu>`;
+//! * the bus — its name, e.g. `bus_alu` (buses may be shared after
+//!   merging);
+//! * the write multiplexer of a register file — [`Datapath::mux_name`],
+//!   `mux_<rf>` (only present when the file is reachable from more than
+//!   one bus);
+//! * the write port of a register file — [`Datapath::wp_name`], `wp_<rf>`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The kind of an operation unit. The kind fixes the *simulation*
+/// semantics; the supported operation names and latencies are data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpuKind {
+    /// Arithmetic/logic unit: `add`, `add_clip`, `sub`, `pass`,
+    /// `pass_clip`, …
+    Alu,
+    /// Multiplier: `mult` (Q-format).
+    Mult,
+    /// Data RAM with `read`/`write`; holds delay lines. The first input
+    /// port carries the address, the second the write data.
+    Ram,
+    /// Coefficient ROM: `const` with an immediate address into the ROM
+    /// image.
+    Rom,
+    /// Program-constant unit: `const` with the value immediate in the
+    /// instruction word.
+    ProgConst,
+    /// Address computation unit: `addmod`, `inca`.
+    Acu,
+    /// Input port (off-chip → datapath): `read`.
+    Input,
+    /// Output port (datapath → off-chip): `write`.
+    Output,
+    /// Application-specific unit; semantics supplied by the application
+    /// domain (treated as a black box by everything except the simulator).
+    Asu,
+}
+
+impl fmt::Display for OpuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpuKind::Alu => "ALU",
+            OpuKind::Mult => "MULT",
+            OpuKind::Ram => "RAM",
+            OpuKind::Rom => "ROM",
+            OpuKind::ProgConst => "PRG_C",
+            OpuKind::Acu => "ACU",
+            OpuKind::Input => "IN",
+            OpuKind::Output => "OUT",
+            OpuKind::Asu => "ASU",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Specification of one operation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpuSpec {
+    name: String,
+    kind: OpuKind,
+    ops: BTreeMap<String, u32>,
+    inputs: Vec<String>,
+    output_bus: Option<String>,
+    flags: Vec<String>,
+    /// Number of words for `Ram`/`Rom` kinds; 0 otherwise.
+    memory_size: u32,
+}
+
+impl OpuSpec {
+    /// OPU name (also its scheduler resource name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unit kind.
+    pub fn kind(&self) -> OpuKind {
+        self.kind
+    }
+
+    /// Supported operation names with latencies.
+    pub fn ops(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.ops.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Whether the unit supports `op`.
+    pub fn supports(&self, op: &str) -> bool {
+        self.ops.contains_key(op)
+    }
+
+    /// Latency of `op` in cycles, if supported.
+    pub fn latency_of(&self, op: &str) -> Option<u32> {
+        self.ops.get(op).copied()
+    }
+
+    /// Register files feeding the input ports, in port order.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// The bus driven by this unit's output, if it has one (output ports
+    /// drive off-chip instead).
+    pub fn output_bus(&self) -> Option<&str> {
+        self.output_bus.as_deref()
+    }
+
+    /// Flags produced for the controller.
+    pub fn flags(&self) -> &[String] {
+        &self.flags
+    }
+
+    /// Memory words for RAM/ROM kinds.
+    pub fn memory_size(&self) -> u32 {
+        self.memory_size
+    }
+}
+
+/// Specification of one register file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RfSpec {
+    name: String,
+    size: u32,
+    write_buses: Vec<String>,
+}
+
+impl RfSpec {
+    /// Register file name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of registers.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Buses that can write into this file, in multiplexer-input order.
+    pub fn write_buses(&self) -> &[String] {
+        &self.write_buses
+    }
+
+    /// Whether writes go through a multiplexer (more than one source bus).
+    pub fn has_mux(&self) -> bool {
+        self.write_buses.len() > 1
+    }
+}
+
+/// Specification of one bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusSpec {
+    name: String,
+}
+
+impl BusSpec {
+    /// Bus name (also its scheduler resource name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A validated datapath.
+///
+/// Construct with [`DatapathBuilder`]; [`DatapathBuilder::build`] checks
+/// referential integrity (every referenced register file and bus exists,
+/// names are unique, RAM/ROM units have memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datapath {
+    opus: Vec<OpuSpec>,
+    rfs: Vec<RfSpec>,
+    buses: Vec<BusSpec>,
+}
+
+/// Error from datapath validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// Two components share a name.
+    DuplicateName(String),
+    /// An OPU references a register file that does not exist.
+    UnknownRegisterFile {
+        /// The referencing OPU.
+        opu: String,
+        /// The missing file.
+        rf: String,
+    },
+    /// A write port references a bus that does not exist.
+    UnknownBus {
+        /// The referencing register file.
+        rf: String,
+        /// The missing bus.
+        bus: String,
+    },
+    /// A write port was declared for an unknown register file.
+    UnknownWritePortRf(String),
+    /// `inputs`/`output` was called for an OPU never declared.
+    UnknownOpu(String),
+    /// A RAM or ROM unit has zero memory words.
+    EmptyMemory(String),
+    /// A register file has zero registers.
+    EmptyRegisterFile(String),
+    /// An operation latency of zero was declared.
+    ZeroLatency {
+        /// The OPU declaring the operation.
+        opu: String,
+        /// The operation name.
+        op: String,
+    },
+    /// A register file is not connected to anything.
+    DanglingRegisterFile(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::DuplicateName(n) => write!(f, "duplicate component name `{n}`"),
+            ArchError::UnknownRegisterFile { opu, rf } => {
+                write!(f, "opu `{opu}` reads unknown register file `{rf}`")
+            }
+            ArchError::UnknownBus { rf, bus } => {
+                write!(f, "register file `{rf}` written from unknown bus `{bus}`")
+            }
+            ArchError::UnknownWritePortRf(rf) => {
+                write!(f, "write port declared for unknown register file `{rf}`")
+            }
+            ArchError::UnknownOpu(o) => write!(f, "unknown opu `{o}`"),
+            ArchError::EmptyMemory(o) => write!(f, "memory unit `{o}` has zero words"),
+            ArchError::EmptyRegisterFile(r) => {
+                write!(f, "register file `{r}` has zero registers")
+            }
+            ArchError::ZeroLatency { opu, op } => {
+                write!(f, "operation `{op}` on `{opu}` has zero latency")
+            }
+            ArchError::DanglingRegisterFile(r) => {
+                write!(f, "register file `{r}` is not connected to any opu or bus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl Datapath {
+    /// All OPUs in declaration order.
+    pub fn opus(&self) -> &[OpuSpec] {
+        &self.opus
+    }
+
+    /// All register files in declaration order.
+    pub fn register_files(&self) -> &[RfSpec] {
+        &self.rfs
+    }
+
+    /// All buses in declaration order.
+    pub fn buses(&self) -> &[BusSpec] {
+        &self.buses
+    }
+
+    /// Looks up an OPU by name.
+    pub fn opu(&self, name: &str) -> Option<&OpuSpec> {
+        self.opus.iter().find(|o| o.name == name)
+    }
+
+    /// Looks up a register file by name.
+    pub fn register_file(&self, name: &str) -> Option<&RfSpec> {
+        self.rfs.iter().find(|r| r.name == name)
+    }
+
+    /// Looks up a bus by name.
+    pub fn bus(&self, name: &str) -> Option<&BusSpec> {
+        self.buses.iter().find(|b| b.name == name)
+    }
+
+    /// OPUs that support operation `op`, in declaration order.
+    pub fn opus_supporting(&self, op: &str) -> Vec<&OpuSpec> {
+        self.opus.iter().filter(|o| o.supports(op)).collect()
+    }
+
+    /// Register files written from `bus`.
+    pub fn rfs_written_from(&self, bus: &str) -> Vec<&RfSpec> {
+        self.rfs
+            .iter()
+            .filter(|r| r.write_buses.iter().any(|b| b == bus))
+            .collect()
+    }
+
+    /// The OPUs whose output drives `bus` (several after bus merging).
+    pub fn drivers_of(&self, bus: &str) -> Vec<&OpuSpec> {
+        self.opus
+            .iter()
+            .filter(|o| o.output_bus.as_deref() == Some(bus))
+            .collect()
+    }
+
+    /// Scheduler resource name of an OPU's output buffer.
+    pub fn buffer_name(opu: &str) -> String {
+        format!("buf_{opu}")
+    }
+
+    /// Scheduler resource name of a register file's write multiplexer.
+    pub fn mux_name(rf: &str) -> String {
+        format!("mux_{rf}")
+    }
+
+    /// Scheduler resource name of a register file's write port.
+    pub fn wp_name(rf: &str) -> String {
+        format!("wp_{rf}")
+    }
+
+    /// All datapath flag names, in OPU declaration order.
+    pub fn flags(&self) -> Vec<&str> {
+        self.opus
+            .iter()
+            .flat_map(|o| o.flags.iter().map(|s| s.as_str()))
+            .collect()
+    }
+}
+
+/// Builder for [`Datapath`]. Declare register files, OPUs, connections;
+/// then [`DatapathBuilder::build`] validates the whole structure.
+#[derive(Debug, Clone, Default)]
+pub struct DatapathBuilder {
+    opus: Vec<OpuSpec>,
+    rfs: Vec<RfSpec>,
+    pending_errors: Vec<ArchError>,
+}
+
+impl DatapathBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DatapathBuilder::default()
+    }
+
+    /// Declares a register file with `size` registers.
+    pub fn register_file(mut self, name: &str, size: u32) -> Self {
+        self.rfs.push(RfSpec {
+            name: name.to_owned(),
+            size,
+            write_buses: Vec::new(),
+        });
+        self
+    }
+
+    /// Declares an OPU of `kind` supporting `ops` as `(name, latency)`
+    /// pairs.
+    pub fn opu(mut self, kind: OpuKind, name: &str, ops: &[(&str, u32)]) -> Self {
+        self.opus.push(OpuSpec {
+            name: name.to_owned(),
+            kind,
+            ops: ops
+                .iter()
+                .map(|&(op, lat)| (op.to_owned(), lat))
+                .collect(),
+            inputs: Vec::new(),
+            output_bus: None,
+            flags: Vec::new(),
+            memory_size: 0,
+        });
+        self
+    }
+
+    /// Declares the memory size of a RAM/ROM unit.
+    pub fn memory(mut self, opu: &str, words: u32) -> Self {
+        match self.opus.iter_mut().find(|o| o.name == opu) {
+            Some(o) => o.memory_size = words,
+            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+        }
+        self
+    }
+
+    /// Connects the input ports of `opu` to register files, in port order.
+    pub fn inputs(mut self, opu: &str, rfs: &[&str]) -> Self {
+        match self.opus.iter_mut().find(|o| o.name == opu) {
+            Some(o) => o.inputs = rfs.iter().map(|s| (*s).to_owned()).collect(),
+            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+        }
+        self
+    }
+
+    /// Connects the output of `opu` to a bus (created implicitly).
+    pub fn output(mut self, opu: &str, bus: &str) -> Self {
+        match self.opus.iter_mut().find(|o| o.name == opu) {
+            Some(o) => o.output_bus = Some(bus.to_owned()),
+            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+        }
+        self
+    }
+
+    /// Declares the flags produced by `opu`.
+    pub fn flags(mut self, opu: &str, flags: &[&str]) -> Self {
+        match self.opus.iter_mut().find(|o| o.name == opu) {
+            Some(o) => o.flags = flags.iter().map(|s| (*s).to_owned()).collect(),
+            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+        }
+        self
+    }
+
+    /// Declares the buses that may write into `rf`, in multiplexer-input
+    /// order.
+    pub fn write_port(mut self, rf: &str, buses: &[&str]) -> Self {
+        match self.rfs.iter_mut().find(|r| r.name == rf) {
+            Some(r) => r.write_buses = buses.iter().map(|s| (*s).to_owned()).collect(),
+            None => self
+                .pending_errors
+                .push(ArchError::UnknownWritePortRf(rf.to_owned())),
+        }
+        self
+    }
+
+    /// Validates and builds the datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ArchError`] found: duplicate names, dangling
+    /// references, empty memories or register files, zero latencies,
+    /// unconnected register files.
+    pub fn build(self) -> Result<Datapath, ArchError> {
+        if let Some(e) = self.pending_errors.into_iter().next() {
+            return Err(e);
+        }
+        // Unique names across all component namespaces.
+        let mut names = BTreeSet::new();
+        let bus_names: BTreeSet<String> = self
+            .opus
+            .iter()
+            .filter_map(|o| o.output_bus.clone())
+            .collect();
+        for n in self
+            .opus
+            .iter()
+            .map(|o| o.name.clone())
+            .chain(self.rfs.iter().map(|r| r.name.clone()))
+            .chain(bus_names.iter().cloned())
+        {
+            if !names.insert(n.clone()) {
+                return Err(ArchError::DuplicateName(n));
+            }
+        }
+        for o in &self.opus {
+            for (op, &lat) in &o.ops {
+                if lat == 0 {
+                    return Err(ArchError::ZeroLatency {
+                        opu: o.name.clone(),
+                        op: op.clone(),
+                    });
+                }
+            }
+            for rf in &o.inputs {
+                if !self.rfs.iter().any(|r| &r.name == rf) {
+                    return Err(ArchError::UnknownRegisterFile {
+                        opu: o.name.clone(),
+                        rf: rf.clone(),
+                    });
+                }
+            }
+            if matches!(o.kind, OpuKind::Ram | OpuKind::Rom) && o.memory_size == 0 {
+                return Err(ArchError::EmptyMemory(o.name.clone()));
+            }
+        }
+        for r in &self.rfs {
+            if r.size == 0 {
+                return Err(ArchError::EmptyRegisterFile(r.name.clone()));
+            }
+            for b in &r.write_buses {
+                if !bus_names.contains(b) {
+                    return Err(ArchError::UnknownBus {
+                        rf: r.name.clone(),
+                        bus: b.clone(),
+                    });
+                }
+            }
+            let feeds_an_opu = self.opus.iter().any(|o| o.inputs.contains(&r.name));
+            if !feeds_an_opu && r.write_buses.is_empty() {
+                return Err(ArchError::DanglingRegisterFile(r.name.clone()));
+            }
+        }
+        let buses = bus_names
+            .into_iter()
+            .map(|name| BusSpec { name })
+            .collect();
+        Ok(Datapath {
+            opus: self.opus,
+            rfs: self.rfs,
+            buses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DatapathBuilder {
+        DatapathBuilder::new()
+            .register_file("rf_a", 4)
+            .register_file("rf_b", 4)
+            .opu(OpuKind::Alu, "alu", &[("add", 1), ("pass", 1)])
+            .inputs("alu", &["rf_a", "rf_b"])
+            .output("alu", "bus_alu")
+            .write_port("rf_a", &["bus_alu"])
+            .write_port("rf_b", &["bus_alu"])
+    }
+
+    #[test]
+    fn tiny_datapath_builds() {
+        let dp = tiny().build().unwrap();
+        assert_eq!(dp.opus().len(), 1);
+        assert_eq!(dp.register_files().len(), 2);
+        assert_eq!(dp.buses().len(), 1);
+        assert_eq!(dp.opu("alu").unwrap().kind(), OpuKind::Alu);
+        assert_eq!(dp.opu("alu").unwrap().latency_of("add"), Some(1));
+        assert!(dp.opu("alu").unwrap().supports("pass"));
+        assert!(!dp.opu("alu").unwrap().supports("mult"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let dp = tiny().build().unwrap();
+        assert!(dp.bus("bus_alu").is_some());
+        assert!(dp.bus("bus_nope").is_none());
+        assert_eq!(dp.opus_supporting("add").len(), 1);
+        assert_eq!(dp.rfs_written_from("bus_alu").len(), 2);
+        assert_eq!(dp.drivers_of("bus_alu")[0].name(), "alu");
+        assert_eq!(dp.register_file("rf_a").unwrap().size(), 4);
+    }
+
+    #[test]
+    fn resource_names() {
+        assert_eq!(Datapath::buffer_name("alu"), "buf_alu");
+        assert_eq!(Datapath::mux_name("rf_a"), "mux_rf_a");
+        assert_eq!(Datapath::wp_name("rf_a"), "wp_rf_a");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = DatapathBuilder::new()
+            .register_file("x", 1)
+            .opu(OpuKind::Alu, "x", &[("add", 1)])
+            .inputs("x", &["x"])
+            .output("x", "bus")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn unknown_rf_rejected() {
+        let err = DatapathBuilder::new()
+            .opu(OpuKind::Alu, "alu", &[("add", 1)])
+            .inputs("alu", &["ghost"])
+            .output("alu", "bus_alu")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArchError::UnknownRegisterFile { .. }));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn unknown_bus_rejected() {
+        let err = tiny().write_port("rf_a", &["bus_ghost"]).build().unwrap_err();
+        assert!(matches!(err, ArchError::UnknownBus { .. }));
+    }
+
+    #[test]
+    fn unknown_opu_in_connection_rejected() {
+        let err = tiny().inputs("ghost", &["rf_a"]).build().unwrap_err();
+        assert_eq!(err, ArchError::UnknownOpu("ghost".into()));
+    }
+
+    #[test]
+    fn ram_needs_memory() {
+        let err = DatapathBuilder::new()
+            .register_file("rf_addr", 2)
+            .opu(OpuKind::Ram, "ram", &[("read", 1), ("write", 1)])
+            .inputs("ram", &["rf_addr"])
+            .output("ram", "bus_ram")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::EmptyMemory("ram".into()));
+    }
+
+    #[test]
+    fn zero_latency_rejected() {
+        let err = DatapathBuilder::new()
+            .register_file("rf_a", 1)
+            .opu(OpuKind::Alu, "alu", &[("add", 0)])
+            .inputs("alu", &["rf_a"])
+            .output("alu", "bus_alu")
+            .write_port("rf_a", &["bus_alu"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ArchError::ZeroLatency { .. }));
+    }
+
+    #[test]
+    fn empty_register_file_rejected() {
+        let err = DatapathBuilder::new()
+            .register_file("rf_a", 0)
+            .opu(OpuKind::Alu, "alu", &[("add", 1)])
+            .inputs("alu", &["rf_a"])
+            .output("alu", "bus_alu")
+            .write_port("rf_a", &["bus_alu"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::EmptyRegisterFile("rf_a".into()));
+    }
+
+    #[test]
+    fn dangling_register_file_rejected() {
+        let err = tiny().register_file("rf_island", 2).build().unwrap_err();
+        assert_eq!(err, ArchError::DanglingRegisterFile("rf_island".into()));
+    }
+
+    #[test]
+    fn mux_presence_derived_from_write_buses() {
+        let dp = DatapathBuilder::new()
+            .register_file("rf_a", 2)
+            .register_file("rf_m", 2)
+            .opu(OpuKind::Alu, "alu", &[("add", 1)])
+            .inputs("alu", &["rf_a", "rf_m"])
+            .output("alu", "bus_alu")
+            .opu(OpuKind::Mult, "mult", &[("mult", 2)])
+            .inputs("mult", &["rf_m", "rf_a"])
+            .output("mult", "bus_mult")
+            .write_port("rf_a", &["bus_alu", "bus_mult"])
+            .write_port("rf_m", &["bus_mult"])
+            .build()
+            .unwrap();
+        assert!(dp.register_file("rf_a").unwrap().has_mux());
+        assert!(!dp.register_file("rf_m").unwrap().has_mux());
+        assert_eq!(dp.opu("mult").unwrap().latency_of("mult"), Some(2));
+    }
+
+    #[test]
+    fn io_ports_and_flags() {
+        let dp = DatapathBuilder::new()
+            .register_file("rf_out", 2)
+            .opu(OpuKind::Input, "ipb", &[("read", 1)])
+            .output("ipb", "bus_ipb")
+            .opu(OpuKind::Output, "opb", &[("write", 1)])
+            .inputs("opb", &["rf_out"])
+            .opu(OpuKind::Alu, "alu", &[("add", 1)])
+            .inputs("alu", &["rf_out"])
+            .output("alu", "bus_alu")
+            .flags("alu", &["zero", "neg"])
+            .write_port("rf_out", &["bus_ipb", "bus_alu"])
+            .build()
+            .unwrap();
+        assert_eq!(dp.opu("opb").unwrap().output_bus(), None);
+        assert_eq!(dp.flags(), vec!["zero", "neg"]);
+        assert_eq!(dp.opu("ipb").unwrap().kind(), OpuKind::Input);
+    }
+
+    #[test]
+    fn opu_kind_display() {
+        assert_eq!(OpuKind::Alu.to_string(), "ALU");
+        assert_eq!(OpuKind::ProgConst.to_string(), "PRG_C");
+        assert_eq!(OpuKind::Asu.to_string(), "ASU");
+    }
+}

@@ -1,0 +1,42 @@
+//! Target architecture model for `dspcc` in-house DSP cores.
+//!
+//! The paper (section 5) defines a *class* of architectures for which code
+//! generation is possible: a datapath of operation units (OPUs) with
+//! distributed register files and a bus network (figure 3), plus a
+//! parameterisable controller with hardware time-loop and for-loop support
+//! (figure 4). A concrete core is an instantiation of this model; the audio
+//! core of figure 8 is built in `dspcc::cores`.
+//!
+//! * [`Datapath`] / [`DatapathBuilder`] — OPUs, register files, buses,
+//!   write multiplexers, IO ports, flags; validated connectivity.
+//! * [`Controller`] — program counter, instruction register, stack,
+//!   loop hardware; the "stripped" variant used by the audio example.
+//! * [`merge`] — resource-merging transformations (register files, buses):
+//!   the architecture-modification inputs of the compiler (figure 1b) that
+//!   turn the intermediate Piramid/Cathedral-2 architecture into the real
+//!   core at the cost of parallelism.
+//!
+//! # Example
+//!
+//! ```
+//! use dspcc_arch::{DatapathBuilder, OpuKind};
+//!
+//! let dp = DatapathBuilder::new()
+//!     .register_file("rf_alu_a", 4)
+//!     .register_file("rf_alu_b", 4)
+//!     .opu(OpuKind::Alu, "alu", &[("add", 1), ("pass", 1)])
+//!     .inputs("alu", &["rf_alu_a", "rf_alu_b"])
+//!     .output("alu", "bus_alu")
+//!     .write_port("rf_alu_a", &["bus_alu"])
+//!     .write_port("rf_alu_b", &["bus_alu"])
+//!     .build()?;
+//! assert_eq!(dp.opu("alu").unwrap().latency_of("add"), Some(1));
+//! # Ok::<(), dspcc_arch::ArchError>(())
+//! ```
+
+mod controller;
+mod datapath;
+pub mod merge;
+
+pub use controller::{Controller, ControllerBuilder};
+pub use datapath::{ArchError, BusSpec, Datapath, DatapathBuilder, OpuKind, OpuSpec, RfSpec};

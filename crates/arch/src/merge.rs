@@ -1,0 +1,313 @@
+//! Resource-merging transformations (paper sections 4–5).
+//!
+//! RT generation targets the *intermediate* architecture, in which every
+//! OPU owns dedicated register files and a dedicated output bus. The real
+//! core is derived by **merging** register files and buses:
+//!
+//! > "The architecture modifications … specify the merging of resources
+//! > such as busses and register files. Then these resources can be shared
+//! > at the cost of reduction of parallelism."
+//!
+//! A [`MergePlan`] lists groups of register files and groups of buses to
+//! merge. [`MergePlan::apply`] produces the merged [`Datapath`];
+//! [`MergePlan::rename_map`] produces the resource-name substitution that
+//! the RT-modification pass applies to every RT (including derived names:
+//! write ports and multiplexers follow their register file).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::datapath::{ArchError, Datapath, DatapathBuilder, OpuKind};
+
+/// A set of register-file and bus merges.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_arch::merge::MergePlan;
+///
+/// let mut plan = MergePlan::new();
+/// plan.merge_rfs(&["rf_alu_a", "rf_mult_a"], "rf_shared");
+/// plan.merge_buses(&["bus_alu", "bus_mult"], "bus_shared");
+/// assert_eq!(plan.rf_groups().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MergePlan {
+    rf_groups: Vec<(Vec<String>, String)>,
+    bus_groups: Vec<(Vec<String>, String)>,
+}
+
+/// Error applying a [`MergePlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A named component does not exist in the datapath.
+    UnknownComponent(String),
+    /// A component appears in more than one merge group.
+    OverlappingGroups(String),
+    /// The merged datapath failed validation.
+    InvalidResult(ArchError),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::UnknownComponent(n) => write!(f, "unknown component `{n}` in merge plan"),
+            MergeError::OverlappingGroups(n) => {
+                write!(f, "component `{n}` appears in more than one merge group")
+            }
+            MergeError::InvalidResult(e) => write!(f, "merged datapath is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::InvalidResult(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl MergePlan {
+    /// Creates an empty plan (applying it is the identity).
+    pub fn new() -> Self {
+        MergePlan::default()
+    }
+
+    /// Merges the register files `members` into one file named `target`.
+    /// The merged file has the summed capacity and the union of write
+    /// buses.
+    pub fn merge_rfs(&mut self, members: &[&str], target: &str) -> &mut Self {
+        self.rf_groups.push((
+            members.iter().map(|s| (*s).to_owned()).collect(),
+            target.to_owned(),
+        ));
+        self
+    }
+
+    /// Merges the buses `members` into one bus named `target`.
+    pub fn merge_buses(&mut self, members: &[&str], target: &str) -> &mut Self {
+        self.bus_groups.push((
+            members.iter().map(|s| (*s).to_owned()).collect(),
+            target.to_owned(),
+        ));
+        self
+    }
+
+    /// The register-file merge groups.
+    pub fn rf_groups(&self) -> &[(Vec<String>, String)] {
+        &self.rf_groups
+    }
+
+    /// The bus merge groups.
+    pub fn bus_groups(&self) -> &[(Vec<String>, String)] {
+        &self.bus_groups
+    }
+
+    /// Computes the resource-name substitution induced by this plan on
+    /// `dp`: register files, buses, and the derived write-port and
+    /// multiplexer names.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown components or overlapping groups.
+    pub fn rename_map(&self, dp: &Datapath) -> Result<BTreeMap<String, String>, MergeError> {
+        let mut map = BTreeMap::new();
+        let mut claimed: BTreeMap<&str, ()> = BTreeMap::new();
+        for (members, target) in &self.rf_groups {
+            for m in members {
+                if dp.register_file(m).is_none() {
+                    return Err(MergeError::UnknownComponent(m.clone()));
+                }
+                if claimed.insert(m, ()).is_some() {
+                    return Err(MergeError::OverlappingGroups(m.clone()));
+                }
+                map.insert(m.clone(), target.clone());
+                map.insert(Datapath::wp_name(m), Datapath::wp_name(target));
+                map.insert(Datapath::mux_name(m), Datapath::mux_name(target));
+            }
+        }
+        for (members, target) in &self.bus_groups {
+            for m in members {
+                if dp.bus(m).is_none() {
+                    return Err(MergeError::UnknownComponent(m.clone()));
+                }
+                if claimed.insert(m, ()).is_some() {
+                    return Err(MergeError::OverlappingGroups(m.clone()));
+                }
+                map.insert(m.clone(), target.clone());
+            }
+        }
+        Ok(map)
+    }
+
+    /// Applies the plan, producing the merged datapath.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown components, overlapping groups, or if the merged
+    /// structure does not validate.
+    pub fn apply(&self, dp: &Datapath) -> Result<Datapath, MergeError> {
+        let map = self.rename_map(dp)?;
+        let rename = |n: &str| -> String { map.get(n).cloned().unwrap_or_else(|| n.to_owned()) };
+
+        let mut b = DatapathBuilder::new();
+        // Merged register files: summed size, union of write buses.
+        let mut done_rf: BTreeMap<String, ()> = BTreeMap::new();
+        for rf in dp.register_files() {
+            let new_name = rename(rf.name());
+            if done_rf.contains_key(&new_name) {
+                continue;
+            }
+            done_rf.insert(new_name.clone(), ());
+            let members: Vec<_> = dp
+                .register_files()
+                .iter()
+                .filter(|r| rename(r.name()) == new_name)
+                .collect();
+            let size: u32 = members.iter().map(|r| r.size()).sum();
+            let mut buses: Vec<String> = Vec::new();
+            for m in &members {
+                for wb in m.write_buses() {
+                    let nb = rename(wb);
+                    if !buses.contains(&nb) {
+                        buses.push(nb);
+                    }
+                }
+            }
+            b = b.register_file(&new_name, size);
+            let bus_refs: Vec<&str> = buses.iter().map(|s| s.as_str()).collect();
+            b = b.write_port(&new_name, &bus_refs);
+        }
+        // OPUs keep their identity; inputs and output bus are renamed.
+        for opu in dp.opus() {
+            let ops: Vec<(&str, u32)> = opu.ops().collect();
+            b = b.opu(opu.kind(), opu.name(), &ops);
+            let inputs: Vec<String> = opu.inputs().iter().map(|r| rename(r)).collect();
+            let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+            b = b.inputs(opu.name(), &input_refs);
+            if let Some(bus) = opu.output_bus() {
+                b = b.output(opu.name(), &rename(bus));
+            }
+            if matches!(opu.kind(), OpuKind::Ram | OpuKind::Rom) {
+                b = b.memory(opu.name(), opu.memory_size());
+            }
+            if !opu.flags().is_empty() {
+                let flags: Vec<&str> = opu.flags().iter().map(|s| s.as_str()).collect();
+                b = b.flags(opu.name(), &flags);
+            }
+        }
+        b.build().map_err(MergeError::InvalidResult)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::OpuKind;
+
+    /// An intermediate-style datapath: ALU and MULT each with dedicated
+    /// register files and buses.
+    fn intermediate() -> Datapath {
+        DatapathBuilder::new()
+            .register_file("rf_alu_a", 4)
+            .register_file("rf_alu_b", 4)
+            .register_file("rf_mult_a", 4)
+            .register_file("rf_mult_b", 4)
+            .opu(OpuKind::Alu, "alu", &[("add", 1), ("pass", 1)])
+            .inputs("alu", &["rf_alu_a", "rf_alu_b"])
+            .output("alu", "bus_alu")
+            .opu(OpuKind::Mult, "mult", &[("mult", 1)])
+            .inputs("mult", &["rf_mult_a", "rf_mult_b"])
+            .output("mult", "bus_mult")
+            .write_port("rf_alu_a", &["bus_alu", "bus_mult"])
+            .write_port("rf_alu_b", &["bus_alu", "bus_mult"])
+            .write_port("rf_mult_a", &["bus_alu", "bus_mult"])
+            .write_port("rf_mult_b", &["bus_alu", "bus_mult"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_plan_preserves_structure() {
+        let dp = intermediate();
+        let merged = MergePlan::new().apply(&dp).unwrap();
+        assert_eq!(merged.register_files().len(), 4);
+        assert_eq!(merged.buses().len(), 2);
+        assert_eq!(merged.opus().len(), 2);
+    }
+
+    #[test]
+    fn rf_merge_sums_sizes_and_unions_buses() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a", "rf_mult_a"], "rf_a");
+        let merged = plan.apply(&dp).unwrap();
+        let rf = merged.register_file("rf_a").unwrap();
+        assert_eq!(rf.size(), 8);
+        assert_eq!(rf.write_buses(), &["bus_alu", "bus_mult"]);
+        // OPU inputs follow the merge.
+        assert_eq!(merged.opu("alu").unwrap().inputs()[0], "rf_a");
+        assert_eq!(merged.opu("mult").unwrap().inputs()[0], "rf_a");
+    }
+
+    #[test]
+    fn bus_merge_collapses_mux_inputs() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_buses(&["bus_alu", "bus_mult"], "bus_main");
+        let merged = plan.apply(&dp).unwrap();
+        assert_eq!(merged.buses().len(), 1);
+        let rf = merged.register_file("rf_alu_a").unwrap();
+        // Two former mux inputs collapse into a single bus: mux disappears.
+        assert_eq!(rf.write_buses(), &["bus_main"]);
+        assert!(!rf.has_mux());
+        assert_eq!(merged.drivers_of("bus_main").len(), 2);
+    }
+
+    #[test]
+    fn rename_map_covers_derived_names() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a", "rf_mult_a"], "rf_a");
+        plan.merge_buses(&["bus_alu", "bus_mult"], "bus_main");
+        let map = plan.rename_map(&dp).unwrap();
+        assert_eq!(map.get("rf_alu_a").unwrap(), "rf_a");
+        assert_eq!(map.get("wp_rf_alu_a").unwrap(), "wp_rf_a");
+        assert_eq!(map.get("mux_rf_mult_a").unwrap(), "mux_rf_a");
+        assert_eq!(map.get("bus_alu").unwrap(), "bus_main");
+        assert!(!map.contains_key("rf_alu_b"));
+    }
+
+    #[test]
+    fn unknown_member_rejected() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_ghost"], "rf_a");
+        assert_eq!(
+            plan.apply(&dp).unwrap_err(),
+            MergeError::UnknownComponent("rf_ghost".into())
+        );
+    }
+
+    #[test]
+    fn overlapping_groups_rejected() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a", "rf_mult_a"], "rf_a");
+        plan.merge_rfs(&["rf_alu_a", "rf_alu_b"], "rf_b");
+        assert_eq!(
+            plan.apply(&dp).unwrap_err(),
+            MergeError::OverlappingGroups("rf_alu_a".into())
+        );
+    }
+
+    #[test]
+    fn merge_error_display() {
+        let e = MergeError::UnknownComponent("x".into());
+        assert!(e.to_string().contains("unknown component"));
+        let e = MergeError::OverlappingGroups("y".into());
+        assert!(e.to_string().contains("more than one"));
+    }
+}

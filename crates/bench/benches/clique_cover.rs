@@ -1,0 +1,74 @@
+//! E8 (runtime side) — edge-clique-cover algorithms on conflict graphs:
+//! the paper's figure-6 graph plus random graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspcc::graph::cover::{
+    greedy_edge_clique_cover, minimum_edge_clique_cover, per_edge_clique_cover,
+};
+use dspcc::graph::UndirectedGraph;
+
+fn paper_graph() -> UndirectedGraph {
+    let mut g = UndirectedGraph::new(6);
+    for &(a, b) in &[
+        (0, 4),
+        (0, 5),
+        (1, 2),
+        (1, 3),
+        (1, 4),
+        (1, 5),
+        (2, 4),
+        (2, 5),
+        (3, 4),
+        (3, 5),
+    ] {
+        g.add_edge(a, b);
+    }
+    g
+}
+
+/// Deterministic pseudo-random conflict graph with ~40% density.
+fn random_graph(n: usize, seed: u64) -> UndirectedGraph {
+    let mut g = UndirectedGraph::new(n);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % 10 < 4 {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+fn bench_covers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_cover");
+    let paper = paper_graph();
+    group.bench_function("paper_fig6/per_edge", |b| {
+        b.iter(|| per_edge_clique_cover(&paper))
+    });
+    group.bench_function("paper_fig6/greedy", |b| {
+        b.iter(|| greedy_edge_clique_cover(&paper))
+    });
+    group.bench_function("paper_fig6/exact_minimum", |b| {
+        b.iter(|| minimum_edge_clique_cover(&paper))
+    });
+    for n in [8usize, 12, 16, 24] {
+        let g = random_graph(n, 42);
+        group.bench_with_input(BenchmarkId::new("greedy_random", n), &g, |b, g| {
+            b.iter(|| greedy_edge_clique_cover(g))
+        });
+    }
+    for n in [8usize, 10, 12] {
+        let g = random_graph(n, 42);
+        group.bench_with_input(BenchmarkId::new("exact_random", n), &g, |b, g| {
+            b.iter(|| minimum_edge_clique_cover(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_covers);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6 (runtime side) — Hopcroft–Karp vs the Kuhn oracle on bipartite
+//! interval graphs like those of the execution-interval analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspcc::graph::matching::{maximum_matching_kuhn, BipartiteGraph};
+
+/// RTs × cycles interval graph: RT i may go to cycles [i/2, i/2 + span).
+fn interval_graph(n: usize, span: usize) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new(n, n + span);
+    for i in 0..n {
+        for t in 0..span {
+            g.add_edge(i, i / 2 + t);
+        }
+    }
+    g
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for n in [32usize, 128, 512] {
+        let g = interval_graph(n, 8);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &g, |b, g| {
+            b.iter(|| g.maximum_matching())
+        });
+        group.bench_with_input(BenchmarkId::new("kuhn", n), &g, |b, g| {
+            b.iter(|| maximum_matching_kuhn(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

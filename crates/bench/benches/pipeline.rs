@@ -1,0 +1,31 @@
+//! Whole-compiler runtime (figure 1b, all stages) on the paper's audio
+//! application and on FIR filters of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspcc::{apps, cores, Compiler};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let audio = cores::audio_core();
+    let audio_src = apps::audio_application();
+    group.bench_function("audio_application", |b| {
+        b.iter(|| {
+            Compiler::new(&audio)
+                .restarts(2)
+                .compile(&audio_src)
+                .unwrap()
+        })
+    });
+    let tiny = cores::tiny_core();
+    for n in [4usize, 8, 16] {
+        let src = apps::sum_of_products(n);
+        group.bench_with_input(BenchmarkId::new("sum_of_products", n), &src, |b, src| {
+            b.iter(|| Compiler::new(&tiny).compile(src).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E10 — codegen-quality baselines (paper section 2: "existing compilers
+//! generate code of which the efficiency is not sufficient").
+
+use dspcc::sched::baseline::{
+    count_illegal_instructions, sequential_schedule, strip_artificial_resources,
+};
+use dspcc::sched::compact::schedule_and_compact;
+use dspcc::sched::deps::DependenceGraph;
+use dspcc::sched::list::{list_schedule, ListConfig, Priority};
+use dspcc::{apps, cores, Compiler};
+
+fn main() {
+    println!("=== E10: scheduler baselines on the audio application ===\n");
+    let core = cores::audio_core();
+    let compiled = Compiler::new(&core)
+        .restarts(6)
+        .compile(&apps::audio_application())
+        .expect("audio application compiles");
+    let program = &compiled.lowering.program;
+    let deps = &compiled.deps;
+
+    let sequential = sequential_schedule(program, deps);
+    println!("{:<36} {:>8} {:>14}", "scheduler", "cycles", "illegal instrs");
+    println!(
+        "{:<36} {:>8} {:>14}",
+        "sequential (1 RT/cycle)",
+        sequential.length(),
+        count_illegal_instructions(program, &sequential)
+    );
+    let greedy = list_schedule(
+        program,
+        deps,
+        &ListConfig {
+            budget: None,
+            priority: Priority::SourceOrder,
+            jitter_seed: 0,
+        },
+    )
+    .unwrap();
+    println!(
+        "{:<36} {:>8} {:>14}",
+        "greedy list (source order)",
+        greedy.length(),
+        count_illegal_instructions(program, &greedy)
+    );
+    let full = schedule_and_compact(program, deps, None, 6).unwrap();
+    println!(
+        "{:<36} {:>8} {:>14}",
+        "list + restarts + justification",
+        full.length(),
+        count_illegal_instructions(program, &full)
+    );
+    let folded = compiled.fold(2, 16).unwrap();
+    println!(
+        "{:<36} {:>8} {:>14}",
+        "modulo (2-stage fold)",
+        folded.ii(),
+        0
+    );
+
+    // ISA-unaware scheduling packs instructions the encoding cannot express.
+    let names: Vec<&str> = compiled.artificial_names.iter().map(|s| s.as_str()).collect();
+    let stripped = strip_artificial_resources(program, &names);
+    let stripped_deps = DependenceGraph::build_with_edges(
+        &stripped,
+        &compiled.lowering.sequence_edges,
+    )
+    .unwrap();
+    let unaware = schedule_and_compact(&stripped, &stripped_deps, None, 6).unwrap();
+    println!(
+        "{:<36} {:>8} {:>14}",
+        "ISA-unaware (ABC stripped)",
+        unaware.length(),
+        count_illegal_instructions(program, &unaware)
+    );
+    println!(
+        "\nthe sequential baseline is what a non-packing compiler emits ({}x slower\n\
+         than the folded kernel); the ISA-unaware schedule packs IO operations the\n\
+         instruction word cannot encode — the conflicts the paper's artificial\n\
+         resources exist to prevent.",
+        sequential.length() / folded.ii()
+    );
+}

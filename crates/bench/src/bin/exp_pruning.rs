@@ -1,0 +1,54 @@
+//! E6 — execution-interval analysis (paper section 8 / Timmer & Jess
+//! EDAC'95): search-node counts of the exact scheduler with and without
+//! bipartite-matching pruning.
+
+use dspcc::dfg::{parse, Dfg};
+use dspcc::rtgen::{lower, LowerOptions};
+use dspcc::sched::deps::DependenceGraph;
+use dspcc::sched::exact::{exact_schedule, ExactConfig};
+use dspcc::{apps, cores};
+
+fn main() {
+    println!("=== E6: bipartite-matching interval pruning (exact scheduler) ===\n");
+    let core = cores::tiny_core();
+    println!("{:<14} {:>7} {:>16} {:>16} {:>9}", "workload", "budget", "nodes (pruned)", "nodes (blind)", "speedup");
+    for taps in [3usize, 4, 5, 6] {
+        let src = apps::sum_of_products(taps);
+        let dfg = Dfg::build(&parse(&src).unwrap()).unwrap();
+        let lowering = lower(&dfg, &core.datapath, &LowerOptions::default()).unwrap();
+        let deps =
+            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
+                .unwrap();
+        // One cycle below feasible: the provers must exhaust the space.
+        let feasible = {
+            let mut cfg = ExactConfig::new(200);
+            cfg.prune = true;
+            exact_schedule(&lowering.program, &deps, &cfg)
+                .schedule
+                .expect("loose budget feasible")
+                .length()
+        };
+        let budget = feasible - 1;
+        let mut pruned_cfg = ExactConfig::new(budget);
+        pruned_cfg.prune = true;
+        pruned_cfg.max_nodes = 50_000_000;
+        let pruned = exact_schedule(&lowering.program, &deps, &pruned_cfg);
+        let mut blind_cfg = ExactConfig::new(budget);
+        blind_cfg.prune = false;
+        blind_cfg.max_nodes = 50_000_000;
+        let blind = exact_schedule(&lowering.program, &deps, &blind_cfg);
+        let speedup = blind.nodes_explored as f64 / pruned.nodes_explored.max(1) as f64;
+        println!(
+            "sop({taps:<2})        {budget:>7} {:>16} {:>16} {:>8.1}x{}",
+            pruned.nodes_explored,
+            blind.nodes_explored,
+            speedup,
+            if pruned.complete && blind.complete { "" } else { "  (limit hit)" },
+        );
+    }
+    println!(
+        "\npaper section 8: \"a promising technique is being developed using execution\n\
+         interval analysis to prune the search space of the scheduler\" [Timmer & Jess].\n\
+         The matching cut proves infeasibility without enumerating permutations."
+    );
+}

@@ -1,0 +1,22 @@
+//! E1 — regenerates figure 5 / the section-7 class table: RT class
+//! identification for the audio core, then the merge down to 9 classes.
+
+use dspcc::cores::{audio_datapath, audio_isa};
+use dspcc::isa::Classification;
+
+fn main() {
+    let dp = audio_datapath();
+    println!("=== E1 / figure 5: RT class identification (audio core) ===\n");
+    let raw = Classification::identify(&dp);
+    println!(
+        "raw classes: {} (paper: 13 — ours adds `sub` on the ALU)",
+        raw.len()
+    );
+    println!("{}", raw.to_table());
+    let (merged, _) = audio_isa(&dp);
+    println!(
+        "after merging (RAM read/write → X, ALU ops → Y): {} classes (paper: 9)",
+        merged.len()
+    );
+    println!("{}", merged.to_table());
+}

@@ -1,0 +1,349 @@
+//! Ready-made applications.
+//!
+//! [`audio_application`] reconstructs the figure-7 stereo audio processor.
+//! The paper publishes the treble section verbatim and, through figure 9,
+//! the complete per-frame resource mix: ~58 multiplications, ~58 ALU
+//! operations, ~58 RAM accesses and 59 ACU address computations, two input
+//! samples (IPB at 3%) and four output samples per channel (OPB₁/OPB₂ at
+//! 6% each) inside the 64-cycle budget (2.8 MHz clock / 44 kHz sample
+//! rate). This reconstruction reproduces that mix *exactly* per channel:
+//!
+//! | unit | ops/frame (stereo) |
+//! |------|--------------------|
+//! | MULT | 58 |
+//! | ALU  | 58 |
+//! | RAM  | 58 (46 taps + 12 writes) |
+//! | ACU  | 59 (58 accesses + frame pointer) |
+//! | ROM  | 58 coefficient fetches |
+//! | IPB  | 2 |
+//! | OPB₁/OPB₂ | 4 + 4 |
+//!
+//! Per channel: the paper's treble shelf (3 mult / 3 ALU / 3 taps +
+//! 1 write), four biquad sections in frame-decoupled direct form I
+//! (5 mult / 4 ALU / 5 taps + 1 write each), and a four-way output matrix
+//! (6 mult / 10 ALU) feeding woofer/mid/tweeter/sub taps — the `out0..3`
+//! of figure 7, identical for left & right.
+
+use std::fmt::Write as _;
+
+/// Generates the stereo audio application source (figure 7).
+///
+/// # Example
+///
+/// ```
+/// use dspcc::apps::audio_application;
+/// use dspcc::dfg::{parse, Dfg};
+///
+/// let dfg = Dfg::build(&parse(&audio_application())?)?;
+/// let census = dfg.census();
+/// assert_eq!(census.mults, 58);
+/// assert_eq!(census.alu_ops, 58);
+/// assert_eq!(census.taps + census.signal_writes, 56); // +2 input stores = 58
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn audio_application() -> String {
+    let mut src = String::new();
+    let _ = writeln!(src, "/* Figure-7 stereo audio application. */");
+    // Interleaved outputs: even DFG ports route to OPB_1 (left), odd to
+    // OPB_2 (right).
+    let _ = writeln!(src, "input u_l; input u_r;");
+    for band in 0..4 {
+        let _ = writeln!(src, "output out{band}_l; output out{band}_r;");
+    }
+    for ch in ["l", "r"] {
+        let _ = writeln!(src, "signal v_{ch};");
+        for stage in 1..=4 {
+            let _ = writeln!(src, "signal y{stage}_{ch};");
+        }
+    }
+    // Distinct coefficient values per channel keep every ROM fetch
+    // separate (58 fetches, like the paper's 92% ROM row).
+    for (ci, ch) in ["l", "r"].iter().enumerate() {
+        let s = if ci == 0 { 1.0 } else { -1.0 };
+        let _ = writeln!(src, "/* --- channel {ch}: treble shelf coefficients --- */");
+        let _ = writeln!(src, "coeff d1_{ch} = {:.6};", s * 0.250 + ci as f64 * 0.001);
+        let _ = writeln!(src, "coeff d2_{ch} = {:.6};", s * 0.125 + ci as f64 * 0.002);
+        let _ = writeln!(src, "coeff e1_{ch} = {:.6};", -s * 0.500 + ci as f64 * 0.003);
+        for stage in 1..=4 {
+            let base = 0.02 * stage as f64 + 0.005 * ci as f64;
+            let _ = writeln!(src, "/* biquad {stage}, channel {ch} */");
+            let _ = writeln!(src, "coeff b0_{stage}_{ch} = {:.6};", 0.30 + base);
+            let _ = writeln!(src, "coeff b1_{stage}_{ch} = {:.6};", 0.15 + base / 2.0);
+            let _ = writeln!(src, "coeff b2_{stage}_{ch} = {:.6};", 0.05 + base / 3.0);
+            let _ = writeln!(src, "coeff a1_{stage}_{ch} = {:.6};", 0.20 - base);
+            let _ = writeln!(src, "coeff a2_{stage}_{ch} = {:.6};", -0.10 + base / 4.0);
+        }
+        for band in 0..4 {
+            let base = 0.05 * band as f64 + 0.01 * ci as f64;
+            let _ = writeln!(src, "coeff vol{band}_{ch} = {:.6};", 0.60 - base);
+            if band < 2 {
+                let _ = writeln!(src, "coeff mix{band}_{ch} = {:.6};", 0.20 + base);
+            }
+        }
+    }
+
+    for ch in ["l", "r"] {
+        let _ = writeln!(src, "\n/* ===== channel {ch} ===== */");
+        // The paper's treble section, verbatim structure (section 7).
+        let _ = writeln!(src, "/* Treble section */");
+        let _ = writeln!(src, "x0_{ch} := u_{ch}@2; /* U delayed over 2 frames */");
+        let _ = writeln!(src, "m_{ch}  := mlt(d2_{ch}, x0_{ch});");
+        let _ = writeln!(src, "a_{ch}  := pass(m_{ch});");
+        let _ = writeln!(src, "x2_{ch} := v_{ch}@1; /* V delayed over 1 frame */");
+        let _ = writeln!(src, "m_{ch}  := mlt(e1_{ch}, x2_{ch});");
+        let _ = writeln!(src, "a_{ch}  := add(m_{ch}, a_{ch});");
+        let _ = writeln!(src, "x1_{ch} := u_{ch}@1;");
+        let _ = writeln!(src, "m_{ch}  := mlt(d1_{ch}, x1_{ch});");
+        let _ = writeln!(src, "rd_{ch} := add_clip(m_{ch}, a_{ch});");
+        let _ = writeln!(src, "v_{ch}  = rd_{ch};");
+        // Four biquads in frame-decoupled direct form I: stage i filters
+        // the delayed output of stage i−1 (v for stage 1), so all stages
+        // schedule in parallel within the frame.
+        for stage in 1..=4u32 {
+            let x = if stage == 1 {
+                format!("v_{ch}")
+            } else {
+                format!("y{}_{ch}", stage - 1)
+            };
+            let y = format!("y{stage}_{ch}");
+            let _ = writeln!(src, "/* biquad {stage} */");
+            let _ = writeln!(src, "p0_{stage}_{ch} := mlt(b0_{stage}_{ch}, {x}@1);");
+            let _ = writeln!(src, "p1_{stage}_{ch} := mlt(b1_{stage}_{ch}, {x}@2);");
+            let _ = writeln!(src, "p2_{stage}_{ch} := mlt(b2_{stage}_{ch}, {x}@3);");
+            let _ = writeln!(src, "q1_{stage}_{ch} := mlt(a1_{stage}_{ch}, {y}@1);");
+            let _ = writeln!(src, "q2_{stage}_{ch} := mlt(a2_{stage}_{ch}, {y}@2);");
+            let _ = writeln!(
+                src,
+                "s0_{stage}_{ch} := add(p0_{stage}_{ch}, p1_{stage}_{ch});"
+            );
+            let _ = writeln!(
+                src,
+                "s1_{stage}_{ch} := add(p2_{stage}_{ch}, q1_{stage}_{ch});"
+            );
+            let _ = writeln!(
+                src,
+                "s2_{stage}_{ch} := add(s0_{stage}_{ch}, s1_{stage}_{ch});"
+            );
+            // Every stage's store is clip-conditioned: the accumulate
+            // finishes with a plain add and the stored value saturates on
+            // its way to RAM.
+            let _ = writeln!(
+                src,
+                "t_{stage}_{ch} := add(s2_{stage}_{ch}, q2_{stage}_{ch});"
+            );
+            let _ = writeln!(src, "{y} = pass_clip(t_{stage}_{ch});");
+        }
+        // Output matrix: four bands from the cascade's taps (out0..out3 of
+        // figure 7), volume-scaled and clipped.
+        // Each band mixes two *adjacent* stages of the cascade with the
+        // shallowest possible chains (mult, add, clipped write): out_i
+        // completes as soon as stages i-1 and i do, spreading the
+        // output-port writes through the schedule like figure 9's OPB rows.
+        let _ = writeln!(src, "/* output matrix */");
+        let _ = writeln!(src, "ma_{ch} := mlt(vol0_{ch}, rd_{ch});");
+        let _ = writeln!(src, "mb_{ch} := mlt(mix0_{ch}, y1_{ch});");
+        let _ = writeln!(src, "g0_{ch} := add(ma_{ch}, mb_{ch});");
+        let _ = writeln!(src, "out0_{ch} = pass_clip(g0_{ch});");
+        let _ = writeln!(src, "mc_{ch} := mlt(vol1_{ch}, y1_{ch});");
+        let _ = writeln!(src, "md_{ch} := mlt(mix1_{ch}, y2_{ch});");
+        let _ = writeln!(src, "g1_{ch} := add(mc_{ch}, md_{ch});");
+        let _ = writeln!(src, "out1_{ch} = pass_clip(g1_{ch});");
+        let _ = writeln!(src, "me_{ch} := mlt(vol2_{ch}, y2_{ch});");
+        let _ = writeln!(src, "out2_{ch} = add_clip(me_{ch}, y3_{ch});");
+        let _ = writeln!(src, "mf_{ch} := mlt(vol3_{ch}, y3_{ch});");
+        let _ = writeln!(src, "out3_{ch} = add_clip(mf_{ch}, y4_{ch});");
+    }
+    src
+}
+
+/// Generates an `n`-tap FIR filter (direct form), the classic scaling
+/// workload for benches: `n` multiplies, `n−1` adds, `n−1` taps.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn fir(n: usize) -> String {
+    assert!(n > 0, "FIR needs at least one tap");
+    let mut src = String::new();
+    let _ = writeln!(src, "input u; output y;");
+    for i in 0..n {
+        let _ = writeln!(src, "coeff h{i} = {:.6};", 0.9 / (i + 1) as f64);
+    }
+    let _ = writeln!(src, "acc0 := mlt(h0, u);");
+    for i in 1..n {
+        let _ = writeln!(src, "m{i} := mlt(h{i}, u@{i});");
+        let _ = writeln!(src, "acc{i} := add(acc{}, m{i});", i - 1);
+    }
+    let _ = writeln!(src, "y = pass_clip(acc{});", n - 1);
+    src
+}
+
+/// Generates a cascade of `n` frame-decoupled biquads, a pure feedback
+/// workload for folding and budget-sweep experiments.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn biquad_cascade(n: usize) -> String {
+    assert!(n > 0, "cascade needs at least one section");
+    let mut src = String::new();
+    let _ = writeln!(src, "input u; output y;");
+    for i in 0..n {
+        let _ = writeln!(src, "signal s{i};");
+        let _ = writeln!(src, "coeff cb_{i} = {:.6};", 0.5 - 0.01 * i as f64);
+        let _ = writeln!(src, "coeff ca_{i} = {:.6};", 0.25 + 0.01 * i as f64);
+    }
+    for i in 0..n {
+        let input = if i == 0 {
+            "u".to_owned()
+        } else {
+            format!("s{}@1", i - 1)
+        };
+        let _ = writeln!(
+            src,
+            "s{i} = add_clip(mlt(cb_{i}, {input}), mlt(ca_{i}, s{i}@1));"
+        );
+    }
+    let _ = writeln!(src, "y = pass_clip(s{}@1);", n - 1);
+    src
+}
+
+
+/// Generates a tap-free sum-of-products: `n` independent `mlt(c_i, u)`
+/// terms reduced by a balanced add tree. Exercises MULT/ALU/ROM
+/// parallelism without needing RAM or an ACU (for cores without delay
+/// lines).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sum_of_products(n: usize) -> String {
+    assert!(n > 0, "need at least one product");
+    let mut src = String::new();
+    let _ = writeln!(src, "input u; output y;");
+    for i in 0..n {
+        let _ = writeln!(src, "coeff c{i} = {:.6};", 0.8 / (i + 1) as f64);
+    }
+    for i in 0..n {
+        let _ = writeln!(src, "m{i} := mlt(c{i}, u);");
+    }
+    // Balanced reduction tree.
+    let mut layer: Vec<String> = (0..n).map(|i| format!("m{i}")).collect();
+    let mut tmp = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let name = format!("t{tmp}");
+                tmp += 1;
+                let _ = writeln!(src, "{name} := add({}, {});", pair[0], pair[1]);
+                next.push(name);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+    }
+    let _ = writeln!(src, "y = pass_clip({});", layer[0]);
+    src
+}
+
+/// Generates an ALU-only workload: `n` terms `add(u, k_i)` reduced by a
+/// balanced tree — for architectures with adders and a program-constant
+/// unit but no multiplier or memory (e.g. the intermediate-architecture
+/// core of the merging experiments).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn add_tree(n: usize) -> String {
+    assert!(n > 0, "need at least one term");
+    let mut src = String::new();
+    let _ = writeln!(src, "input u; output y;");
+    for i in 0..n {
+        let _ = writeln!(src, "const k{i} = {:.6};", 0.01 * (i + 1) as f64);
+    }
+    for i in 0..n {
+        let _ = writeln!(src, "a{i} := add(u, k{i});");
+    }
+    let mut layer: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+    let mut tmp = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let name = format!("b{tmp}");
+                tmp += 1;
+                let _ = writeln!(src, "{name} := add({}, {});", pair[0], pair[1]);
+                next.push(name);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+    }
+    let _ = writeln!(src, "y = pass_clip({});", layer[0]);
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_dfg::{parse, Dfg};
+
+    #[test]
+    fn audio_application_census_matches_figure_9_mix() {
+        let dfg = Dfg::build(&parse(&audio_application()).unwrap()).unwrap();
+        let c = dfg.census();
+        assert_eq!(c.mults, 58, "{c}");
+        assert_eq!(c.alu_ops, 58, "{c}");
+        assert_eq!(c.taps, 46, "{c}");
+        assert_eq!(c.signal_writes, 10, "{c}");
+        // RAM accesses: 46 taps + 10 signal writes + 2 implicit input
+        // stores (u_l, u_r are tapped, so RT generation stores each
+        // sample) = 58, the paper's 92% RAM row.
+        let tapped_inputs = dfg
+            .signals()
+            .iter()
+            .filter(|s| s.is_input && s.max_tap_depth > 0)
+            .count();
+        assert_eq!(c.taps + c.signal_writes + tapped_inputs, 58, "{c}");
+        assert_eq!(c.coeff_fetches, 58, "{c}");
+        assert_eq!(c.outputs, 8, "{c}");
+        // The inputs are consumed via taps (u@1, u@2) only.
+        assert_eq!(dfg.input_ports().len(), 2);
+    }
+
+    #[test]
+    fn audio_application_delay_depth_fits_power_of_two_regions() {
+        let dfg = Dfg::build(&parse(&audio_application()).unwrap()).unwrap();
+        let max_depth = dfg.signals().iter().map(|s| s.max_tap_depth).max().unwrap();
+        assert_eq!(max_depth, 3); // region size 4
+        let tapped = dfg.signals().iter().filter(|s| s.max_tap_depth > 0).count();
+        assert_eq!(tapped, 12); // 2×(u, v, y1..y4)
+        // 12 regions × 4 words = 48 ≤ the audio core's 64-word RAM.
+    }
+
+    #[test]
+    fn fir_census() {
+        let dfg = Dfg::build(&parse(&fir(8)).unwrap()).unwrap();
+        let c = dfg.census();
+        assert_eq!(c.mults, 8);
+        assert_eq!(c.alu_ops, 8); // 7 adds + pass_clip
+        assert_eq!(c.taps, 7);
+    }
+
+    #[test]
+    fn biquad_cascade_census() {
+        let dfg = Dfg::build(&parse(&biquad_cascade(5)).unwrap()).unwrap();
+        let c = dfg.census();
+        assert_eq!(c.mults, 10);
+        assert_eq!(c.signal_writes, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn fir_zero_rejected() {
+        fir(0);
+    }
+}

@@ -1,0 +1,62 @@
+//! `dspcc` — retargetable code generation for in-house DSP cores.
+//!
+//! A from-scratch reproduction of *"Efficient Code Generation for In-House
+//! DSP-Cores"* (M. Strik, J. van Meerbergen, A. Timmer, J. Jess, S. Note —
+//! DATE 1995). Philips' in-house cores are small application-domain VLIW
+//! DSPs (digital audio, DECT, GSM); the paper shows how to retarget ASIC
+//! high-level-synthesis technology into a code generator for such a core
+//! by (1) generating *register transfers* from the source, (2) *modifying*
+//! them — merging resources and installing the instruction set as
+//! artificial resource conflicts computed from a clique cover of an RT
+//! class conflict graph — and (3) scheduling the result into VLIW
+//! instructions under a hard cycle budget.
+//!
+//! This crate is the driver tying the substrates together:
+//!
+//! * [`Core`] — an in-house core definition: datapath + controller +
+//!   instruction set (paper section 5 + 6);
+//! * [`Compiler`] — the figure-1b pipeline: RT generation → RT
+//!   modification → scheduling → register allocation → instruction
+//!   encoding, with the feasibility feedback the paper's methodology
+//!   revolves around;
+//! * [`cores`] — ready-made cores: the figure-8 digital-audio core (with
+//!   the section-7 instruction set), a teaching-sized core, and an
+//!   intermediate-architecture variant for merging experiments;
+//! * [`apps`] — ready-made applications: the figure-7 stereo audio
+//!   application and parametric filter generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dspcc::{cores, Compiler};
+//!
+//! let core = cores::tiny_core();
+//! let compiled = Compiler::new(&core)
+//!     .budget(16)
+//!     .compile("input u; coeff k = 0.5; output y; y = add_clip(mlt(k, u), u);")?;
+//! assert!(compiled.schedule.length() <= 16);
+//! // Execute the generated microcode cycle-accurately:
+//! let mut sim = compiled.simulator()?;
+//! let out = sim.step_frame(&[1000])?;
+//! assert_eq!(out, vec![1500]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod apps;
+pub mod cores;
+mod pipeline;
+
+pub use pipeline::{Compiled, CompileError, Compiler, Core};
+
+// Re-export the substrate crates under one roof, the way a user consumes
+// the workspace.
+pub use dspcc_arch as arch;
+pub use dspcc_dfg as dfg;
+pub use dspcc_encode as encode;
+pub use dspcc_graph as graph;
+pub use dspcc_ir as ir;
+pub use dspcc_isa as isa;
+pub use dspcc_num as num;
+pub use dspcc_rtgen as rtgen;
+pub use dspcc_sched as sched;
+pub use dspcc_sim as sim;

@@ -1,0 +1,504 @@
+//! The compiler pipeline of figure 1b.
+//!
+//! ```text
+//! application source
+//!   → RT generation                      (dspcc-rtgen::lower)
+//!   → RT modification                    (merging + ISA conflicts)
+//!   → scheduling & instruction encoding  (dspcc-sched, dspcc-encode)
+//! ```
+//!
+//! Failures at any stage — unroutable values, missed cycle budgets,
+//! register-file overflows — are *feasibility feedback*: "if this does not
+//! result in a feasible solution an iteration cycle is required in which
+//! the source must be improved" (section 4). The error type is therefore
+//! deliberately rich.
+
+use std::fmt;
+
+use dspcc_arch::{Controller, Datapath};
+use dspcc_dfg::{parse, Dfg};
+use dspcc_encode::{allocate_registers, encode, FieldLayout, Microcode, RegAssignment};
+use dspcc_isa::{artificial_resources, Classification, CoverStrategy, InstructionSet};
+use dspcc_num::WordFormat;
+use dspcc_rtgen::{apply_instruction_set, lower, LowerOptions, Lowering};
+use dspcc_sched::deps::DependenceGraph;
+use dspcc_sched::exact::{exact_schedule, ExactConfig};
+use dspcc_sched::folding::LoopEdge;
+use dspcc_sched::compact::schedule_and_compact;
+use dspcc_sched::folding::{fold_schedule_with_restarts, FoldedSchedule, FoldError};
+use dspcc_sched::list::{list_schedule, ListConfig, Priority};
+use dspcc_sched::report::OccupationReport;
+use dspcc_sched::Schedule;
+use dspcc_sim::CoreSim;
+
+/// An in-house core: datapath + controller + instruction set (+ word
+/// format) — "the core is defined by the presented datapath, the
+/// controller and the instruction set" (section 7).
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Human-readable name.
+    pub name: String,
+    /// The datapath (figure 3 instantiation).
+    pub datapath: Datapath,
+    /// The controller (figure 4 instantiation).
+    pub controller: Controller,
+    /// Datapath word format.
+    pub format: WordFormat,
+    /// RT classification; `None` derives one automatically when an
+    /// instruction set is given.
+    pub classification: Option<Classification>,
+    /// The instruction set; `None` means "fully horizontal" (datapath
+    /// conflicts only).
+    pub instruction_set: Option<InstructionSet>,
+    /// Clique-cover strategy for the artificial resources.
+    pub cover: CoverStrategy,
+}
+
+/// Compilation failure, wrapping each stage's error with the stage name.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// Source does not parse.
+    Parse(dspcc_dfg::ParseError),
+    /// Source does not analyse.
+    Sema(dspcc_dfg::SemaError),
+    /// RT generation failed (unroutable / missing units / RAM overflow).
+    Lower(dspcc_rtgen::LowerError),
+    /// Dependence analysis failed.
+    Deps(String),
+    /// No schedule within the budget.
+    Schedule(dspcc_sched::SchedError),
+    /// Register allocation failed.
+    RegAlloc(dspcc_encode::RegAllocError),
+    /// Instruction encoding failed.
+    Encode(dspcc_encode::EncodeError),
+    /// The schedule exceeds the controller's program memory.
+    ProgramTooLong {
+        /// Instructions needed.
+        needed: u32,
+        /// Program memory depth.
+        available: u32,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse: {e}"),
+            CompileError::Sema(e) => write!(f, "analysis: {e}"),
+            CompileError::Lower(e) => write!(f, "RT generation: {e}"),
+            CompileError::Deps(e) => write!(f, "dependence analysis: {e}"),
+            CompileError::Schedule(e) => write!(f, "scheduling: {e}"),
+            CompileError::RegAlloc(e) => write!(f, "register allocation: {e}"),
+            CompileError::Encode(e) => write!(f, "encoding: {e}"),
+            CompileError::ProgramTooLong { needed, available } => write!(
+                f,
+                "program needs {needed} instructions, controller stores {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The compiler: a configured pipeline for one core.
+///
+/// Non-consuming builder — set options, then call [`Compiler::compile`]
+/// repeatedly (the design-iteration loop of figure 1).
+#[derive(Debug, Clone)]
+pub struct Compiler<'c> {
+    core: &'c Core,
+    budget: Option<u32>,
+    priority: Priority,
+    cse_constants: bool,
+    exact: bool,
+    exact_max_nodes: u64,
+    restarts: u32,
+    compaction: bool,
+}
+
+impl<'c> Compiler<'c> {
+    /// A compiler for `core` with default options: no explicit budget
+    /// (the controller's program depth still caps the schedule), slack
+    /// priority, constant CSE off (each offset is refetched, the
+    /// behaviour of the paper's constant units), list scheduling.
+    pub fn new(core: &'c Core) -> Self {
+        Compiler {
+            core,
+            budget: None,
+            priority: Priority::Slack,
+            cse_constants: false,
+            exact: false,
+            exact_max_nodes: 2_000_000,
+            restarts: 6,
+            compaction: true,
+        }
+    }
+
+    /// Sets the hard cycle budget (e.g. 64 for the audio core: 2.8 MHz /
+    /// 44 kHz).
+    pub fn budget(&mut self, cycles: u32) -> &mut Self {
+        self.budget = Some(cycles);
+        self
+    }
+
+    /// Sets the list-scheduling priority function.
+    pub fn priority(&mut self, priority: Priority) -> &mut Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Enables merging of identical constant fetches.
+    pub fn cse_constants(&mut self, on: bool) -> &mut Self {
+        self.cse_constants = on;
+        self
+    }
+
+    /// Uses the exact branch-and-bound scheduler (with execution-interval
+    /// pruning) instead of list scheduling. Requires a budget.
+    pub fn exact(&mut self, on: bool) -> &mut Self {
+        self.exact = on;
+        self
+    }
+
+    /// Restart count for the randomised scheduling search.
+    pub fn restarts(&mut self, n: u32) -> &mut Self {
+        self.restarts = n;
+        self
+    }
+
+    /// Disables justification compaction (single greedy pass only) — the
+    /// weak-scheduler baseline of experiment E10.
+    pub fn compaction(&mut self, on: bool) -> &mut Self {
+        self.compaction = on;
+        self
+    }
+
+    /// Runs the full pipeline on `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage failure as [`CompileError`] — the
+    /// designer-facing feasibility feedback.
+    pub fn compile(&self, source: &str) -> Result<Compiled, CompileError> {
+        let program = parse(source).map_err(CompileError::Parse)?;
+        let dfg = Dfg::build(&program).map_err(CompileError::Sema)?;
+        self.compile_dfg(&dfg)
+    }
+
+    /// As [`Compiler::compile`], from an already-built signal-flow graph.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`].
+    pub fn compile_dfg(&self, dfg: &Dfg) -> Result<Compiled, CompileError> {
+        let core = self.core;
+        // Step 1: RT generation.
+        let opts = LowerOptions {
+            cse_constants: self.cse_constants,
+        };
+        let mut lowering =
+            lower(dfg, &core.datapath, &opts).map_err(CompileError::Lower)?;
+        // Step 2: RT modification — impose the instruction set.
+        let mut artificial_names = Vec::new();
+        let classification = match (&core.classification, &core.instruction_set) {
+            (Some(c), Some(iset)) => {
+                let ars = artificial_resources(iset, c, core.cover);
+                artificial_names = apply_instruction_set(&mut lowering.program, c, &ars);
+                Some(c.clone())
+            }
+            (None, Some(iset)) => {
+                let c = Classification::identify(&core.datapath);
+                let ars = artificial_resources(iset, &c, core.cover);
+                artificial_names = apply_instruction_set(&mut lowering.program, &c, &ars);
+                Some(c)
+            }
+            _ => core.classification.clone(),
+        };
+        // Step 3: scheduling.
+        let deps =
+            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
+                .map_err(|e| CompileError::Deps(e.to_string()))?;
+        let hard_cap = core.controller.program_depth();
+        let budget = self.budget.map(|b| b.min(hard_cap)).unwrap_or(hard_cap);
+        let schedule = if self.exact {
+            let mut config = ExactConfig::new(budget);
+            config.max_nodes = self.exact_max_nodes;
+            let result = exact_schedule(&lowering.program, &deps, &config);
+            match result.schedule {
+                Some(s) => s,
+                None => {
+                    return Err(CompileError::Schedule(
+                        dspcc_sched::SchedError::BudgetExceeded {
+                            budget,
+                            unplaced: lowering.program.rt_count(),
+                        },
+                    ))
+                }
+            }
+        } else if self.compaction {
+            schedule_and_compact(&lowering.program, &deps, Some(budget), self.restarts)
+                .map_err(CompileError::Schedule)?
+        } else {
+            let config = ListConfig {
+                budget: Some(budget),
+                priority: self.priority,
+                jitter_seed: 0,
+            };
+            list_schedule(&lowering.program, &deps, &config)
+                .map_err(CompileError::Schedule)?
+        };
+        if schedule.length() > hard_cap {
+            return Err(CompileError::ProgramTooLong {
+                needed: schedule.length(),
+                available: hard_cap,
+            });
+        }
+        // Register allocation + encoding.
+        let pinned = vec![lowering.fp_reg.clone()];
+        let assignment =
+            allocate_registers(&lowering.program, &schedule, &core.datapath, &pinned)
+                .map_err(CompileError::RegAlloc)?;
+        let layout = FieldLayout::derive(&core.datapath, core.format);
+        let words = encode(
+            &assignment.program,
+            &schedule,
+            &layout,
+            &lowering.immediates,
+            core.format,
+        )
+        .map_err(CompileError::Encode)?;
+        let microcode = Microcode {
+            words,
+            layout,
+            rom_image: lowering
+                .rom_image
+                .iter()
+                .map(|&v| core.format.from_f64(v))
+                .collect(),
+            region_size: lowering.ram_layout.region_size,
+            output_order: lowering.output_order.clone(),
+            input_order: lowering.input_order.clone(),
+            word_format: core.format,
+        };
+        Ok(Compiled {
+            core: core.clone(),
+            dfg: dfg.clone(),
+            lowering,
+            deps,
+            schedule,
+            assignment,
+            microcode,
+            artificial_names,
+            classification,
+        })
+    }
+}
+
+/// Everything the pipeline produced, kept around for inspection,
+/// reporting, and simulation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The core compiled for.
+    pub core: Core,
+    /// The application's signal-flow graph.
+    pub dfg: Dfg,
+    /// RT generation output (program already ISA-modified).
+    pub lowering: Lowering,
+    /// Dependence graph used for scheduling.
+    pub deps: DependenceGraph,
+    /// The schedule (one instruction per cycle).
+    pub schedule: Schedule,
+    /// Physical register assignment.
+    pub assignment: RegAssignment,
+    /// Executable microcode.
+    pub microcode: Microcode,
+    /// Names of the artificial resources installed (empty without an ISA).
+    pub artificial_names: Vec<String>,
+    /// The classification used, if any.
+    pub classification: Option<Classification>,
+}
+
+impl Compiled {
+    /// Cycle count of the time-loop.
+    pub fn cycles(&self) -> u32 {
+        self.schedule.length()
+    }
+
+    /// Loop edges in the scheduler's type, for folding experiments.
+    pub fn loop_edges(&self) -> Vec<LoopEdge> {
+        self.lowering
+            .loop_edges
+            .iter()
+            .map(|&(from, to, distance)| LoopEdge { from, to, distance })
+            .collect()
+    }
+
+    /// The figure-9 occupation report for the audio-core resource rows.
+    pub fn occupation(&self, rows: &[(&str, &str)]) -> OccupationReport {
+        OccupationReport::compute(&self.lowering.program, &self.schedule, rows)
+    }
+
+    /// Folds the time-loop by modulo scheduling (the paper's future work):
+    /// returns the folded schedule with the smallest initiation interval
+    /// found, overlapping at most `max_stages` iterations.
+    ///
+    /// Folded schedules are a *scheduling-level* result (like the paper's
+    /// own figures); the executable microcode remains the flat schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dspcc_sched::folding::FoldError`] if no initiation
+    /// interval up to the flat length admits a modulo schedule.
+    pub fn fold(&self, max_stages: u32, restarts: u32) -> Result<FoldedSchedule, FoldError> {
+        let edges = self.loop_edges();
+        fold_schedule_with_restarts(
+            &self.lowering.program,
+            &self.deps,
+            &edges,
+            self.schedule.length().max(1),
+            restarts,
+            max_stages,
+        )
+    }
+
+    /// The occupation report of a folded kernel: activity per phase
+    /// (cycle mod II).
+    pub fn folded_occupation(
+        &self,
+        folded: &FoldedSchedule,
+        rows: &[(&str, &str)],
+    ) -> OccupationReport {
+        let mut kernel = dspcc_sched::Schedule::new();
+        for id in self.lowering.program.rt_ids() {
+            kernel.place(id, folded.phase(id));
+        }
+        OccupationReport::compute(&self.lowering.program, &kernel, rows)
+    }
+
+    /// A cycle-accurate simulator loaded with the generated microcode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dspcc_sim::SimError`] from construction.
+    pub fn simulator(&self) -> Result<CoreSim, dspcc_sim::SimError> {
+        CoreSim::new(&self.core.datapath, &self.microcode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cores;
+    use dspcc_dfg::Interpreter;
+
+    #[test]
+    fn tiny_core_end_to_end() {
+        let core = cores::tiny_core();
+        let compiled = Compiler::new(&core)
+            .compile("input u; coeff k = 0.5; output y; y = add_clip(mlt(k, u), u);")
+            .unwrap();
+        assert!(compiled.cycles() > 0);
+        let mut sim = compiled.simulator().unwrap();
+        let mut interp = Interpreter::new(&compiled.dfg, core.format);
+        for x in [0i64, 1000, -2000, 32767, -32768] {
+            assert_eq!(sim.step_frame(&[x]).unwrap(), interp.step(&[x]));
+        }
+    }
+
+    #[test]
+    fn budget_violation_reports_schedule_error() {
+        let core = cores::tiny_core();
+        let err = Compiler::new(&core)
+            .budget(2)
+            .compile("input u; output y; y = pass(u);")
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Schedule(_)), "{err}");
+    }
+
+    #[test]
+    fn parse_and_sema_errors_wrapped() {
+        let core = cores::tiny_core();
+        let err = Compiler::new(&core).compile("input u; y :=").unwrap_err();
+        assert!(matches!(err, CompileError::Parse(_)));
+        let err = Compiler::new(&core)
+            .compile("input u; output y; y = frob(u);")
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Sema(_)));
+        assert!(err.to_string().contains("frob"));
+    }
+
+    #[test]
+    fn lower_error_wrapped() {
+        // tiny_core has no RAM: taps are impossible.
+        let core = cores::tiny_core();
+        let err = Compiler::new(&core)
+            .compile("input u; output y; y = pass(u@1);")
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Lower(_)));
+    }
+
+    #[test]
+    fn audio_core_applies_abc_resource() {
+        let core = cores::audio_core();
+        let compiled = Compiler::new(&core)
+            .compile("input u; output y; y = pass(u);")
+            .unwrap();
+        assert_eq!(compiled.artificial_names, vec!["ABC".to_owned()]);
+        // The input read and the output write both carry ABC.
+        let carrying = compiled
+            .lowering
+            .program
+            .rts()
+            .filter(|(_, rt)| rt.usage_of("ABC").is_some())
+            .count();
+        assert_eq!(carrying, 2);
+    }
+
+    #[test]
+    fn exact_scheduler_matches_list_feasibility() {
+        let core = cores::tiny_core();
+        let src = "input u; coeff k = 0.25; output y; y = add(mlt(k, u), u);";
+        let list = Compiler::new(&core).compile(src).unwrap();
+        let exact = Compiler::new(&core)
+            .budget(list.cycles())
+            .exact(true)
+            .compile(src)
+            .unwrap();
+        assert!(exact.cycles() <= list.cycles());
+        let mut sim = exact.simulator().unwrap();
+        let mut interp = Interpreter::new(&exact.dfg, core.format);
+        for x in [500i64, -500] {
+            assert_eq!(sim.step_frame(&[x]).unwrap(), interp.step(&[x]));
+        }
+    }
+
+    #[test]
+    fn audio_core_runs_delay_lines() {
+        let core = cores::audio_core();
+        let compiled = Compiler::new(&core)
+            .budget(64)
+            .compile("input u; output y; y = pass(u@2);")
+            .unwrap();
+        assert!(compiled.cycles() <= 64);
+        let mut sim = compiled.simulator().unwrap();
+        let mut interp = Interpreter::new(&compiled.dfg, core.format);
+        for x in 0..8i64 {
+            assert_eq!(
+                sim.step_frame(&[x * 111]).unwrap(),
+                interp.step(&[x * 111]),
+                "frame {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupation_report_accessible() {
+        let core = cores::audio_core();
+        let compiled = Compiler::new(&core)
+            .compile("input u; coeff k = 0.5; output y; y = pass_clip(mlt(k, u@1));")
+            .unwrap();
+        let report = compiled.occupation(&[("MULT", "mult"), ("RAM", "ram")]);
+        assert!(report.row("MULT").unwrap().busy_cycles() >= 1);
+        assert!(report.row("RAM").unwrap().busy_cycles() >= 2);
+    }
+}

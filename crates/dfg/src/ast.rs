@@ -1,0 +1,127 @@
+//! Abstract syntax of the application source language.
+//!
+//! A program is a list of declarations followed by the statements of the
+//! time-loop body. The grammar (EBNF):
+//!
+//! ```text
+//! program   ::= { decl } { stmt }
+//! decl      ::= ("input" | "output" | "signal") ident ";"
+//!             | ("coeff" | "const") ident "=" number ";"
+//! stmt      ::= ident ":=" expr ";"        (local assignment)
+//!             | ident "=" expr ";"         (signal or output update)
+//! expr      ::= ident
+//!             | ident "@" integer          (frame-delay tap)
+//!             | number                     (program constant literal)
+//!             | ident "(" expr {"," expr} ")"   (operation)
+//! ```
+//!
+//! Comments are `/* … */`. The operation names are those of the paper:
+//! `mlt`, `add`, `add_clip`, `sub`, `pass`, `pass_clip`.
+
+/// A parsed program: declarations plus the time-loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProgram {
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+    /// Time-loop statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `input u;` — a sample stream read from an input port each frame.
+    Input(String),
+    /// `output y;` — a sample stream written to an output port each frame.
+    Output(String),
+    /// `signal v;` — a persistent signal whose delayed values (`v@k`) are
+    /// available; backed by a RAM delay line.
+    Signal(String),
+    /// `coeff d1 = 0.245;` — a constant placed in the coefficient ROM.
+    Coeff(String, f64),
+    /// `const half = 0.5;` — a constant delivered by the program-constant
+    /// unit (an immediate in the instruction word).
+    Const(String, f64),
+}
+
+impl Decl {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        match self {
+            Decl::Input(n)
+            | Decl::Output(n)
+            | Decl::Signal(n)
+            | Decl::Coeff(n, _)
+            | Decl::Const(n, _) => n,
+        }
+    }
+}
+
+/// A time-loop statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Assigned name.
+    pub target: String,
+    /// `:=` (local) or `=` (signal/output update).
+    pub kind: AssignKind,
+    /// Right-hand side.
+    pub expr: Expr,
+    /// 1-based source line, for diagnostics.
+    pub line: u32,
+}
+
+/// The two assignment forms of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignKind {
+    /// `x := e;` — (re)binds a local name for the rest of the frame.
+    Local,
+    /// `v = e;` — updates a declared signal or output once per frame.
+    Update,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A reference to a local, signal (current frame), input (current
+    /// sample), coefficient or constant.
+    Ref(String),
+    /// `name@k`: the value of a signal or input `k` frames ago (`k ≥ 1`).
+    Tap(String, u32),
+    /// A literal number, materialised as a program constant.
+    Number(f64),
+    /// An operation application, e.g. `mlt(d2, x0)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a call.
+    pub fn call(op: &str, args: Vec<Expr>) -> Self {
+        Expr::Call(op.to_owned(), args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decl_name_accessor() {
+        assert_eq!(Decl::Input("u".into()).name(), "u");
+        assert_eq!(Decl::Coeff("d1".into(), 0.5).name(), "d1");
+        assert_eq!(Decl::Signal("v".into()).name(), "v");
+        assert_eq!(Decl::Const("c".into(), 1.0).name(), "c");
+        assert_eq!(Decl::Output("y".into()).name(), "y");
+    }
+
+    #[test]
+    fn expr_call_constructor() {
+        let e = Expr::call("mlt", vec![Expr::Ref("a".into()), Expr::Ref("b".into())]);
+        match e {
+            Expr::Call(op, args) => {
+                assert_eq!(op, "mlt");
+                assert_eq!(args.len(), 2);
+            }
+            _ => panic!("expected call"),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-written lexer for the application source language.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds of the source language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `:=`
+    Assign,
+    /// `=`
+    Equals,
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Assign => write!(f, "`:=`"),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::At => write!(f, "`@`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+        }
+    }
+}
+
+/// Lexical error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `src`.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated comments, malformed numbers, or
+/// unexpected characters.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated comment".to_owned(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            ':' if bytes.get(i + 1) == Some(&'=') => {
+                tokens.push(Token {
+                    kind: TokenKind::Assign,
+                    line,
+                });
+                i += 2;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
+                i += 1;
+            }
+            '@' => {
+                tokens.push(Token {
+                    kind: TokenKind::At,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '-' || bytes[i] == '+')
+                            && matches!(bytes[i - 1], 'e' | 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("malformed number `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_statement() {
+        let ks = kinds("m := mlt(d2, x0);");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("m".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("mlt".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("d2".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("x0".into()),
+                TokenKind::RParen,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_tap_and_update() {
+        let ks = kinds("x0 := u@2; v = rd;");
+        assert!(ks.contains(&TokenKind::At));
+        assert!(ks.contains(&TokenKind::Equals));
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Semicolon).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = tokenize("/* one\ntwo */\nx := 1;").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn numbers_parse() {
+        assert_eq!(kinds("0.245"), vec![TokenKind::Number(0.245)]);
+        assert_eq!(kinds("-0.5"), vec![TokenKind::Number(-0.5)]);
+        assert_eq!(kinds("2"), vec![TokenKind::Number(2.0)]);
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number(1e-3)]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let err = tokenize("x := 1; /* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        let err = tokenize("x := 1 # 2;").unwrap_err();
+        assert!(err.message.contains('#'));
+        assert!(err.to_string().starts_with("line 1:"));
+    }
+
+    #[test]
+    fn malformed_number_is_error() {
+        let err = tokenize("x := 1.2.3;").unwrap_err();
+        assert!(err.message.contains("malformed number"));
+    }
+
+    #[test]
+    fn identifiers_with_underscores() {
+        assert_eq!(
+            kinds("add_clip"),
+            vec![TokenKind::Ident("add_clip".into())]
+        );
+    }
+}

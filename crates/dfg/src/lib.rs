@@ -1,0 +1,65 @@
+//! Application source language and signal-flow graph for `dspcc`.
+//!
+//! The paper programs its cores in a small sequential DSP language
+//! (section 7 shows the treble section of the audio application):
+//!
+//! ```text
+//! /* Treble section */
+//! x0 := u@2;            /* U delayed over 2 frames */
+//! m  := mlt(d2, x0);
+//! a  := pass(m);
+//! x2 := v@1;
+//! m  := mlt(e1, x2);
+//! a  := add(m, a);
+//! x1 := u@1;
+//! m  := mlt(d1, x1);
+//! rd := add_clip(m, a);
+//! v  = rd;
+//! ```
+//!
+//! This crate implements that language end to end:
+//!
+//! * [`parse`] — lexer + parser producing an AST ([`ast`]);
+//! * [`Dfg`] — semantic analysis into a *signal-flow graph*: one node per
+//!   operation, frame-delay taps (`u@2`) reading signal history, signal
+//!   writes (`v = rd`) updating it;
+//! * [`Interpreter`] — the bit-exact reference executor of the time-loop,
+//!   used as the golden model against the cycle-accurate simulator.
+//!
+//! The body of the program **is** the time-loop: it executes once per
+//! sample frame, the repetitive part of the DSP application that the
+//! controller's hardware loop implements.
+//!
+//! # Example
+//!
+//! ```
+//! use dspcc_dfg::{parse, Dfg, Interpreter};
+//! use dspcc_num::WordFormat;
+//!
+//! let src = "
+//!     input u; output y; signal s;
+//!     coeff k = 0.5;
+//!     s = add(mlt(k, u), s@1);   /* leaky accumulator */
+//!     y = pass_clip(s);
+//! ";
+//! let program = parse(src)?;
+//! let dfg = Dfg::build(&program)?;
+//! let mut interp = Interpreter::new(&dfg, WordFormat::q15());
+//! let q15 = WordFormat::q15();
+//! let out = interp.step(&[q15.from_f64(0.5)]);
+//! assert_eq!(out.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+mod graph;
+mod interp;
+mod lexer;
+mod parser;
+mod sema;
+
+pub use graph::{Dfg, DfgNode, DfgOp, NodeId, SignalInfo};
+pub use interp::Interpreter;
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::{parse, ParseError};
+pub use sema::SemaError;

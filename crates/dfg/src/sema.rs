@@ -1,0 +1,465 @@
+//! Semantic analysis: AST → signal-flow graph.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{AssignKind, Decl, Expr, SourceProgram, Stmt};
+use crate::graph::{Dfg, DfgNode, DfgOp, NodeId, SignalInfo};
+
+/// Semantic error with the offending source line where known.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// 1-based line, 0 if not statement-specific.
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symbol {
+    Input { port: usize, signal: usize },
+    Output { port: usize },
+    Signal { signal: usize },
+    Coeff { index: usize },
+    Const { index: usize },
+}
+
+struct Builder<'a> {
+    program: &'a SourceProgram,
+    dfg: Dfg,
+    symbols: BTreeMap<String, Symbol>,
+    const_values: Vec<f64>,
+    locals: BTreeMap<String, NodeId>,
+    signal_current: Vec<Option<NodeId>>,
+    output_assigned: Vec<bool>,
+    input_nodes: Vec<Option<NodeId>>,
+}
+
+impl Dfg {
+    /// Builds the signal-flow graph from a parsed program, performing all
+    /// semantic checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemaError`] on: duplicate declarations; assignment to
+    /// inputs/coefficients; local assignment to declared names; double
+    /// update of a signal or output; use of undeclared names; use of a
+    /// signal's current value before its update; taps of non-signals;
+    /// unknown operations or wrong arity; outputs never assigned; signals
+    /// tapped but never updated.
+    pub fn build(program: &SourceProgram) -> Result<Dfg, SemaError> {
+        let mut b = Builder {
+            program,
+            dfg: Dfg::default(),
+            symbols: BTreeMap::new(),
+            const_values: Vec::new(),
+            locals: BTreeMap::new(),
+            signal_current: Vec::new(),
+            output_assigned: Vec::new(),
+            input_nodes: Vec::new(),
+        };
+        b.declare()?;
+        for stmt in &program.stmts {
+            b.statement(stmt)?;
+        }
+        b.finish()
+    }
+}
+
+impl Builder<'_> {
+    fn err(&self, line: u32, message: String) -> SemaError {
+        SemaError { line, message }
+    }
+
+    fn declare(&mut self) -> Result<(), SemaError> {
+        for decl in &self.program.decls {
+            let name = decl.name().to_owned();
+            if self.symbols.contains_key(&name) {
+                return Err(self.err(0, format!("`{name}` declared twice")));
+            }
+            let sym = match decl {
+                Decl::Input(_) => {
+                    let port = self.dfg.input_ports.len();
+                    self.dfg.input_ports.push(name.clone());
+                    self.input_nodes.push(None);
+                    let signal = self.dfg.signals.len();
+                    self.dfg.signals.push(SignalInfo {
+                        name: name.clone(),
+                        max_tap_depth: 0,
+                        is_input: true,
+                    });
+                    Symbol::Input { port, signal }
+                }
+                Decl::Output(_) => {
+                    let port = self.dfg.output_ports.len();
+                    self.dfg.output_ports.push(name.clone());
+                    self.output_assigned.push(false);
+                    Symbol::Output { port }
+                }
+                Decl::Signal(_) => {
+                    let signal = self.dfg.signals.len();
+                    self.dfg.signals.push(SignalInfo {
+                        name: name.clone(),
+                        max_tap_depth: 0,
+                        is_input: false,
+                    });
+                    self.signal_current.push(None);
+                    Symbol::Signal { signal }
+                }
+                Decl::Coeff(_, v) => {
+                    let index = self.dfg.coeffs.len();
+                    self.dfg.coeffs.push((name.clone(), *v));
+                    Symbol::Coeff { index }
+                }
+                Decl::Const(_, v) => {
+                    let index = self.const_values.len();
+                    self.const_values.push(*v);
+                    Symbol::Const { index }
+                }
+            };
+            self.symbols.insert(name, sym);
+        }
+        // signal_current is indexed by signal id; inputs occupy slots too.
+        self.signal_current = vec![None; self.dfg.signals.len()];
+        Ok(())
+    }
+
+    fn add_node(&mut self, op: DfgOp, inputs: Vec<NodeId>, name: &str) -> NodeId {
+        debug_assert_eq!(op.arity(), inputs.len());
+        self.dfg.nodes.push(DfgNode {
+            op,
+            inputs,
+            name: name.to_owned(),
+        });
+        NodeId((self.dfg.nodes.len() - 1) as u32)
+    }
+
+    fn statement(&mut self, stmt: &Stmt) -> Result<(), SemaError> {
+        let value = self.expr(&stmt.expr, stmt.line, &stmt.target)?;
+        match stmt.kind {
+            AssignKind::Local => {
+                if self.symbols.contains_key(&stmt.target) {
+                    return Err(self.err(
+                        stmt.line,
+                        format!(
+                            "`{}` is declared; use `=` to update it, `:=` is for locals",
+                            stmt.target
+                        ),
+                    ));
+                }
+                self.locals.insert(stmt.target.clone(), value);
+            }
+            AssignKind::Update => match self.symbols.get(&stmt.target) {
+                Some(&Symbol::Signal { signal }) => {
+                    if self.signal_current[signal].is_some() {
+                        return Err(self.err(
+                            stmt.line,
+                            format!("signal `{}` updated twice in one frame", stmt.target),
+                        ));
+                    }
+                    let write =
+                        self.add_node(DfgOp::SignalWrite { signal }, vec![value], &stmt.target);
+                    let _ = write;
+                    self.signal_current[signal] = Some(value);
+                }
+                Some(&Symbol::Output { port }) => {
+                    if self.output_assigned[port] {
+                        return Err(self.err(
+                            stmt.line,
+                            format!("output `{}` written twice in one frame", stmt.target),
+                        ));
+                    }
+                    self.add_node(DfgOp::Output { port }, vec![value], &stmt.target);
+                    self.output_assigned[port] = true;
+                }
+                Some(_) => {
+                    return Err(self.err(
+                        stmt.line,
+                        format!("`{}` is not a signal or output", stmt.target),
+                    ))
+                }
+                None => {
+                    return Err(self.err(
+                        stmt.line,
+                        format!(
+                            "`{}` is not declared; `=` updates a declared signal or output",
+                            stmt.target
+                        ),
+                    ))
+                }
+            },
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, expr: &Expr, line: u32, ctx: &str) -> Result<NodeId, SemaError> {
+        match expr {
+            Expr::Number(v) => Ok(self.add_node(DfgOp::ProgConst { value: *v }, vec![], ctx)),
+            Expr::Ref(name) => {
+                if let Some(&node) = self.locals.get(name) {
+                    return Ok(node);
+                }
+                match self.symbols.get(name).copied() {
+                    Some(Symbol::Input { port, .. }) => {
+                        // One Input node per port per frame: sampling twice
+                        // reads the same value.
+                        if let Some(n) = self.input_nodes[port] {
+                            Ok(n)
+                        } else {
+                            let n = self.add_node(DfgOp::Input { port }, vec![], name);
+                            self.input_nodes[port] = Some(n);
+                            Ok(n)
+                        }
+                    }
+                    Some(Symbol::Signal { signal }) => {
+                        self.signal_current[signal].ok_or_else(|| {
+                            self.err(
+                                line,
+                                format!(
+                                    "signal `{name}` referenced before its update this frame; \
+                                     use `{name}@1` for the previous frame"
+                                ),
+                            )
+                        })
+                    }
+                    Some(Symbol::Coeff { index }) => {
+                        Ok(self.add_node(DfgOp::Coeff { index }, vec![], name))
+                    }
+                    Some(Symbol::Const { index }) => {
+                        let value = self.const_values[index];
+                        Ok(self.add_node(DfgOp::ProgConst { value }, vec![], name))
+                    }
+                    Some(Symbol::Output { .. }) => {
+                        Err(self.err(line, format!("output `{name}` cannot be read")))
+                    }
+                    None => Err(self.err(line, format!("`{name}` is not declared"))),
+                }
+            }
+            Expr::Tap(name, depth) => match self.symbols.get(name).copied() {
+                Some(Symbol::Input { signal, .. }) | Some(Symbol::Signal { signal }) => {
+                    let info = &mut self.dfg.signals[signal];
+                    info.max_tap_depth = info.max_tap_depth.max(*depth);
+                    Ok(self.add_node(
+                        DfgOp::Tap {
+                            signal,
+                            depth: *depth,
+                        },
+                        vec![],
+                        &format!("{name}@{depth}"),
+                    ))
+                }
+                Some(_) => Err(self.err(
+                    line,
+                    format!("`{name}` has no history; only inputs and signals can be tapped"),
+                )),
+                None => Err(self.err(line, format!("`{name}` is not declared"))),
+            },
+            Expr::Call(op, args) => {
+                let dfg_op = match op.as_str() {
+                    "mlt" => DfgOp::Mlt,
+                    "add" => DfgOp::Add,
+                    "add_clip" => DfgOp::AddClip,
+                    "sub" => DfgOp::Sub,
+                    "pass" => DfgOp::Pass,
+                    "pass_clip" => DfgOp::PassClip,
+                    other => {
+                        return Err(self.err(line, format!("unknown operation `{other}`")))
+                    }
+                };
+                if args.len() != dfg_op.arity() {
+                    return Err(self.err(
+                        line,
+                        format!(
+                            "`{op}` takes {} argument(s), got {}",
+                            dfg_op.arity(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let inputs: Result<Vec<NodeId>, SemaError> =
+                    args.iter().map(|a| self.expr(a, line, ctx)).collect();
+                Ok(self.add_node(dfg_op, inputs?, ctx))
+            }
+        }
+    }
+
+    fn finish(self) -> Result<Dfg, SemaError> {
+        for (port, assigned) in self.output_assigned.iter().enumerate() {
+            if !assigned {
+                return Err(SemaError {
+                    line: 0,
+                    message: format!(
+                        "output `{}` is never written",
+                        self.dfg.output_ports[port]
+                    ),
+                });
+            }
+        }
+        for (i, info) in self.dfg.signals.iter().enumerate() {
+            if !info.is_input && info.max_tap_depth > 0 && self.signal_current[i].is_none() {
+                return Err(SemaError {
+                    line: 0,
+                    message: format!("signal `{}` is tapped but never updated", info.name),
+                });
+            }
+        }
+        Ok(self.dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn build(src: &str) -> Result<Dfg, SemaError> {
+        Dfg::build(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn builds_simple_program() {
+        let dfg = build("input u; output y; y = pass(u);").unwrap();
+        assert_eq!(dfg.input_ports(), &["u".to_string()]);
+        assert_eq!(dfg.output_ports(), &["y".to_string()]);
+        assert_eq!(dfg.nodes().len(), 3); // input, pass, output
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let err = build("input u; signal u; output y; y = u;").unwrap_err();
+        assert!(err.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn local_assign_to_declared_rejected() {
+        let err = build("input u; signal v; output y; v := u; y = u;").unwrap_err();
+        assert!(err.message.contains("use `=`"));
+    }
+
+    #[test]
+    fn update_of_undeclared_rejected() {
+        let err = build("input u; output y; w = u; y = u;").unwrap_err();
+        assert!(err.message.contains("not declared"));
+    }
+
+    #[test]
+    fn update_of_input_rejected() {
+        let err = build("input u; output y; u = u; y = u;").unwrap_err();
+        assert!(err.message.contains("not a signal or output"));
+    }
+
+    #[test]
+    fn double_signal_update_rejected() {
+        let err =
+            build("input u; signal v; output y; v = u; v = u; y = v@1;").unwrap_err();
+        assert!(err.message.contains("updated twice"));
+    }
+
+    #[test]
+    fn double_output_write_rejected() {
+        let err = build("input u; output y; y = u; y = u;").unwrap_err();
+        assert!(err.message.contains("written twice"));
+    }
+
+    #[test]
+    fn signal_read_before_update_rejected() {
+        let err = build("input u; signal v; output y; y = v; v = u;").unwrap_err();
+        assert!(err.message.contains("before its update"));
+        assert!(err.message.contains("v@1"));
+    }
+
+    #[test]
+    fn signal_read_after_update_ok() {
+        let dfg = build("input u; signal v; output y; v = pass(u); y = v;").unwrap();
+        // `y = v` reuses the pass node, no extra compute node.
+        assert_eq!(
+            dfg.count_ops(|o| matches!(o, DfgOp::Pass)),
+            1
+        );
+    }
+
+    #[test]
+    fn tap_of_coeff_rejected() {
+        let err = build("input u; coeff c = 0.5; output y; y = c@1;").unwrap_err();
+        assert!(err.message.contains("no history"));
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let err = build("input u; output y; y = frobnicate(u);").unwrap_err();
+        assert!(err.message.contains("unknown operation"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let err = build("input u; output y; y = mlt(u);").unwrap_err();
+        assert!(err.message.contains("takes 2 argument(s)"));
+        let err = build("input u; output y; y = pass(u, u);").unwrap_err();
+        assert!(err.message.contains("takes 1 argument(s)"));
+    }
+
+    #[test]
+    fn unwritten_output_rejected() {
+        let err = build("input u; output y; output z; y = u;").unwrap_err();
+        assert!(err.message.contains("`z` is never written"));
+    }
+
+    #[test]
+    fn tapped_but_never_updated_signal_rejected() {
+        let err = build("input u; signal v; output y; y = v@1;").unwrap_err();
+        assert!(err.message.contains("never updated"));
+    }
+
+    #[test]
+    fn reading_output_rejected() {
+        let err = build("input u; output y; output z; y = u; z = y;").unwrap_err();
+        assert!(err.message.contains("cannot be read"));
+    }
+
+    #[test]
+    fn input_sampled_once_per_frame() {
+        let dfg = build("input u; output y; y = add(u, u);").unwrap();
+        assert_eq!(dfg.count_ops(|o| matches!(o, DfgOp::Input { .. })), 1);
+    }
+
+    #[test]
+    fn const_becomes_prog_const() {
+        let dfg = build("input u; const half = 0.5; output y; y = mlt(half, u);").unwrap();
+        assert_eq!(
+            dfg.count_ops(|o| matches!(o, DfgOp::ProgConst { value } if *value == 0.5)),
+            1
+        );
+        assert_eq!(dfg.coeffs().len(), 0);
+    }
+
+    #[test]
+    fn locals_rebind() {
+        // `m` is rebound, like the paper's treble section.
+        let dfg = build(
+            "input u; coeff a = 0.1; coeff b = 0.2; output y;
+             m := mlt(a, u); n := pass(m); m := mlt(b, u); y = add(n, m);",
+        )
+        .unwrap();
+        assert_eq!(dfg.count_ops(|o| matches!(o, DfgOp::Mlt)), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SemaError { line: 3, message: "boom".into() };
+        assert_eq!(e.to_string(), "line 3: boom");
+        let e = SemaError { line: 0, message: "boom".into() };
+        assert_eq!(e.to_string(), "boom");
+    }
+}

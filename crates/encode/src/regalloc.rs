@@ -1,0 +1,405 @@
+//! Post-schedule register allocation.
+//!
+//! RT generation uses one virtual register per value (indices ≥
+//! [`dspcc_rtgen::VIRTUAL_BASE`]); after scheduling, the live range of
+//! each `(value, register file)` pair is known exactly — from the cycle
+//! the value lands in the file until its last read from that file — and a
+//! linear scan maps it to a physical register. A register may be re-read
+//! and re-written in the same cycle (register files read before write,
+//! figure 2's buffered paths), so ranges touching end-to-start may share.
+//!
+//! Running out of registers is a *feasibility* failure reported back to
+//! the designer, exactly like a missed cycle budget (paper section 4:
+//! "If this does not result in a feasible solution an iteration cycle is
+//! required in which the source must be improved").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dspcc_arch::Datapath;
+use dspcc_ir::{Program, RegRef, RtId};
+use dspcc_rtgen::VIRTUAL_BASE;
+use dspcc_sched::Schedule;
+
+/// The physical register assignment: `(rf, virtual index) → physical
+/// index`, plus the rewritten program.
+#[derive(Debug, Clone)]
+pub struct RegAssignment {
+    /// Program with all register references physical.
+    pub program: Program,
+    /// Mapping used, for reports: `(rf, virtual) → physical`.
+    pub mapping: BTreeMap<(String, u32), u32>,
+    /// Peak register usage per file, for the feasibility report.
+    pub peak_usage: BTreeMap<String, u32>,
+}
+
+/// Register-allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegAllocError {
+    /// A register file cannot hold its simultaneously-live values.
+    Pressure {
+        /// The register file.
+        rf: String,
+        /// Registers needed at the worst cycle.
+        needed: u32,
+        /// Registers available (after pinned ones).
+        available: u32,
+    },
+    /// A virtual register is read but never written in its file.
+    NeverWritten {
+        /// The register file.
+        rf: String,
+        /// The virtual index.
+        virtual_index: u32,
+    },
+}
+
+impl fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegAllocError::Pressure {
+                rf,
+                needed,
+                available,
+            } => write!(
+                f,
+                "register file `{rf}` needs {needed} registers, has {available}; \
+                 rewrite the source or enlarge the file"
+            ),
+            RegAllocError::NeverWritten { rf, virtual_index } => write!(
+                f,
+                "virtual register {virtual_index} of `{rf}` is read but never written"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// Allocates physical registers for a scheduled program.
+///
+/// `pinned` registers (e.g. the frame pointer) are never handed out.
+///
+/// # Errors
+///
+/// Returns [`RegAllocError`] on capacity overflow or dangling reads.
+pub fn allocate_registers(
+    program: &Program,
+    schedule: &Schedule,
+    dp: &Datapath,
+    pinned: &[(String, u32)],
+) -> Result<RegAssignment, RegAllocError> {
+    let issue = schedule.issue_cycles(program.rt_count());
+    // Live ranges per (rf, virtual index): (write_cycle, last_read_cycle).
+    let mut ranges: BTreeMap<(String, u32), (u32, u32)> = BTreeMap::new();
+    for (id, rt) in program.rts() {
+        let t = issue[id.0 as usize].expect("schedule covers all RTs");
+        let write_time = t + rt.latency();
+        for dest in rt.dests() {
+            if dest.index() < VIRTUAL_BASE {
+                continue; // pre-colored
+            }
+            let key = (dest.rf().name().to_owned(), dest.index());
+            let e = ranges.entry(key).or_insert((write_time, write_time));
+            e.0 = e.0.min(write_time);
+        }
+    }
+    for (id, rt) in program.rts() {
+        let t = issue[id.0 as usize].expect("schedule covers all RTs");
+        for opr in rt.operands() {
+            if opr.index() < VIRTUAL_BASE {
+                continue;
+            }
+            let key = (opr.rf().name().to_owned(), opr.index());
+            match ranges.get_mut(&key) {
+                Some(e) => e.1 = e.1.max(t),
+                None => {
+                    return Err(RegAllocError::NeverWritten {
+                        rf: key.0,
+                        virtual_index: key.1,
+                    })
+                }
+            }
+        }
+    }
+    // Group ranges per register file and linear-scan each.
+    let mut per_rf: BTreeMap<String, Vec<(u32, u32, u32)>> = BTreeMap::new();
+    for (&(ref rf, virt), &(w, r)) in &ranges {
+        per_rf
+            .entry(rf.clone())
+            .or_default()
+            .push((w, r, virt));
+    }
+    let mut mapping: BTreeMap<(String, u32), u32> = BTreeMap::new();
+    let mut peak_usage: BTreeMap<String, u32> = BTreeMap::new();
+    for (rf, mut items) in per_rf {
+        let size = dp
+            .register_file(&rf)
+            .map(|s| s.size())
+            .unwrap_or(u32::MAX);
+        let pinned_here: Vec<u32> = pinned
+            .iter()
+            .filter(|(p, _)| *p == rf)
+            .map(|&(_, i)| i)
+            .collect();
+        let pool: Vec<u32> = (0..size).filter(|i| !pinned_here.contains(i)).collect();
+        items.sort_by_key(|&(w, r, v)| (w, r, v));
+        // Active: (last_read, physical).
+        let mut active: Vec<(u32, u32)> = Vec::new();
+        let mut free: Vec<u32> = pool.clone();
+        free.reverse(); // pop from the low end
+        let mut peak = 0u32;
+        for (w, r, virt) in items {
+            // Expire ranges read strictly before this value becomes
+            // visible: a write landing at cycle `w` replaces the register
+            // content *for* cycle `w` (the commit happens at the end of
+            // `w − 1`), so a last read at `w` itself would see the new
+            // value.
+            active.retain(|&(last_read, phys)| {
+                if last_read < w {
+                    free.push(phys);
+                    false
+                } else {
+                    true
+                }
+            });
+            let phys = match free.pop() {
+                Some(p) => p,
+                None => {
+                    return Err(RegAllocError::Pressure {
+                        rf,
+                        needed: active.len() as u32 + 1 + pinned_here.len() as u32,
+                        available: size,
+                    })
+                }
+            };
+            active.push((r, phys));
+            peak = peak.max(active.len() as u32 + pinned_here.len() as u32);
+            mapping.insert((rf.clone(), virt), phys);
+        }
+        peak_usage.insert(rf, peak);
+    }
+    // Rewrite the program with physical indices.
+    let mut rewritten = program.clone();
+    for id in rewritten.rt_ids().collect::<Vec<RtId>>() {
+        let rt = rewritten.rt_mut(id);
+        // Rebuild dests/operands with mapped indices.
+        let remap = |reg: &RegRef| -> RegRef {
+            if reg.index() < VIRTUAL_BASE {
+                reg.clone()
+            } else {
+                let phys = mapping[&(reg.rf().name().to_owned(), reg.index())];
+                RegRef::new(reg.rf().name(), phys)
+            }
+        };
+        let mut fresh = dspcc_ir::Rt::new(rt.name());
+        fresh.set_latency(rt.latency());
+        for d in rt.dests() {
+            fresh.add_dest(remap(d));
+        }
+        for o in rt.operands() {
+            fresh.add_operand(remap(o));
+        }
+        for &d in rt.defs() {
+            fresh.add_def(d);
+        }
+        for &u in rt.uses() {
+            fresh.add_use(u);
+        }
+        for (res, usage) in rt.usages() {
+            fresh.add_usage(res.name(), usage.clone());
+        }
+        *rt = fresh;
+    }
+    Ok(RegAssignment {
+        program: rewritten,
+        mapping,
+        peak_usage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_arch::{DatapathBuilder, OpuKind};
+    use dspcc_ir::{Rt, Usage, ValueId};
+
+    fn small_dp(rf_size: u32) -> Datapath {
+        DatapathBuilder::new()
+            .register_file("rf_a", rf_size)
+            .register_file("rf_b", rf_size)
+            .opu(OpuKind::Alu, "alu", &[("add", 1), ("pass", 1)])
+            .inputs("alu", &["rf_a", "rf_b"])
+            .output("alu", "bus_alu")
+            .write_port("rf_a", &["bus_alu"])
+            .write_port("rf_b", &["bus_alu"])
+            .build()
+            .unwrap()
+    }
+
+    /// producer(v0) → consumer chain of `n` values through rf_a.
+    fn chain(n: u32) -> (Program, Schedule) {
+        let mut p = Program::new();
+        let mut s = Schedule::new();
+        let mut prev: Option<ValueId> = None;
+        for i in 0..n {
+            let v = p.add_value(&format!("v{i}"));
+            let mut rt = Rt::new(&format!("op{i}"));
+            rt.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
+            rt.add_def(v);
+            if let Some(pv) = prev {
+                rt.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + pv.0));
+                rt.add_use(pv);
+            }
+            rt.add_usage("alu", Usage::apply("pass", [format!("v{i}")]));
+            let id = p.add_rt(rt);
+            s.place(id, i);
+            prev = Some(v);
+        }
+        (p, s)
+    }
+
+    #[test]
+    fn chain_reuses_registers() {
+        let (p, s) = chain(6);
+        let dp = small_dp(2);
+        // Each value dies right as the next is written → 2 registers do.
+        let a = allocate_registers(&p, &s, &dp, &[]).unwrap();
+        assert!(a.peak_usage["rf_a"] <= 2, "{:?}", a.peak_usage);
+        // All references physical now.
+        for (_, rt) in a.program.rts() {
+            for r in rt.dests().iter().chain(rt.operands()) {
+                assert!(r.index() < VIRTUAL_BASE);
+                assert!(r.index() < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_lives_need_distinct_registers() {
+        // Two values written in cycles 0,1 both read at cycle 5.
+        let mut p = Program::new();
+        let mut s = Schedule::new();
+        let v0 = p.add_value("v0");
+        let v1 = p.add_value("v1");
+        for (i, v) in [v0, v1].into_iter().enumerate() {
+            let mut rt = Rt::new(&format!("w{i}"));
+            rt.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
+            rt.add_def(v);
+            rt.add_usage("alu", Usage::apply("pass", [format!("v{i}")]));
+            let id = p.add_rt(rt);
+            s.place(id, i as u32);
+        }
+        let mut reader = Rt::new("r");
+        reader.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + v0.0));
+        reader.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + v1.0));
+        reader.add_use(v0);
+        reader.add_use(v1);
+        // v1 also lands in rf_a to force two live registers there.
+        let mut w2 = Rt::new("w2");
+        w2.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + v1.0));
+        w2.add_use(v1);
+        // v1 must be written into rf_a too: emulate multi-dest.
+        p.rt_mut(dspcc_ir::RtId(1))
+            .add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v1.0));
+        let rid = p.add_rt(reader);
+        let wid = p.add_rt(w2);
+        s.place(rid, 5);
+        s.place(wid, 5);
+        let dp = small_dp(2);
+        let a = allocate_registers(&p, &s, &dp, &[]).unwrap();
+        let r0 = a.mapping[&("rf_a".to_owned(), VIRTUAL_BASE + v0.0)];
+        let r1 = a.mapping[&("rf_a".to_owned(), VIRTUAL_BASE + v1.0)];
+        assert_ne!(r0, r1);
+        assert_eq!(a.peak_usage["rf_a"], 2);
+    }
+
+    #[test]
+    fn pressure_error_when_file_too_small() {
+        // 3 values all live to the end, file of 2.
+        let mut p = Program::new();
+        let mut s = Schedule::new();
+        let mut reader = Rt::new("r");
+        for i in 0..3 {
+            let v = p.add_value(&format!("v{i}"));
+            let mut rt = Rt::new(&format!("w{i}"));
+            rt.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
+            rt.add_def(v);
+            rt.add_usage("alu", Usage::apply("pass", [format!("v{i}")]));
+            let id = p.add_rt(rt);
+            s.place(id, i);
+            reader.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
+            reader.add_use(v);
+        }
+        let rid = p.add_rt(reader);
+        s.place(rid, 9);
+        let dp = small_dp(2);
+        let err = allocate_registers(&p, &s, &dp, &[]).unwrap_err();
+        match err {
+            RegAllocError::Pressure { rf, needed, available } => {
+                assert_eq!(rf, "rf_a");
+                assert_eq!(available, 2);
+                assert!(needed >= 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_registers_not_allocated() {
+        let (p, s) = chain(2);
+        let dp = small_dp(2);
+        let a = allocate_registers(&p, &s, &dp, &[("rf_a".to_owned(), 0)]).unwrap();
+        for &phys in a.mapping.values() {
+            assert_ne!(phys, 0, "pinned register handed out");
+        }
+    }
+
+    #[test]
+    fn never_written_detected() {
+        let mut p = Program::new();
+        let v = p.add_value("ghost");
+        let mut rt = Rt::new("r");
+        rt.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
+        rt.add_usage("alu", Usage::token("pass"));
+        let id = p.add_rt(rt);
+        let mut s = Schedule::new();
+        s.place(id, 0);
+        let dp = small_dp(2);
+        let err = allocate_registers(&p, &s, &dp, &[]).unwrap_err();
+        assert!(matches!(err, RegAllocError::NeverWritten { .. }));
+        assert!(err.to_string().contains("never written"));
+    }
+
+    #[test]
+    fn same_cycle_read_write_shares_register() {
+        // v0 last read at cycle 2; v1 written (lands) at cycle 2 → same reg OK.
+        let mut p = Program::new();
+        let mut s = Schedule::new();
+        let v0 = p.add_value("v0");
+        let v1 = p.add_value("v1");
+        let mut w0 = Rt::new("w0");
+        w0.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v0.0));
+        w0.add_def(v0);
+        w0.add_usage("alu", Usage::apply("pass", ["v0"]));
+        let id0 = p.add_rt(w0);
+        s.place(id0, 0);
+        let mut rw = Rt::new("rw"); // reads v0, defines v1 (lands at 2)
+        rw.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + v0.0));
+        rw.add_use(v0);
+        rw.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v1.0));
+        rw.add_def(v1);
+        rw.add_usage("alu", Usage::apply("pass", ["v1"]));
+        let id1 = p.add_rt(rw);
+        s.place(id1, 2);
+        let mut r1 = Rt::new("r1");
+        r1.add_operand(RegRef::new("rf_a", VIRTUAL_BASE + v1.0));
+        r1.add_use(v1);
+        r1.add_usage("alu", Usage::apply("pass", ["x"]));
+        let id2 = p.add_rt(r1);
+        s.place(id2, 4);
+        let dp = small_dp(1); // only one register!
+        let a = allocate_registers(&p, &s, &dp, &[]).unwrap();
+        assert_eq!(a.peak_usage["rf_a"], 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! A fixed-width bit vector: one VLIW instruction word.
+
+use std::fmt;
+
+/// An instruction word of arbitrary bit width.
+///
+/// Bit 0 is the least significant bit of the first limb; fields are
+/// addressed by `(offset, width)` with `width ≤ 64`.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_encode::Word;
+///
+/// let mut w = Word::new(100);
+/// w.set_bits(70, 16, 0xBEEF);
+/// assert_eq!(w.bits(70, 16), 0xBEEF);
+/// assert_eq!(w.bits(0, 16), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+impl Word {
+    /// An all-zero word of `width` bits.
+    pub fn new(width: u32) -> Self {
+        Word {
+            width,
+            limbs: vec![0; width.div_ceil(64) as usize],
+        }
+    }
+
+    /// The word's bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Writes `value` into the field at `offset` of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field exceeds the word, `width > 64`, or `value`
+    /// does not fit the field.
+    pub fn set_bits(&mut self, offset: u32, width: u32, value: u64) {
+        assert!(width <= 64, "field width > 64");
+        assert!(
+            offset + width <= self.width,
+            "field {offset}+{width} exceeds word width {}",
+            self.width
+        );
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        if width == 0 {
+            return;
+        }
+        let limb = (offset / 64) as usize;
+        let shift = offset % 64;
+        // Clear then set, possibly across a limb boundary.
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        self.limbs[limb] &= !(mask << shift);
+        self.limbs[limb] |= (value & mask) << shift;
+        let spill = (shift + width).saturating_sub(64);
+        if spill > 0 {
+            let hi_mask = (1u64 << spill) - 1;
+            self.limbs[limb + 1] &= !hi_mask;
+            self.limbs[limb + 1] |= (value >> (width - spill)) & hi_mask;
+        }
+    }
+
+    /// Reads the field at `offset` of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field exceeds the word or `width > 64`.
+    pub fn bits(&self, offset: u32, width: u32) -> u64 {
+        assert!(width <= 64, "field width > 64");
+        assert!(
+            offset + width <= self.width,
+            "field {offset}+{width} exceeds word width {}",
+            self.width
+        );
+        if width == 0 {
+            return 0;
+        }
+        let limb = (offset / 64) as usize;
+        let shift = offset % 64;
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mut v = (self.limbs[limb] >> shift) & mask;
+        let spill = (shift + width).saturating_sub(64);
+        if spill > 0 {
+            let hi = self.limbs[limb + 1] & ((1u64 << spill) - 1);
+            v |= hi << (width - spill);
+        }
+        v
+    }
+
+    /// Whether every bit is zero (a NOP word in the derived formats, whose
+    /// opcode encodings reserve 0 for "no operation").
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+}
+
+impl fmt::Display for Word {
+    /// Hex dump, most significant limb first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i + 1 == self.limbs.len() {
+                let rem = self.width % 64;
+                let digits = if rem == 0 { 16 } else { (rem as usize + 3) / 4 };
+                write!(f, "{limb:0digits$x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_word_is_zero() {
+        let w = Word::new(130);
+        assert!(w.is_zero());
+        assert_eq!(w.width(), 130);
+        assert_eq!(w.bits(0, 64), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut w = Word::new(32);
+        w.set_bits(3, 7, 0x55);
+        assert_eq!(w.bits(3, 7), 0x55);
+        assert_eq!(w.bits(0, 3), 0);
+        assert_eq!(w.bits(10, 8), 0);
+    }
+
+    #[test]
+    fn fields_cross_limb_boundaries() {
+        let mut w = Word::new(130);
+        w.set_bits(60, 10, 0x3FF);
+        assert_eq!(w.bits(60, 10), 0x3FF);
+        assert_eq!(w.bits(50, 10), 0);
+        assert_eq!(w.bits(70, 10), 0);
+        w.set_bits(120, 10, 0x2AA);
+        assert_eq!(w.bits(120, 10), 0x2AA);
+    }
+
+    #[test]
+    fn overwrite_clears_old_bits() {
+        let mut w = Word::new(16);
+        w.set_bits(4, 8, 0xFF);
+        w.set_bits(4, 8, 0x0F);
+        assert_eq!(w.bits(4, 8), 0x0F);
+    }
+
+    #[test]
+    fn adjacent_fields_do_not_interfere() {
+        let mut w = Word::new(24);
+        w.set_bits(0, 8, 0xAB);
+        w.set_bits(8, 8, 0xCD);
+        w.set_bits(16, 8, 0xEF);
+        assert_eq!(w.bits(0, 8), 0xAB);
+        assert_eq!(w.bits(8, 8), 0xCD);
+        assert_eq!(w.bits(16, 8), 0xEF);
+    }
+
+    #[test]
+    fn zero_width_field_is_noop() {
+        let mut w = Word::new(8);
+        w.set_bits(4, 0, 0);
+        assert_eq!(w.bits(4, 0), 0);
+        assert!(w.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut w = Word::new(16);
+        w.set_bits(0, 4, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds word width")]
+    fn out_of_range_field_panics() {
+        let w = Word::new(16);
+        w.bits(10, 8);
+    }
+
+    #[test]
+    fn display_hex() {
+        let mut w = Word::new(20);
+        w.set_bits(0, 20, 0xABCDE);
+        assert_eq!(w.to_string(), "abcde");
+    }
+
+    #[test]
+    fn full_64_bit_field() {
+        let mut w = Word::new(128);
+        w.set_bits(32, 64, u64::MAX);
+        assert_eq!(w.bits(32, 64), u64::MAX);
+        assert_eq!(w.bits(0, 32), 0);
+        assert_eq!(w.bits(96, 32), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the encoding layer: bit-field algebra on
+//! instruction words and layout integrity on the prepackaged cores.
+
+use dspcc_encode::Word;
+use proptest::prelude::*;
+
+/// Non-overlapping random fields inside one word.
+fn arb_fields() -> impl Strategy<Value = (u32, Vec<(u32, u32, u64)>)> {
+    (64u32..260).prop_flat_map(|width| {
+        proptest::collection::vec((0u32..16, 1u32..33, any::<u64>()), 1..12).prop_map(
+            move |raw| {
+                // Lay the requested field sizes out back-to-back so they
+                // never overlap, clipping at the word end.
+                let mut fields = Vec::new();
+                let mut cursor = 0u32;
+                for (gap, bits, value) in raw {
+                    let offset = cursor + gap;
+                    if offset + bits > width {
+                        break;
+                    }
+                    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                    fields.push((offset, bits, value & mask));
+                    cursor = offset + bits;
+                }
+                (width, fields)
+            },
+        )
+    })
+}
+
+proptest! {
+    /// Every field reads back exactly what was written, independent of
+    /// write order, and untouched bits stay zero.
+    #[test]
+    fn disjoint_fields_are_independent((width, fields) in arb_fields()) {
+        let mut w = Word::new(width);
+        for &(offset, bits, value) in &fields {
+            w.set_bits(offset, bits, value);
+        }
+        for &(offset, bits, value) in &fields {
+            prop_assert_eq!(w.bits(offset, bits), value);
+        }
+        // Rewriting in reverse order changes nothing.
+        let mut w2 = Word::new(width);
+        for &(offset, bits, value) in fields.iter().rev() {
+            w2.set_bits(offset, bits, value);
+        }
+        prop_assert_eq!(w, w2);
+    }
+
+    /// Overwriting a field replaces it completely.
+    #[test]
+    fn overwrite_replaces((width, fields) in arb_fields(), replacement in any::<u64>()) {
+        prop_assume!(!fields.is_empty());
+        let mut w = Word::new(width);
+        for &(offset, bits, value) in &fields {
+            w.set_bits(offset, bits, value);
+        }
+        let (offset, bits, _) = fields[0];
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        w.set_bits(offset, bits, replacement & mask);
+        prop_assert_eq!(w.bits(offset, bits), replacement & mask);
+        // Other fields untouched.
+        for &(o, b, v) in &fields[1..] {
+            prop_assert_eq!(w.bits(o, b), v);
+        }
+    }
+}
+
+#[test]
+fn prepackaged_core_layouts_are_tight() {
+    use dspcc_arch::{DatapathBuilder, OpuKind};
+    use dspcc_encode::FieldLayout;
+    use dspcc_num::WordFormat;
+    // A representative multi-unit core: the layout must place every
+    // sub-field inside the word with no overlap (checked by construction
+    // in unit tests; here we check the derived width is minimal: the sum
+    // of all sub-field widths).
+    let dp = DatapathBuilder::new()
+        .register_file("rf_a", 8)
+        .register_file("rf_b", 4)
+        .opu(OpuKind::Alu, "alu", &[("add", 1), ("sub", 1)])
+        .inputs("alu", &["rf_a", "rf_b"])
+        .output("alu", "bus_alu")
+        .opu(OpuKind::ProgConst, "prgc", &[("const", 1)])
+        .output("prgc", "bus_prgc")
+        .write_port("rf_a", &["bus_alu", "bus_prgc"])
+        .write_port("rf_b", &["bus_alu"])
+        .build()
+        .unwrap();
+    let layout = FieldLayout::derive(&dp, WordFormat::q15());
+    let mut sum = 0u32;
+    for f in layout.fields() {
+        sum += f.opcode_bits;
+        sum += f.operands.iter().map(|o| o.bits).sum::<u32>();
+        sum += f.dests.iter().map(|d| 1 + d.addr_bits).sum::<u32>();
+        if let Some((_, bits, _)) = f.imm {
+            sum += bits;
+        }
+    }
+    assert_eq!(layout.width(), sum, "derived layout wastes no bits");
+}

@@ -1,0 +1,223 @@
+//! Maximal clique enumeration (Bron–Kerbosch with pivoting).
+//!
+//! The paper covers the edges of the instruction-set conflict graph with
+//! cliques and prefers *maximal* cliques because every clique becomes one
+//! artificial scheduler resource: fewer, larger cliques mean fewer conflict
+//! checks at schedule time (section 6.3: "any clique cover will lead to a
+//! valid schedule. The only motivation to look for a maximal clique cover is
+//! to minimize the run time of the scheduler").
+
+use crate::UndirectedGraph;
+
+/// Enumerates all maximal cliques of `g`.
+///
+/// Uses Bron–Kerbosch with greedy pivoting. Each returned clique is sorted
+/// ascending. Isolated nodes are returned as singleton cliques; the empty
+/// graph on zero nodes yields no cliques.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_graph::{UndirectedGraph, cliques::maximal_cliques};
+///
+/// let mut g = UndirectedGraph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(0, 2);
+/// g.add_edge(2, 3);
+/// let mut cliques = maximal_cliques(&g);
+/// cliques.sort();
+/// assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
+/// ```
+pub fn maximal_cliques(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut r = Vec::new();
+    let p: Vec<usize> = (0..g.node_count()).collect();
+    let x = Vec::new();
+    bron_kerbosch(g, &mut r, p, x, &mut out);
+    out
+}
+
+/// Finds one maximum-cardinality clique of `g` (largest maximal clique).
+///
+/// Returns an empty vector for a graph with zero nodes.
+pub fn maximum_clique(g: &UndirectedGraph) -> Vec<usize> {
+    maximal_cliques(g)
+        .into_iter()
+        .max_by_key(|c| c.len())
+        .unwrap_or_default()
+}
+
+/// Extends `clique` to a maximal clique of `g` by greedily absorbing
+/// compatible nodes in index order.
+///
+/// # Panics
+///
+/// Panics if `clique` is not a clique of `g`.
+pub fn extend_to_maximal(g: &UndirectedGraph, clique: &[usize]) -> Vec<usize> {
+    assert!(g.is_clique(clique), "input must be a clique");
+    let mut result: Vec<usize> = clique.to_vec();
+    for v in 0..g.node_count() {
+        if result.contains(&v) {
+            continue;
+        }
+        if result.iter().all(|&u| g.has_edge(u, v)) {
+            result.push(v);
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+fn bron_kerbosch(
+    g: &UndirectedGraph,
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    x: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        if !r.is_empty() {
+            let mut clique = r.clone();
+            clique.sort_unstable();
+            out.push(clique);
+        }
+        return;
+    }
+    // Pivot on the vertex of P ∪ X with the most neighbours in P; only
+    // vertices outside its neighbourhood need to be branched on.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| g.has_edge(u, v)).count())
+        .expect("p or x nonempty");
+    let candidates: Vec<usize> = p
+        .iter()
+        .copied()
+        .filter(|&v| !g.has_edge(pivot, v))
+        .collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        r.push(v);
+        let p_next: Vec<usize> = p.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
+        let x_next: Vec<usize> = x.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
+        bron_kerbosch(g, r, p_next, x_next, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_no_cliques() {
+        let g = UndirectedGraph::new(0);
+        assert!(maximal_cliques(&g).is_empty());
+        assert!(maximum_clique(&g).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = UndirectedGraph::new(3);
+        let mut cliques = maximal_cliques(&g);
+        cliques.sort();
+        assert_eq!(cliques, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn triangle_is_single_maximal_clique() {
+        let g = graph(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(maximal_cliques(&g), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn path_has_edge_cliques() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let mut cliques = maximal_cliques(&g);
+        cliques.sort();
+        assert_eq!(cliques, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn paper_conflict_graph_maximal_cliques() {
+        // Conflict graph of instruction set I (paper figure 6):
+        // nodes S=0,T=1,U=2,V=3,X=4,Y=5.
+        let g = graph(
+            6,
+            &[
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+            ],
+        );
+        let mut cliques = maximal_cliques(&g);
+        cliques.sort();
+        // The paper's cover uses the maximal cliques {T,U,Y} and {T,V,X};
+        // both must be found here ({1,2,5} and {1,3,4}).
+        assert!(cliques.contains(&vec![1, 2, 5]));
+        assert!(cliques.contains(&vec![1, 3, 4]));
+        for c in &cliques {
+            assert!(g.is_clique(c));
+        }
+    }
+
+    #[test]
+    fn maximum_clique_of_k4_plus_pendant() {
+        let g = graph(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+        assert_eq!(maximum_clique(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn extend_to_maximal_grows_edge() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert_eq!(extend_to_maximal(&g, &[0, 1]), vec![0, 1, 2]);
+        assert_eq!(extend_to_maximal(&g, &[3]), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a clique")]
+    fn extend_to_maximal_rejects_non_clique() {
+        let g = graph(3, &[(0, 1)]);
+        extend_to_maximal(&g, &[0, 2]);
+    }
+
+    #[test]
+    fn every_maximal_clique_is_maximal() {
+        let g = graph(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (3, 5)],
+        );
+        for c in maximal_cliques(&g) {
+            assert!(g.is_clique(&c));
+            // No vertex outside c is adjacent to all of c.
+            for v in 0..g.node_count() {
+                if !c.contains(&v) {
+                    assert!(
+                        !c.iter().all(|&u| g.has_edge(u, v)),
+                        "clique {c:?} not maximal, can add {v}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Edge clique covers.
+//!
+//! An *edge clique cover* of an undirected graph is a set of cliques such
+//! that every edge lies inside at least one clique. In the paper
+//! (section 6.3) the conflict graph of the instruction set is covered with
+//! cliques and each clique becomes one *artificial resource*; an RT of class
+//! `C` gets a usage `clique = C` for every clique containing `C`. Two RTs
+//! whose classes conflict then always disagree on at least one artificial
+//! resource, so the scheduler can never pack them into one instruction.
+//!
+//! Correctness does not depend on which cover is chosen — "any clique cover
+//! will lead to a valid schedule" — but the number of cliques controls how
+//! many artificial resources each RT carries and therefore scheduler
+//! run-time. Three strategies with different cost/quality trade-offs are
+//! provided:
+//!
+//! * [`per_edge_clique_cover`] — one 2-clique per edge; trivially correct,
+//!   largest cover (the baseline of experiment E8).
+//! * [`greedy_edge_clique_cover`] — extends each uncovered edge to a maximal
+//!   clique; near-minimal in practice, linear-ish cost.
+//! * [`minimum_edge_clique_cover`] — exact minimum via branch and bound over
+//!   maximal cliques; exponential, intended for graphs of tens of nodes
+//!   (conflict graphs are small: one node per RT class).
+
+use crate::cliques::{extend_to_maximal, maximal_cliques};
+use crate::UndirectedGraph;
+
+/// Returns the trivial cover with one two-node clique per edge.
+///
+/// This is the worst valid cover and serves as the ablation baseline: it
+/// maximises the number of artificial resources.
+pub fn per_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    g.edges().map(|(a, b)| vec![a, b]).collect()
+}
+
+/// Greedy cover: repeatedly takes an uncovered edge and extends it to a
+/// maximal clique, until all edges are covered.
+///
+/// Every returned clique is maximal in `g`. The cover size is at most the
+/// number of edges and usually far smaller.
+pub fn greedy_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let mut cover: Vec<Vec<usize>> = Vec::new();
+    let mut covered = UndirectedGraph::new(g.node_count());
+    for (a, b) in g.edges() {
+        if covered.has_edge(a, b) {
+            continue;
+        }
+        let clique = extend_to_maximal(g, &[a, b]);
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                covered.add_edge(u, v);
+            }
+        }
+        cover.push(clique);
+    }
+    cover
+}
+
+/// Exact minimum edge clique cover via branch and bound over maximal
+/// cliques.
+///
+/// An optimal cover always exists that uses only maximal cliques (any
+/// non-maximal clique in a cover can be extended without uncovering
+/// anything), so the search branches on which maximal clique covers the
+/// first yet-uncovered edge.
+///
+/// Worst-case exponential; fine for the conflict graphs of real instruction
+/// sets (≤ a few dozen RT classes). For larger graphs use
+/// [`greedy_edge_clique_cover`].
+pub fn minimum_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let cliques = maximal_cliques(g);
+    // Precompute, per edge, which maximal cliques cover it.
+    let covers_edge = |c: &[usize], e: (usize, usize)| c.contains(&e.0) && c.contains(&e.1);
+    let mut best: Vec<Vec<usize>> = greedy_edge_clique_cover(g);
+    let mut chosen: Vec<usize> = Vec::new();
+
+    fn search(
+        edges: &[(usize, usize)],
+        cliques: &[Vec<usize>],
+        covers_edge: &dyn Fn(&[usize], (usize, usize)) -> bool,
+        covered: &mut Vec<bool>,
+        chosen: &mut Vec<usize>,
+        best: &mut Vec<Vec<usize>>,
+    ) {
+        if chosen.len() + 1 >= best.len() {
+            return; // cannot improve
+        }
+        let first_uncovered = match covered.iter().position(|&c| !c) {
+            None => {
+                *best = chosen.iter().map(|&i| cliques[i].clone()).collect();
+                return;
+            }
+            Some(i) => i,
+        };
+        let e = edges[first_uncovered];
+        for (ci, clique) in cliques.iter().enumerate() {
+            if !covers_edge(clique, e) {
+                continue;
+            }
+            let newly: Vec<usize> = (0..edges.len())
+                .filter(|&i| !covered[i] && covers_edge(clique, edges[i]))
+                .collect();
+            for &i in &newly {
+                covered[i] = true;
+            }
+            chosen.push(ci);
+            search(edges, cliques, covers_edge, covered, chosen, best);
+            chosen.pop();
+            for &i in &newly {
+                covered[i] = false;
+            }
+        }
+    }
+
+    let mut covered = vec![false; edges.len()];
+    search(
+        &edges,
+        &cliques,
+        &covers_edge,
+        &mut covered,
+        &mut chosen,
+        &mut best,
+    );
+    best
+}
+
+/// Checks that `cover` is a valid edge clique cover of `g`: every member is
+/// a clique of `g` and every edge of `g` is inside at least one member.
+///
+/// Returns the first violation found, or `Ok(())`.
+pub fn validate_cover(g: &UndirectedGraph, cover: &[Vec<usize>]) -> Result<(), CoverError> {
+    for (i, c) in cover.iter().enumerate() {
+        if !g.is_clique(c) {
+            return Err(CoverError::NotAClique { index: i });
+        }
+    }
+    for (a, b) in g.edges() {
+        if !cover.iter().any(|c| c.contains(&a) && c.contains(&b)) {
+            return Err(CoverError::EdgeUncovered { a, b });
+        }
+    }
+    Ok(())
+}
+
+/// Violation found by [`validate_cover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverError {
+    /// `cover[index]` is not a clique of the graph.
+    NotAClique {
+        /// Index of the offending set within the cover.
+        index: usize,
+    },
+    /// Edge `{a, b}` is not contained in any clique of the cover.
+    EdgeUncovered {
+        /// Lower endpoint.
+        a: usize,
+        /// Higher endpoint.
+        b: usize,
+    },
+}
+
+impl std::fmt::Display for CoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverError::NotAClique { index } => {
+                write!(f, "cover member {index} is not a clique")
+            }
+            CoverError::EdgeUncovered { a, b } => {
+                write!(f, "edge {a}-{b} is not covered by any clique")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    fn paper_conflict_graph() -> UndirectedGraph {
+        // S=0,T=1,U=2,V=3,X=4,Y=5 (paper figure 6).
+        graph(
+            6,
+            &[
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn per_edge_cover_is_valid() {
+        let g = paper_conflict_graph();
+        let cover = per_edge_clique_cover(&g);
+        assert_eq!(cover.len(), 10);
+        validate_cover(&g, &cover).unwrap();
+    }
+
+    #[test]
+    fn greedy_cover_is_valid_and_smaller() {
+        let g = paper_conflict_graph();
+        let cover = greedy_edge_clique_cover(&g);
+        validate_cover(&g, &cover).unwrap();
+        assert!(cover.len() < 10, "greedy should beat per-edge: {cover:?}");
+    }
+
+    #[test]
+    fn paper_cover_size_is_six() {
+        // The paper lists a cover of size 6:
+        // {S,X},{S,Y},{T,U,Y},{T,V,X},{U,X},{V,Y}. The minimum cover should
+        // be no larger.
+        let g = paper_conflict_graph();
+        let paper_cover = vec![
+            vec![0, 4],
+            vec![0, 5],
+            vec![1, 2, 5],
+            vec![1, 3, 4],
+            vec![2, 4],
+            vec![3, 5],
+        ];
+        validate_cover(&g, &paper_cover).unwrap();
+        let min = minimum_edge_clique_cover(&g);
+        validate_cover(&g, &min).unwrap();
+        assert!(min.len() <= 6, "minimum {:?} larger than paper's 6", min);
+    }
+
+    #[test]
+    fn minimum_cover_of_triangle_is_one_clique() {
+        let g = graph(3, &[(0, 1), (1, 2), (0, 2)]);
+        let min = minimum_edge_clique_cover(&g);
+        assert_eq!(min, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn minimum_cover_empty_graph() {
+        let g = UndirectedGraph::new(4);
+        assert!(minimum_edge_clique_cover(&g).is_empty());
+        assert!(greedy_edge_clique_cover(&g).is_empty());
+        assert!(per_edge_clique_cover(&g).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_non_clique() {
+        let g = graph(3, &[(0, 1)]);
+        let bad = vec![vec![0, 1, 2]];
+        assert_eq!(
+            validate_cover(&g, &bad),
+            Err(CoverError::NotAClique { index: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_uncovered_edge() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let bad = vec![vec![0, 1]];
+        assert_eq!(
+            validate_cover(&g, &bad),
+            Err(CoverError::EdgeUncovered { a: 1, b: 2 })
+        );
+    }
+
+    #[test]
+    fn cover_error_display() {
+        let e = CoverError::EdgeUncovered { a: 1, b: 2 };
+        assert_eq!(e.to_string(), "edge 1-2 is not covered by any clique");
+        let e = CoverError::NotAClique { index: 3 };
+        assert_eq!(e.to_string(), "cover member 3 is not a clique");
+    }
+
+    #[test]
+    fn greedy_on_star_graph() {
+        // Star K1,4: centre 0. Every edge is its own maximal clique.
+        let g = graph(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let cover = greedy_edge_clique_cover(&g);
+        validate_cover(&g, &cover).unwrap();
+        assert_eq!(cover.len(), 4);
+    }
+
+    #[test]
+    fn minimum_cover_of_two_triangles_sharing_a_vertex() {
+        let g = graph(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let min = minimum_edge_clique_cover(&g);
+        validate_cover(&g, &min).unwrap();
+        assert_eq!(min.len(), 2);
+    }
+}

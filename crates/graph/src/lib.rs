@@ -1,0 +1,48 @@
+//! Graph algorithms substrate for the `dspcc` DSP-core code generator.
+//!
+//! This crate provides the graph machinery that the rest of the compiler is
+//! built on:
+//!
+//! * [`UndirectedGraph`] — a small dense undirected graph used for the
+//!   *conflict graphs* of instruction-set modelling (paper section 6.3).
+//! * [`cliques`] — Bron–Kerbosch enumeration of maximal cliques.
+//! * [`cover`] — *edge clique covers*: sets of cliques such that every edge
+//!   of the graph is covered. The paper installs one artificial scheduler
+//!   resource per clique, so cover quality directly controls scheduler
+//!   run-time (but never correctness).
+//! * [`matching`] — Hopcroft–Karp maximum bipartite matching, the engine of
+//!   the execution-interval feasibility analysis (paper section 8, ref.
+//!   \[11\]: Timmer & Jess, "Exact Scheduling Strategies based on Bipartite
+//!   Graph Matching", EDAC'95).
+//! * [`dag`] — directed acyclic graph utilities (topological order, longest
+//!   paths, ASAP/ALAP times) used by the dependence analysis of the
+//!   scheduler.
+//!
+//! # Example
+//!
+//! Build the conflict graph of the paper's instruction set `I`
+//! (section 6.2) and cover its edges with cliques:
+//!
+//! ```
+//! use dspcc_graph::{UndirectedGraph, cover::greedy_edge_clique_cover};
+//!
+//! // Nodes 0..6 stand for the RT classes S,T,U,V,X,Y.
+//! let mut g = UndirectedGraph::new(6);
+//! for &(a, b) in &[(0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5),
+//!                  (2, 4), (2, 5), (3, 4), (3, 5)] {
+//!     g.add_edge(a, b);
+//! }
+//! let cover = greedy_edge_clique_cover(&g);
+//! // Every edge of the conflict graph is inside at least one clique.
+//! for (a, b) in g.edges() {
+//!     assert!(cover.iter().any(|c| c.contains(&a) && c.contains(&b)));
+//! }
+//! ```
+
+pub mod cliques;
+pub mod cover;
+pub mod dag;
+pub mod matching;
+mod undirected;
+
+pub use undirected::UndirectedGraph;

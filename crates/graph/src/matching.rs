@@ -1,0 +1,291 @@
+//! Maximum bipartite matching (Hopcroft–Karp).
+//!
+//! Execution-interval analysis (paper section 8, ref. \[11\]: Timmer & Jess,
+//! EDAC'95) prunes the exact scheduler by checking that the RTs competing
+//! for a resource can be injectively assigned to the cycles still available
+//! to them — a maximum-matching feasibility question on the bipartite graph
+//! *RTs × cycles*. If the maximum matching is smaller than the number of
+//! RTs, the partial schedule cannot be completed and the branch is cut.
+
+/// A bipartite graph between `left_count` left nodes and `right_count`
+/// right nodes, with adjacency stored on the left side.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_graph::matching::BipartiteGraph;
+///
+/// // Two RTs, two cycles; RT 0 can only go to cycle 0, RT 1 to both.
+/// let mut g = BipartiteGraph::new(2, 2);
+/// g.add_edge(0, 0);
+/// g.add_edge(1, 0);
+/// g.add_edge(1, 1);
+/// assert_eq!(g.maximum_matching().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    left_count: usize,
+    right_count: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty bipartite graph with the given side sizes.
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        BipartiteGraph {
+            left_count,
+            right_count,
+            adj: vec![Vec::new(); left_count],
+        }
+    }
+
+    /// Number of left nodes.
+    pub fn left_count(&self) -> usize {
+        self.left_count
+    }
+
+    /// Number of right nodes.
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// Adds an edge between left node `l` and right node `r`.
+    ///
+    /// Parallel edges are tolerated (they cannot change the matching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` or `r` is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.left_count, "left node out of range");
+        assert!(r < self.right_count, "right node out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Neighbours of left node `l`.
+    pub fn neighbors(&self, l: usize) -> &[usize] {
+        &self.adj[l]
+    }
+
+    /// Computes a maximum matching with Hopcroft–Karp in
+    /// O(E · √V). Returns `(left, right)` pairs.
+    pub fn maximum_matching(&self) -> Vec<(usize, usize)> {
+        const NIL: usize = usize::MAX;
+        let n = self.left_count;
+        let mut match_l = vec![NIL; n];
+        let mut match_r = vec![NIL; self.right_count];
+        let mut dist = vec![0usize; n];
+
+        loop {
+            // BFS phase: layer free left vertices.
+            let mut queue = std::collections::VecDeque::new();
+            let mut found_augmenting = false;
+            for l in 0..n {
+                if match_l[l] == NIL {
+                    dist[l] = 0;
+                    queue.push_back(l);
+                } else {
+                    dist[l] = usize::MAX;
+                }
+            }
+            while let Some(l) = queue.pop_front() {
+                for &r in &self.adj[l] {
+                    let next = match_r[r];
+                    if next == NIL {
+                        found_augmenting = true;
+                    } else if dist[next] == usize::MAX {
+                        dist[next] = dist[l] + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS phase: find vertex-disjoint shortest augmenting paths.
+            fn dfs(
+                l: usize,
+                adj: &[Vec<usize>],
+                match_l: &mut [usize],
+                match_r: &mut [usize],
+                dist: &mut [usize],
+            ) -> bool {
+                for i in 0..adj[l].len() {
+                    let r = adj[l][i];
+                    let next = match_r[r];
+                    let ok = if next == NIL {
+                        true
+                    } else if dist[next] == dist[l] + 1 {
+                        dfs(next, adj, match_l, match_r, dist)
+                    } else {
+                        false
+                    };
+                    if ok {
+                        match_l[l] = r;
+                        match_r[r] = l;
+                        return true;
+                    }
+                }
+                dist[l] = usize::MAX;
+                false
+            }
+            for l in 0..n {
+                if match_l[l] == NIL {
+                    dfs(l, &self.adj, &mut match_l, &mut match_r, &mut dist);
+                }
+            }
+        }
+
+        (0..n)
+            .filter(|&l| match_l[l] != NIL)
+            .map(|l| (l, match_l[l]))
+            .collect()
+    }
+
+    /// Returns whether a *perfect matching on the left side* exists, i.e.
+    /// every left node can be matched simultaneously.
+    ///
+    /// This is the feasibility test of execution-interval analysis: left
+    /// nodes are the RTs bound to one resource, right nodes the cycles of
+    /// the budget, edges the execution intervals.
+    pub fn has_left_perfect_matching(&self) -> bool {
+        self.maximum_matching().len() == self.left_count
+    }
+}
+
+/// Brute-force maximum matching by recursive augmentation (Kuhn's
+/// algorithm), used as a differential-testing oracle for Hopcroft–Karp.
+pub fn maximum_matching_kuhn(g: &BipartiteGraph) -> usize {
+    const NIL: usize = usize::MAX;
+    let mut match_r = vec![NIL; g.right_count()];
+
+    fn try_kuhn(
+        l: usize,
+        g: &BipartiteGraph,
+        visited: &mut [bool],
+        match_r: &mut [usize],
+    ) -> bool {
+        for &r in g.neighbors(l) {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            if match_r[r] == usize::MAX || try_kuhn(match_r[r], g, visited, match_r) {
+                match_r[r] = l;
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut size = 0;
+    for l in 0..g.left_count() {
+        let mut visited = vec![false; g.right_count()];
+        if try_kuhn(l, g, &mut visited, &mut match_r) {
+            size += 1;
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = BipartiteGraph::new(0, 0);
+        assert!(g.maximum_matching().is_empty());
+        assert!(g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn no_edges_means_no_matching() {
+        let g = BipartiteGraph::new(3, 3);
+        assert!(g.maximum_matching().is_empty());
+        assert!(!g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn simple_perfect_matching() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 1);
+        let m = g.maximum_matching();
+        assert_eq!(m.len(), 2);
+        assert!(g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Greedy would match 0-0 and leave 1 unmatched; augmenting fixes it.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.maximum_matching().len(), 2);
+    }
+
+    #[test]
+    fn matching_is_a_valid_matching() {
+        let mut g = BipartiteGraph::new(4, 4);
+        for (l, r) in [(0, 1), (0, 2), (1, 0), (1, 3), (2, 1), (3, 2), (3, 3)] {
+            g.add_edge(l, r);
+        }
+        let m = g.maximum_matching();
+        let mut ls: Vec<_> = m.iter().map(|&(l, _)| l).collect();
+        let mut rs: Vec<_> = m.iter().map(|&(_, r)| r).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        rs.sort_unstable();
+        rs.dedup();
+        assert_eq!(ls.len(), m.len(), "left node matched twice");
+        assert_eq!(rs.len(), m.len(), "right node matched twice");
+        for &(l, r) in &m {
+            assert!(g.neighbors(l).contains(&r), "matched pair is not an edge");
+        }
+    }
+
+    #[test]
+    fn infeasible_interval_set_detected() {
+        // Three RTs all restricted to the same two cycles: no injective
+        // assignment exists (pigeonhole) — the scheduler must backtrack.
+        let mut g = BipartiteGraph::new(3, 2);
+        for l in 0..3 {
+            g.add_edge(l, 0);
+            g.add_edge(l, 1);
+        }
+        assert_eq!(g.maximum_matching().len(), 2);
+        assert!(!g.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn hopcroft_karp_matches_kuhn_on_fixed_cases() {
+        let cases: Vec<(usize, usize, Vec<(usize, usize)>)> = vec![
+            (3, 3, vec![(0, 0), (1, 0), (2, 0)]),
+            (3, 4, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)]),
+            (5, 2, vec![(0, 0), (1, 1), (2, 0), (3, 1), (4, 0)]),
+        ];
+        for (ln, rn, edges) in cases {
+            let mut g = BipartiteGraph::new(ln, rn);
+            for (l, r) in edges {
+                g.add_edge(l, r);
+            }
+            assert_eq!(g.maximum_matching().len(), maximum_matching_kuhn(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "left node out of range")]
+    fn add_edge_checks_left_range() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "right node out of range")]
+    fn add_edge_checks_right_range() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 1);
+    }
+}

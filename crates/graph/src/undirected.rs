@@ -1,0 +1,284 @@
+//! A small dense undirected graph over node indices `0..n`.
+//!
+//! Conflict graphs in instruction-set modelling have one node per *RT class*
+//! (paper section 6.3); real instruction sets have tens of classes, so a
+//! dense adjacency-matrix representation is both the simplest and the
+//! fastest choice.
+
+use std::fmt;
+
+/// An undirected graph on nodes `0..n` without self loops or parallel edges.
+///
+/// Nodes are plain `usize` indices; callers that need labelled nodes (such
+/// as RT classes) keep their own side table. The representation is a dense
+/// adjacency matrix plus adjacency lists, so edge queries are O(1) and
+/// neighbourhood iteration is O(degree).
+///
+/// # Example
+///
+/// ```
+/// use dspcc_graph::UndirectedGraph;
+///
+/// let mut g = UndirectedGraph::new(3);
+/// g.add_edge(0, 1);
+/// assert!(g.has_edge(1, 0));
+/// assert_eq!(g.degree(0), 1);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone)]
+pub struct UndirectedGraph {
+    n: usize,
+    adj_matrix: Vec<bool>,
+    adj_lists: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl UndirectedGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        UndirectedGraph {
+            n,
+            adj_matrix: vec![false; n * n],
+            adj_lists: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the undirected edge `{a, b}`. Returns `true` if the edge was new.
+    ///
+    /// Self loops are ignored (an RT class never conflicts with itself: two
+    /// RTs of the same class still conflict through their shared physical
+    /// OPU resource, so the ISA never needs a self conflict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "node index out of range");
+        if a == b || self.adj_matrix[a * self.n + b] {
+            return false;
+        }
+        self.adj_matrix[a * self.n + b] = true;
+        self.adj_matrix[b * self.n + a] = true;
+        self.adj_lists[a].push(b);
+        self.adj_lists[b].push(a);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{a, b}` if present; returns whether it
+    /// was present.
+    pub fn remove_edge(&mut self, a: usize, b: usize) -> bool {
+        if a >= self.n || b >= self.n || a == b || !self.adj_matrix[a * self.n + b] {
+            return false;
+        }
+        self.adj_matrix[a * self.n + b] = false;
+        self.adj_matrix[b * self.n + a] = false;
+        self.adj_lists[a].retain(|&x| x != b);
+        self.adj_lists[b].retain(|&x| x != a);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Returns whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.n && b < self.n && self.adj_matrix[a * self.n + b]
+    }
+
+    /// Degree of node `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn degree(&self, a: usize) -> usize {
+        self.adj_lists[a].len()
+    }
+
+    /// Neighbours of node `a` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn neighbors(&self, a: usize) -> &[usize] {
+        &self.adj_lists[a]
+    }
+
+    /// Iterates over all edges as `(low, high)` pairs with `low < high`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |a| {
+            self.adj_lists[a]
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Returns whether `nodes` induces a clique (every pair adjacent).
+    ///
+    /// The empty set and singletons are cliques.
+    pub fn is_clique(&self, nodes: &[usize]) -> bool {
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if !self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns the complement graph (same nodes, complemented edge set).
+    ///
+    /// The *compatibility graph* of an instruction set is the complement of
+    /// its conflict graph; allowed instruction types are exactly its cliques.
+    pub fn complement(&self) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(self.n);
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if !self.has_edge(a, b) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl PartialEq for UndirectedGraph {
+    /// Two graphs are equal when they have the same node count and edge
+    /// set; adjacency-list insertion order is irrelevant.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.adj_matrix == other.adj_matrix
+    }
+}
+
+impl Eq for UndirectedGraph {}
+
+impl fmt::Debug for UndirectedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UndirectedGraph(n={}, edges=[", self.n)?;
+        for (i, (a, b)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}-{b}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = UndirectedGraph::new(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_symmetric() {
+        let mut g = UndirectedGraph::new(3);
+        assert!(g.add_edge(0, 2));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn duplicate_edge_not_counted() {
+        let mut g = UndirectedGraph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loop_is_ignored() {
+        let mut g = UndirectedGraph::new(2);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn remove_edge_round_trip() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn edges_enumerates_each_once() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 1);
+        g.add_edge(3, 0);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn is_clique_checks_all_pairs() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        assert!(g.is_clique(&[]));
+        assert!(g.is_clique(&[3]));
+        assert!(g.is_clique(&[0, 1]));
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn complement_inverts_edges() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        let c = g.complement();
+        assert!(!c.has_edge(0, 1));
+        assert!(c.has_edge(0, 2));
+        assert!(c.has_edge(1, 2));
+        assert_eq!(c.edge_count(), 2);
+    }
+
+    #[test]
+    fn complement_twice_is_identity() {
+        let mut g = UndirectedGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 4);
+        g.add_edge(3, 1);
+        let cc = g.complement().complement();
+        assert_eq!(cc, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(0, 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the graph substrate.
+
+use dspcc_graph::cliques::{maximal_cliques, maximum_clique};
+use dspcc_graph::cover::{
+    greedy_edge_clique_cover, minimum_edge_clique_cover, per_edge_clique_cover, validate_cover,
+};
+use dspcc_graph::dag::Dag;
+use dspcc_graph::matching::{maximum_matching_kuhn, BipartiteGraph};
+use dspcc_graph::UndirectedGraph;
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph on up to `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * n))
+            .prop_map(move |pairs| {
+                let mut g = UndirectedGraph::new(n);
+                for (a, b) in pairs {
+                    if a != b {
+                        g.add_edge(a, b);
+                    }
+                }
+                g
+            })
+    })
+}
+
+/// Strategy: a random DAG where edges always go from lower to higher index.
+fn arb_dag(max_n: usize) -> impl Strategy<Value = Dag> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1i64..5), 0..(n * 2)).prop_map(move |triples| {
+            let mut d = Dag::new(n);
+            for (a, b, w) in triples {
+                if a < b {
+                    d.add_edge(a, b, w);
+                }
+            }
+            d
+        })
+    })
+}
+
+fn arb_bipartite(max_n: usize) -> impl Strategy<Value = BipartiteGraph> {
+    (1..=max_n, 1..=max_n).prop_flat_map(|(l, r)| {
+        proptest::collection::vec((0..l, 0..r), 0..(l * r)).prop_map(move |edges| {
+            let mut g = BipartiteGraph::new(l, r);
+            for (a, b) in edges {
+                g.add_edge(a, b);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_covers_are_valid(g in arb_graph(10)) {
+        validate_cover(&g, &per_edge_clique_cover(&g)).unwrap();
+        validate_cover(&g, &greedy_edge_clique_cover(&g)).unwrap();
+    }
+
+    #[test]
+    fn minimum_cover_is_valid_and_no_worse_than_greedy(g in arb_graph(7)) {
+        let greedy = greedy_edge_clique_cover(&g);
+        let minimum = minimum_edge_clique_cover(&g);
+        validate_cover(&g, &minimum).unwrap();
+        prop_assert!(minimum.len() <= greedy.len());
+    }
+
+    #[test]
+    fn maximal_cliques_are_cliques_and_maximal(g in arb_graph(9)) {
+        for c in maximal_cliques(&g) {
+            prop_assert!(g.is_clique(&c));
+            for v in 0..g.node_count() {
+                if !c.contains(&v) {
+                    prop_assert!(!c.iter().all(|&u| g.has_edge(u, v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maximum_clique_is_largest(g in arb_graph(8)) {
+        let max = maximum_clique(&g);
+        for c in maximal_cliques(&g) {
+            prop_assert!(c.len() <= max.len().max(1));
+        }
+    }
+
+    #[test]
+    fn complement_twice_is_identity(g in arb_graph(10)) {
+        prop_assert_eq!(g.complement().complement(), g);
+    }
+
+    #[test]
+    fn compatibility_cliques_are_conflict_independent_sets(g in arb_graph(8)) {
+        // A clique of the complement (compatibility) graph contains no
+        // conflict edge — the core soundness fact behind instruction types.
+        let compat = g.complement();
+        for c in maximal_cliques(&compat) {
+            for (i, &a) in c.iter().enumerate() {
+                for &b in &c[i + 1..] {
+                    prop_assert!(!g.has_edge(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topo_order_is_consistent(d in arb_dag(12)) {
+        let order = d.topological_order().unwrap();
+        prop_assert_eq!(order.len(), d.node_count());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; d.node_count()];
+            for (i, &v) in order.iter().enumerate() { p[v] = i; }
+            p
+        };
+        for v in 0..d.node_count() {
+            for &(s, _) in d.successors(v) {
+                prop_assert!(pos[v] < pos[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn asap_never_exceeds_alap_at_critical_deadline(d in arb_dag(12)) {
+        let asap = d.asap();
+        let alap = d.alap(d.critical_path_length());
+        for v in 0..d.node_count() {
+            prop_assert!(asap[v] <= alap[v]);
+        }
+    }
+
+    #[test]
+    fn asap_respects_precedence(d in arb_dag(12)) {
+        let asap = d.asap();
+        for v in 0..d.node_count() {
+            for &(s, w) in d.successors(v) {
+                prop_assert!(asap[s] >= asap[v] + w);
+            }
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_agrees_with_kuhn(g in arb_bipartite(8)) {
+        prop_assert_eq!(g.maximum_matching().len(), maximum_matching_kuhn(&g));
+    }
+
+    #[test]
+    fn matching_is_injective_both_sides(g in arb_bipartite(9)) {
+        let m = g.maximum_matching();
+        let mut ls: Vec<_> = m.iter().map(|&(l, _)| l).collect();
+        let mut rs: Vec<_> = m.iter().map(|&(_, r)| r).collect();
+        ls.sort_unstable();
+        rs.sort_unstable();
+        let before = (ls.len(), rs.len());
+        ls.dedup();
+        rs.dedup();
+        prop_assert_eq!(before, (ls.len(), rs.len()));
+    }
+}

@@ -1,0 +1,46 @@
+//! The register-transfer (RT) intermediate representation of `dspcc`.
+//!
+//! RTs are the central data structure of the paper (section 3, figure 2): a
+//! register transfer describes one *path* through the datapath —
+//!
+//! > "RTs start with one or more operands originating from register files as
+//! > input for an operation executed on an operation unit (OPU) which is
+//! > possibly pipelined. The result is transferred through a buffer onto a
+//! > bus and optionally through a multiplexer into a destination register."
+//!
+//! Every RT carries a *usage specification* for each resource it activates.
+//! The compatibility rule that drives the entire compiler is
+//!
+//! > "Different RTs with common resources can be executed in parallel when
+//! > the common resources have the same usage."
+//!
+//! Instruction-set restrictions are later modelled by *adding* artificial
+//! resources with class-valued usages to RTs (paper section 6.3), which is
+//! why [`Rt::add_usage`] is part of the public API: the RT-modification step
+//! of the compiler (figure 1b) literally rewrites these structures.
+//!
+//! # Example: the RT of figure 2
+//!
+//! ```
+//! use dspcc_ir::{Rt, RegRef, Usage};
+//!
+//! let mut rt = Rt::new("add_acu");
+//! rt.add_dest(RegRef::new("ram_1", 2));
+//! rt.add_operand(RegRef::new("acu_1", 1));
+//! rt.add_operand(RegRef::new("acu_1", 2));
+//! rt.add_usage("acu_1", Usage::token("add"));
+//! rt.add_usage("buf_1_acu_1", Usage::token("write"));
+//! rt.add_usage("bus_1_acu_1", Usage::apply("add", ["Opr_1", "Opr_2"]));
+//! rt.add_usage("mux_2_ram_1", Usage::apply("pass", ["0", "1"]));
+//!
+//! // An RT with the same usages on shared resources is compatible.
+//! assert!(rt.compatible_with(&rt.clone()));
+//! ```
+
+mod program;
+mod resource;
+mod rt;
+
+pub use program::{Program, Value, ValueId};
+pub use resource::{Resource, Usage};
+pub use rt::{RegRef, Rt, RtId};

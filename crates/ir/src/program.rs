@@ -1,0 +1,277 @@
+//! A program: the ordered collection of RTs produced by RT generation,
+//! together with the value table that links producers to consumers.
+
+use std::fmt;
+
+use crate::rt::{Rt, RtId};
+
+/// Identifier of a data value flowing between RTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A named data value (a wire of the signal-flow graph after lowering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    name: String,
+}
+
+impl Value {
+    /// Diagnostic name of the value.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The RT-level program handed from RT generation through RT modification
+/// to the scheduler (figure 1b, the "Intermediate" box).
+///
+/// # Example
+///
+/// ```
+/// use dspcc_ir::{Program, Rt, Usage};
+///
+/// let mut p = Program::new();
+/// let x = p.add_value("x");
+/// let mut producer = Rt::new("load_x");
+/// producer.add_def(x);
+/// let mut consumer = Rt::new("use_x");
+/// consumer.add_use(x);
+/// let a = p.add_rt(producer);
+/// let b = p.add_rt(consumer);
+/// assert_eq!(p.producer_of(x), Some(a));
+/// assert_eq!(p.consumers_of(x), vec![b]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    rts: Vec<Rt>,
+    values: Vec<Value>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a value with a diagnostic `name`, returning its id.
+    pub fn add_value(&mut self, name: &str) -> ValueId {
+        self.values.push(Value {
+            name: name.to_owned(),
+        });
+        ValueId((self.values.len() - 1) as u32)
+    }
+
+    /// Adds an RT, returning its id.
+    pub fn add_rt(&mut self, rt: Rt) -> RtId {
+        self.rts.push(rt);
+        RtId((self.rts.len() - 1) as u32)
+    }
+
+    /// Number of RTs.
+    pub fn rt_count(&self) -> usize {
+        self.rts.len()
+    }
+
+    /// Number of values.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The RT with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn rt(&self, id: RtId) -> &Rt {
+        &self.rts[id.0 as usize]
+    }
+
+    /// Mutable access to an RT — used by the RT-modification pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn rt_mut(&mut self, id: RtId) -> &mut Rt {
+        &mut self.rts[id.0 as usize]
+    }
+
+    /// The value with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.0 as usize]
+    }
+
+    /// Iterates over `(id, rt)` pairs in insertion (source) order.
+    pub fn rts(&self) -> impl Iterator<Item = (RtId, &Rt)> {
+        self.rts
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| (RtId(i as u32), rt))
+    }
+
+    /// Iterates over RT ids in insertion order.
+    pub fn rt_ids(&self) -> impl Iterator<Item = RtId> {
+        (0..self.rts.len() as u32).map(RtId)
+    }
+
+    /// The RT that defines `value`, if any.
+    ///
+    /// Well-formed programs define each value at most once (they come from
+    /// a signal-flow graph in single-assignment form).
+    pub fn producer_of(&self, value: ValueId) -> Option<RtId> {
+        self.rts()
+            .find(|(_, rt)| rt.defs().contains(&value))
+            .map(|(id, _)| id)
+    }
+
+    /// All RTs that use `value`, in insertion order.
+    pub fn consumers_of(&self, value: ValueId) -> Vec<RtId> {
+        self.rts()
+            .filter(|(_, rt)| rt.uses().contains(&value))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Checks structural sanity: every used value has a producer, and no
+    /// value is defined twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut producer: Vec<Option<RtId>> = vec![None; self.values.len()];
+        for (id, rt) in self.rts() {
+            for &d in rt.defs() {
+                let slot = producer
+                    .get_mut(d.0 as usize)
+                    .ok_or_else(|| format!("{id} defines unknown value {d}"))?;
+                if let Some(prev) = slot {
+                    return Err(format!(
+                        "value {d} ({}) defined by both {prev} and {id}",
+                        self.value(d).name()
+                    ));
+                }
+                *slot = Some(id);
+            }
+        }
+        for (id, rt) in self.rts() {
+            for &u in rt.uses() {
+                let slot = producer
+                    .get(u.0 as usize)
+                    .ok_or_else(|| format!("{id} uses unknown value {u}"))?;
+                if slot.is_none() {
+                    return Err(format!(
+                        "value {u} ({}) used by {id} but never defined",
+                        self.value(u).name()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, rt) in self.rts() {
+            writeln!(f, "/* {id}: {} */", rt.name())?;
+            write!(f, "{rt}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Usage;
+
+    fn two_rt_program() -> (Program, ValueId, RtId, RtId) {
+        let mut p = Program::new();
+        let v = p.add_value("m");
+        let mut prod = Rt::new("mult");
+        prod.add_def(v);
+        prod.add_usage("mult_1", Usage::token("mult"));
+        let mut cons = Rt::new("add");
+        cons.add_use(v);
+        cons.add_usage("alu_1", Usage::token("add"));
+        let a = p.add_rt(prod);
+        let b = p.add_rt(cons);
+        (p, v, a, b)
+    }
+
+    #[test]
+    fn def_use_lookup() {
+        let (p, v, a, b) = two_rt_program();
+        assert_eq!(p.producer_of(v), Some(a));
+        assert_eq!(p.consumers_of(v), vec![b]);
+        assert_eq!(p.rt_count(), 2);
+        assert_eq!(p.value_count(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let (p, _, _, _) = two_rt_program();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_double_definition() {
+        let (mut p, v, _, _) = two_rt_program();
+        let mut again = Rt::new("dup");
+        again.add_def(v);
+        p.add_rt(again);
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("defined by both"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_undefined_use() {
+        let mut p = Program::new();
+        let v = p.add_value("ghost");
+        let mut rt = Rt::new("user");
+        rt.add_use(v);
+        p.add_rt(rt);
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("never defined"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_value_id() {
+        let mut p = Program::new();
+        let mut rt = Rt::new("bad");
+        rt.add_def(ValueId(42));
+        p.add_rt(rt);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_lists_all_rts() {
+        let (p, _, _, _) = two_rt_program();
+        let text = p.to_string();
+        assert!(text.contains("rt0: mult"));
+        assert!(text.contains("rt1: add"));
+    }
+
+    #[test]
+    fn rt_mut_allows_modification() {
+        let (mut p, _, a, _) = two_rt_program();
+        p.rt_mut(a).add_usage("ABC", Usage::token("A"));
+        assert_eq!(p.rt(a).usage_of("ABC"), Some(&Usage::token("A")));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(RtId(3).to_string(), "rt3");
+        assert_eq!(ValueId(7).to_string(), "v7");
+    }
+}

@@ -1,0 +1,200 @@
+//! Resources and usage specifications.
+//!
+//! A *resource* is anything an RT can occupy for a cycle: an OPU, a buffer,
+//! a bus, a multiplexer, a register-file write port — or an *artificial
+//! resource* installed by instruction-set modelling (a clique of the
+//! conflict graph, paper section 6.3). Resources are identified by name;
+//! the architecture model decides which names exist.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// The name of a datapath (or artificial) resource.
+///
+/// Cheap to clone (`Arc<str>` inside); ordered and hashable so it can key
+/// the usage maps of RTs.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_ir::Resource;
+///
+/// let r = Resource::from("acu_1");
+/// assert_eq!(r.name(), "acu_1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Resource(Arc<str>);
+
+impl Resource {
+    /// Creates a resource with the given name.
+    pub fn new(name: &str) -> Self {
+        Resource(Arc::from(name))
+    }
+
+    /// The resource name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Resource {
+    fn from(name: &str) -> Self {
+        Resource::new(name)
+    }
+}
+
+impl From<String> for Resource {
+    fn from(name: String) -> Self {
+        Resource(Arc::from(name.as_str()))
+    }
+}
+
+impl Borrow<str> for Resource {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Resource {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// How a resource is occupied during the cycle an RT executes.
+///
+/// The paper places the resource on the left of `=` and the usage on the
+/// right (figure 2):
+///
+/// ```text
+/// acu_1       = add,                    // Token
+/// bus_1_acu_1 = add(Opr_1, Opr_2),      // Apply
+/// ```
+///
+/// Two RTs may share a resource in one instruction **iff their usages are
+/// equal** — the single rule from which all scheduling conflicts follow.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Usage {
+    /// A bare mode name, e.g. `add`, `read`, `write`, or an RT-class name
+    /// on an artificial resource.
+    Token(String),
+    /// An operation applied to named arguments, e.g. `add(Opr_1, Opr_2)` on
+    /// a bus (the arguments make usages of different data distinct, so two
+    /// different values can never share a bus) or `pass(0)` on a
+    /// multiplexer input.
+    Apply {
+        /// Operation name.
+        op: String,
+        /// Argument names (operand tags, register names, mux input
+        /// indices…).
+        args: Vec<String>,
+    },
+}
+
+impl Usage {
+    /// Creates a bare-token usage.
+    pub fn token(name: &str) -> Self {
+        Usage::Token(name.to_owned())
+    }
+
+    /// Creates an applied usage `op(args…)`.
+    pub fn apply<I, S>(op: &str, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Usage::Apply {
+            op: op.to_owned(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The operation or token name.
+    pub fn op(&self) -> &str {
+        match self {
+            Usage::Token(t) => t,
+            Usage::Apply { op, .. } => op,
+        }
+    }
+}
+
+impl fmt::Display for Usage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Usage::Token(t) => f.write_str(t),
+            Usage::Apply { op, args } => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    f.write_str(a)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn resource_name_round_trip() {
+        let r = Resource::new("bus_1_acu_1");
+        assert_eq!(r.name(), "bus_1_acu_1");
+        assert_eq!(r.to_string(), "bus_1_acu_1");
+        assert_eq!(Resource::from("x"), Resource::from(String::from("x")));
+    }
+
+    #[test]
+    fn resource_is_cheap_to_clone_and_ordered() {
+        let a = Resource::new("a");
+        let b = Resource::new("b");
+        assert!(a < b);
+        assert_eq!(a.clone(), a);
+    }
+
+    #[test]
+    fn resource_borrows_as_str_for_map_lookup() {
+        let mut m: BTreeMap<Resource, u32> = BTreeMap::new();
+        m.insert(Resource::new("alu"), 1);
+        assert_eq!(m.get("alu"), Some(&1));
+    }
+
+    #[test]
+    fn usage_equality_drives_compatibility() {
+        assert_eq!(Usage::token("add"), Usage::token("add"));
+        assert_ne!(Usage::token("add"), Usage::token("sub"));
+        assert_ne!(
+            Usage::apply("add", ["a", "b"]),
+            Usage::apply("add", ["a", "c"])
+        );
+        assert_ne!(Usage::token("add"), Usage::apply("add", Vec::<String>::new()));
+    }
+
+    #[test]
+    fn usage_display_matches_paper_notation() {
+        assert_eq!(Usage::token("write").to_string(), "write");
+        assert_eq!(
+            Usage::apply("add", ["Opr_1", "Opr_2"]).to_string(),
+            "add(Opr_1, Opr_2)"
+        );
+        assert_eq!(Usage::apply("pass", ["0"]).to_string(), "pass(0)");
+    }
+
+    #[test]
+    fn usage_op_accessor() {
+        assert_eq!(Usage::token("read").op(), "read");
+        assert_eq!(Usage::apply("mult", ["x"]).op(), "mult");
+    }
+}

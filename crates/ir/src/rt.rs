@@ -1,0 +1,444 @@
+//! The register transfer itself.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::program::ValueId;
+use crate::resource::{Resource, Usage};
+
+/// Identifier of an RT inside a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RtId(pub u32);
+
+impl fmt::Display for RtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rt{}", self.0)
+    }
+}
+
+/// A reference to one register of a register file: `reg_<index>_<rf>` in
+/// the paper's notation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegRef {
+    rf: Resource,
+    index: u32,
+}
+
+impl RegRef {
+    /// Register `index` of register file `rf`.
+    pub fn new(rf: impl Into<Resource>, index: u32) -> Self {
+        RegRef {
+            rf: rf.into(),
+            index,
+        }
+    }
+
+    /// The register file this register belongs to.
+    pub fn rf(&self) -> &Resource {
+        &self.rf
+    }
+
+    /// Index within the register file.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reg_{}_{}", self.index, self.rf)
+    }
+}
+
+/// One register transfer: operands → OPU → buffer/bus/mux → destination,
+/// with a usage specification per activated resource (paper figure 2).
+///
+/// RTs are created by RT generation, then *modified* (resources renamed by
+/// merging, artificial resources added by ISA modelling) before scheduling —
+/// the mutating methods mirror that pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rt {
+    name: String,
+    dests: Vec<RegRef>,
+    operands: Vec<RegRef>,
+    usage: BTreeMap<Resource, Usage>,
+    defs: Vec<ValueId>,
+    uses: Vec<ValueId>,
+    latency: u32,
+}
+
+impl Rt {
+    /// Creates an RT with the given diagnostic name, no resources, and
+    /// latency 1 (result available in the next cycle).
+    pub fn new(name: &str) -> Self {
+        Rt {
+            name: name.to_owned(),
+            dests: Vec::new(),
+            operands: Vec::new(),
+            usage: BTreeMap::new(),
+            defs: Vec::new(),
+            uses: Vec::new(),
+            latency: 1,
+        }
+    }
+
+    /// Diagnostic name (e.g. the source operation this RT implements).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Destination registers written by this RT.
+    pub fn dests(&self) -> &[RegRef] {
+        &self.dests
+    }
+
+    /// Operand registers read by this RT.
+    pub fn operands(&self) -> &[RegRef] {
+        &self.operands
+    }
+
+    /// Values defined (produced) by this RT, for dependence analysis.
+    pub fn defs(&self) -> &[ValueId] {
+        &self.defs
+    }
+
+    /// Values used (consumed) by this RT, for dependence analysis.
+    pub fn uses(&self) -> &[ValueId] {
+        &self.uses
+    }
+
+    /// Pipeline latency in cycles: a consumer of a defined value can issue
+    /// `latency` cycles after this RT issues.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Sets the pipeline latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero — chained RTs in one cycle are not part
+    /// of the architecture model (every OPU result passes through a buffer,
+    /// figure 2).
+    pub fn set_latency(&mut self, latency: u32) {
+        assert!(latency >= 1, "RT latency must be at least 1 cycle");
+        self.latency = latency;
+    }
+
+    /// Appends a destination register.
+    pub fn add_dest(&mut self, dest: RegRef) {
+        self.dests.push(dest);
+    }
+
+    /// Appends an operand register.
+    pub fn add_operand(&mut self, opr: RegRef) {
+        self.operands.push(opr);
+    }
+
+    /// Records that this RT defines `value`.
+    pub fn add_def(&mut self, value: ValueId) {
+        self.defs.push(value);
+    }
+
+    /// Records that this RT uses `value`.
+    pub fn add_use(&mut self, value: ValueId) {
+        self.uses.push(value);
+    }
+
+    /// Adds (or overwrites) the usage of `resource`.
+    ///
+    /// This is both how RT generation attaches datapath resources and how
+    /// RT modification installs artificial instruction-set resources.
+    pub fn add_usage(&mut self, resource: impl Into<Resource>, usage: Usage) {
+        self.usage.insert(resource.into(), usage);
+    }
+
+    /// Removes the usage of `resource`, returning it if present.
+    pub fn remove_usage(&mut self, resource: &str) -> Option<Usage> {
+        self.usage.remove(resource)
+    }
+
+    /// The usage of `resource` by this RT, if any.
+    pub fn usage_of(&self, resource: &str) -> Option<&Usage> {
+        self.usage.get(resource)
+    }
+
+    /// Iterates over `(resource, usage)` pairs in resource-name order.
+    pub fn usages(&self) -> impl Iterator<Item = (&Resource, &Usage)> {
+        self.usage.iter()
+    }
+
+    /// Number of resources this RT occupies.
+    pub fn resource_count(&self) -> usize {
+        self.usage.len()
+    }
+
+    /// Renames every resource through `rename`, merging usages.
+    ///
+    /// This implements the resource-merging half of RT modification
+    /// (register files and buses of the intermediate architecture are
+    /// merged into the core's real resources, paper section 4 step 2).
+    ///
+    /// # Errors
+    ///
+    /// If two resources of this RT map to the same new name with *different*
+    /// usages the RT would conflict with itself; the offending name is
+    /// returned.
+    pub fn rename_resources(
+        &mut self,
+        mut rename: impl FnMut(&Resource) -> Resource,
+    ) -> Result<(), Resource> {
+        let mut renamed: BTreeMap<Resource, Usage> = BTreeMap::new();
+        for (r, u) in std::mem::take(&mut self.usage) {
+            let new = rename(&r);
+            if let Some(existing) = renamed.get(&new) {
+                if *existing != u {
+                    return Err(new);
+                }
+            } else {
+                renamed.insert(new, u);
+            }
+        }
+        self.usage = renamed;
+        // Register references move with their register file.
+        for reg in self.dests.iter_mut().chain(self.operands.iter_mut()) {
+            reg.rf = rename(&reg.rf);
+        }
+        Ok(())
+    }
+
+    /// Whether this RT and `other` may execute in the same instruction:
+    /// every resource they share must have equal usage.
+    pub fn compatible_with(&self, other: &Rt) -> bool {
+        self.conflict_with(other).is_none()
+    }
+
+    /// If the RTs conflict, returns the first shared resource with
+    /// differing usages, for diagnostics.
+    pub fn conflict_with<'a>(&'a self, other: &'a Rt) -> Option<(&'a Resource, &'a Usage, &'a Usage)> {
+        // Iterate over the smaller usage map for speed.
+        let (small, big) = if self.usage.len() <= other.usage.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (r, u) in &small.usage {
+            if let Some(v) = big.usage.get(r) {
+                if u != v {
+                    // Report in (self, other) orientation.
+                    return if std::ptr::eq(small, self) {
+                        Some((r, u, v))
+                    } else {
+                        Some((r, v, u))
+                    };
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Rt {
+    /// Formats in the paper's figure-2 notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.dests.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "Dest_{}:{}", i + 1, d)?;
+        }
+        if self.dests.is_empty() {
+            write!(f, "(no dest)")?;
+        }
+        write!(f, " <- ")?;
+        for (i, o) in self.operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "Opr_{}:{}", i + 1, o)?;
+        }
+        if self.operands.is_empty() {
+            write!(f, "(no operands)")?;
+        }
+        writeln!(f)?;
+        let width = self
+            .usage
+            .keys()
+            .map(|r| r.name().len())
+            .max()
+            .unwrap_or(0);
+        for (i, (r, u)) in self.usage.iter().enumerate() {
+            let lead = if i == 0 { '\\' } else { ' ' };
+            let sep = if i + 1 == self.usage.len() { ';' } else { ',' };
+            writeln!(f, "{lead} {:width$} = {u}{sep}", r.name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2_rt() -> Rt {
+        let mut rt = Rt::new("add");
+        rt.add_dest(RegRef::new("ram_1", 2));
+        rt.add_operand(RegRef::new("acu_1", 1));
+        rt.add_operand(RegRef::new("acu_1", 2));
+        rt.add_usage("acu_1", Usage::token("add"));
+        rt.add_usage("buf_1_acu_1", Usage::token("write"));
+        rt.add_usage("bus_1_acu_1", Usage::apply("add", ["Opr_1", "Opr_2"]));
+        rt.add_usage("mux_2_ram_1", Usage::apply("pass", ["0", "1"]));
+        rt
+    }
+
+    #[test]
+    fn reg_ref_display_matches_paper() {
+        assert_eq!(RegRef::new("ram_1", 2).to_string(), "reg_2_ram_1");
+        assert_eq!(RegRef::new("acu_1", 1).rf().name(), "acu_1");
+        assert_eq!(RegRef::new("acu_1", 1).index(), 1);
+    }
+
+    #[test]
+    fn identical_rts_are_compatible() {
+        // Same usage on all shared resources ⇒ parallel execution allowed
+        // (the paper's sharing rule).
+        let rt = figure2_rt();
+        assert!(rt.compatible_with(&rt.clone()));
+        assert!(rt.conflict_with(&rt.clone()).is_none());
+    }
+
+    #[test]
+    fn different_op_on_same_opu_conflicts() {
+        let a = figure2_rt();
+        let mut b = figure2_rt();
+        b.add_usage("acu_1", Usage::token("addmod"));
+        let (r, ua, ub) = a.conflict_with(&b).expect("must conflict");
+        assert_eq!(r.name(), "acu_1");
+        assert_eq!(ua, &Usage::token("add"));
+        assert_eq!(ub, &Usage::token("addmod"));
+    }
+
+    #[test]
+    fn conflict_orientation_is_self_then_other() {
+        let a = figure2_rt();
+        let mut b = Rt::new("small");
+        b.add_usage("acu_1", Usage::token("inca"));
+        // b has fewer resources; orientation must still be (a-usage, b-usage).
+        let (_, ua, ub) = a.conflict_with(&b).unwrap();
+        assert_eq!(ua, &Usage::token("add"));
+        assert_eq!(ub, &Usage::token("inca"));
+    }
+
+    #[test]
+    fn disjoint_resources_are_compatible() {
+        let a = figure2_rt();
+        let mut b = Rt::new("mult");
+        b.add_usage("mult_1", Usage::token("mult"));
+        b.add_usage("bus_1_mult_1", Usage::apply("mult", ["Opr_1", "Opr_2"]));
+        assert!(a.compatible_with(&b));
+    }
+
+    #[test]
+    fn different_bus_data_conflicts() {
+        // Two adds with different operands: same OPU usage but different
+        // bus usage — cannot share the bus.
+        let a = figure2_rt();
+        let mut b = figure2_rt();
+        b.add_usage("bus_1_acu_1", Usage::apply("add", ["Opr_1", "Opr_3"]));
+        let (r, _, _) = a.conflict_with(&b).unwrap();
+        assert_eq!(r.name(), "bus_1_acu_1");
+    }
+
+    #[test]
+    fn artificial_resource_forbids_pairing() {
+        // Section 6.3: SX = S on one RT and SX = X on the other.
+        let mut a = Rt::new("rt1");
+        a.add_usage("SX", Usage::token("S"));
+        let mut b = Rt::new("rt3");
+        b.add_usage("SX", Usage::token("X"));
+        assert!(!a.compatible_with(&b));
+        // Two RTs of the same class stay compatible through the artificial
+        // resource.
+        let mut c = Rt::new("rt1b");
+        c.add_usage("SX", Usage::token("S"));
+        assert!(a.compatible_with(&c));
+    }
+
+    #[test]
+    fn rename_resources_merges() {
+        let mut rt = figure2_rt();
+        rt.rename_resources(|r| {
+            if r.name() == "bus_1_acu_1" {
+                Resource::new("bus_merged")
+            } else {
+                r.clone()
+            }
+        })
+        .unwrap();
+        assert!(rt.usage_of("bus_1_acu_1").is_none());
+        assert_eq!(
+            rt.usage_of("bus_merged"),
+            Some(&Usage::apply("add", ["Opr_1", "Opr_2"]))
+        );
+    }
+
+    #[test]
+    fn rename_detects_self_conflict() {
+        let mut rt = figure2_rt();
+        // Merging the OPU and the buffer maps different usages together.
+        let result = rt.rename_resources(|_| Resource::new("everything"));
+        assert_eq!(result, Err(Resource::new("everything")));
+    }
+
+    #[test]
+    fn rename_updates_register_references() {
+        let mut rt = figure2_rt();
+        rt.rename_resources(|r| {
+            if r.name() == "ram_1" {
+                Resource::new("ram_merged")
+            } else {
+                r.clone()
+            }
+        })
+        .unwrap();
+        assert_eq!(rt.dests()[0].rf().name(), "ram_merged");
+    }
+
+    #[test]
+    fn display_matches_figure_2_shape() {
+        let rt = figure2_rt();
+        let text = rt.to_string();
+        assert!(text.starts_with("Dest_1:reg_2_ram_1 <- Opr_1:reg_1_acu_1, Opr_2:reg_2_acu_1"));
+        assert!(text.contains("\\ acu_1"));
+        assert!(text.contains("= add,"));
+        assert!(text.contains("bus_1_acu_1 = add(Opr_1, Opr_2),"));
+        assert!(text.trim_end().ends_with(';'));
+    }
+
+    #[test]
+    fn remove_usage_round_trip() {
+        let mut rt = figure2_rt();
+        let u = rt.remove_usage("acu_1");
+        assert_eq!(u, Some(Usage::token("add")));
+        assert_eq!(rt.remove_usage("acu_1"), None);
+        assert_eq!(rt.resource_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least 1")]
+    fn zero_latency_rejected() {
+        let mut rt = Rt::new("x");
+        rt.set_latency(0);
+    }
+
+    #[test]
+    fn defs_and_uses_recorded() {
+        let mut rt = Rt::new("x");
+        rt.add_def(ValueId(3));
+        rt.add_use(ValueId(1));
+        rt.add_use(ValueId(2));
+        assert_eq!(rt.defs(), &[ValueId(3)]);
+        assert_eq!(rt.uses(), &[ValueId(1), ValueId(2)]);
+    }
+}

@@ -1,0 +1,368 @@
+//! RT classes (paper section 6.1, figure 5).
+//!
+//! "To which RT class a RT belongs is determined by the combination of the
+//! OPU resource it uses and the way the resource is used (usage). … A RT
+//! class can contain more than one usage for the OPU resource."
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dspcc_arch::Datapath;
+use dspcc_ir::{Resource, Rt};
+
+/// Identifier of an RT class within a [`Classification`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub usize);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// One RT class: an OPU resource plus the set of usages (operation names)
+/// that fall into this class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtClass {
+    name: String,
+    opu: Resource,
+    usages: BTreeSet<String>,
+}
+
+impl RtClass {
+    /// Creates a class covering `usages` of `opu`.
+    pub fn new(name: &str, opu: impl Into<Resource>, usages: &[&str]) -> Self {
+        RtClass {
+            name: name.to_owned(),
+            opu: opu.into(),
+            usages: usages.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// Class name (the letters A..M of figure 5 / section 7, or merged
+    /// names like X, Y).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The OPU resource whose use defines membership.
+    pub fn opu(&self) -> &Resource {
+        &self.opu
+    }
+
+    /// The usages (operation names) on that OPU that belong to this class.
+    pub fn usages(&self) -> impl Iterator<Item = &str> {
+        self.usages.iter().map(|s| s.as_str())
+    }
+
+    /// Whether an RT using `opu` with operation `op` belongs here.
+    pub fn matches(&self, opu: &str, op: &str) -> bool {
+        self.opu.name() == opu && self.usages.contains(op)
+    }
+}
+
+impl fmt::Display for RtClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let usages: Vec<&str> = self.usages().collect();
+        write!(f, "{}: ({}, {{{}}})", self.name, self.opu, usages.join(", "))
+    }
+}
+
+/// The classification of all RTs of a core: the figure-5 table.
+///
+/// Built from the datapath via [`Classification::identify`] (one class per
+/// (OPU, operation) pair), then optionally reduced with
+/// [`Classification::merge`]:
+///
+/// > "Because a high parallelism is required and no special class
+/// > combinations using the RAM and ALU can be excluded it is not
+/// > necessary to identify their individual classes. Classes E and F can
+/// > be combined in a single class X and classes H, I, J and K can be
+/// > combined to class Y so the number of classes is reduced to 9."
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Classification {
+    classes: Vec<RtClass>,
+}
+
+impl Classification {
+    /// Creates an empty classification.
+    pub fn new() -> Self {
+        Classification::default()
+    }
+
+    /// Enumerates one class per (OPU, operation) pair of the datapath, in
+    /// OPU declaration order, auto-named `A`, `B`, `C`, … like figure 5.
+    pub fn identify(dp: &Datapath) -> Self {
+        let mut classes = Vec::new();
+        for opu in dp.opus() {
+            for (op, _) in opu.ops() {
+                let name = letter_name(classes.len());
+                classes.push(RtClass::new(&name, opu.name(), &[op]));
+            }
+        }
+        Classification { classes }
+    }
+
+    /// Adds a class explicitly, returning its id.
+    pub fn add(&mut self, class: RtClass) -> ClassId {
+        self.classes.push(class);
+        ClassId(self.classes.len() - 1)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether there are no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// All classes in id order.
+    pub fn classes(&self) -> &[RtClass] {
+        &self.classes
+    }
+
+    /// The class with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class(&self, id: ClassId) -> &RtClass {
+        &self.classes[id.0]
+    }
+
+    /// Looks up a class by name.
+    pub fn by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId)
+    }
+
+    /// Merges the named classes into one class named `new_name`.
+    ///
+    /// The merged class requires all members to use the *same OPU* — that
+    /// is what makes merging sound: RTs of the same OPU always conflict
+    /// physically, so distinguishing their classes adds no scheduling
+    /// freedom, only table size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the problem if a member is unknown or the
+    /// members span different OPUs.
+    pub fn merge(&mut self, members: &[&str], new_name: &str) -> Result<ClassId, String> {
+        let ids: Vec<usize> = members
+            .iter()
+            .map(|m| {
+                self.classes
+                    .iter()
+                    .position(|c| c.name == *m)
+                    .ok_or_else(|| format!("unknown class `{m}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        if ids.is_empty() {
+            return Err("cannot merge zero classes".to_owned());
+        }
+        let opu = self.classes[ids[0]].opu.clone();
+        for &i in &ids {
+            if self.classes[i].opu != opu {
+                return Err(format!(
+                    "classes `{}` and `{}` use different OPUs ({} vs {})",
+                    members[0], self.classes[i].name, opu, self.classes[i].opu
+                ));
+            }
+        }
+        let mut usages: BTreeSet<String> = BTreeSet::new();
+        for &i in &ids {
+            usages.extend(self.classes[i].usages.iter().cloned());
+        }
+        // Remove members (descending index), then append the merged class.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for i in sorted {
+            self.classes.remove(i);
+        }
+        self.classes.push(RtClass {
+            name: new_name.to_owned(),
+            opu,
+            usages,
+        });
+        Ok(ClassId(self.classes.len() - 1))
+    }
+
+    /// Renames class `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn rename(&mut self, id: ClassId, name: &str) {
+        self.classes[id.0].name = name.to_owned();
+    }
+
+    /// Determines the class of an RT: the unique class matching the RT's
+    /// OPU usage. Returns `None` for RTs that use no classified OPU.
+    ///
+    /// "Every RT generated in step 1 of the compiler belongs to exactly
+    /// one RT class."
+    pub fn class_of(&self, rt: &Rt) -> Option<ClassId> {
+        for (resource, usage) in rt.usages() {
+            for (i, class) in self.classes.iter().enumerate() {
+                if class.matches(resource.name(), usage.op()) {
+                    return Some(ClassId(i));
+                }
+            }
+        }
+        None
+    }
+
+    /// Formats the figure-5 style table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("OPU Resource  Usage        Class\n");
+        for c in &self.classes {
+            let usages: Vec<&str> = c.usages().collect();
+            out.push_str(&format!(
+                "{:<13} {:<12} {}\n",
+                c.opu.name(),
+                usages.join(","),
+                c.name
+            ));
+        }
+        out
+    }
+}
+
+/// Spreadsheet-style name: A, B, …, Z, AA, AB, …
+fn letter_name(index: usize) -> String {
+    let mut n = index;
+    let mut s = String::new();
+    loop {
+        s.insert(0, (b'A' + (n % 26) as u8) as char);
+        if n < 26 {
+            break;
+        }
+        n = n / 26 - 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_arch::{DatapathBuilder, OpuKind};
+    use dspcc_ir::Usage;
+
+    fn small_dp() -> Datapath {
+        DatapathBuilder::new()
+            .register_file("rf_a", 2)
+            .opu(OpuKind::Acu, "acu_1", &[("add", 1), ("addmod", 1), ("inca", 1)])
+            .inputs("acu_1", &["rf_a"])
+            .output("acu_1", "bus_acu")
+            .opu(OpuKind::Ram, "ram_1", &[("read", 1), ("write", 1)])
+            .memory("ram_1", 16)
+            .inputs("ram_1", &["rf_a"])
+            .output("ram_1", "bus_ram")
+            .write_port("rf_a", &["bus_acu", "bus_ram"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identify_enumerates_opu_usage_pairs() {
+        // Figure 5: acu_1 add/addmod/inca → A,B,C; ram_1 read/write → D,E.
+        let c = Classification::identify(&small_dp());
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.class(ClassId(0)).name(), "A");
+        assert_eq!(c.class(ClassId(4)).name(), "E");
+        assert!(c.class(ClassId(0)).matches("acu_1", "add"));
+        assert!(c.class(ClassId(3)).matches("ram_1", "read"));
+    }
+
+    #[test]
+    fn merge_combines_usages_of_one_opu() {
+        // Figure 5's class E is (ram_1, {read, write}).
+        let mut c = Classification::identify(&small_dp());
+        let id = c.merge(&["D", "E"], "E").unwrap();
+        assert_eq!(c.len(), 4);
+        let merged = c.class(id);
+        assert_eq!(merged.name(), "E");
+        let usages: Vec<&str> = merged.usages().collect();
+        assert_eq!(usages, vec!["read", "write"]);
+    }
+
+    #[test]
+    fn merge_rejects_cross_opu() {
+        let mut c = Classification::identify(&small_dp());
+        let err = c.merge(&["A", "D"], "Z").unwrap_err();
+        assert!(err.contains("different OPUs"));
+    }
+
+    #[test]
+    fn merge_rejects_unknown() {
+        let mut c = Classification::identify(&small_dp());
+        assert!(c.merge(&["Q"], "Z").unwrap_err().contains("unknown"));
+        assert!(c.merge(&[], "Z").is_err());
+    }
+
+    #[test]
+    fn class_of_rt_uses_opu_usage() {
+        let c = Classification::identify(&small_dp());
+        let mut rt = Rt::new("x");
+        rt.add_usage("acu_1", Usage::token("addmod"));
+        rt.add_usage("bus_acu", Usage::apply("addmod", ["v1"]));
+        assert_eq!(c.class_of(&rt), c.by_name("B"));
+    }
+
+    #[test]
+    fn class_of_unclassified_rt_is_none() {
+        let c = Classification::identify(&small_dp());
+        let mut rt = Rt::new("x");
+        rt.add_usage("mystery", Usage::token("op"));
+        assert_eq!(c.class_of(&rt), None);
+    }
+
+    #[test]
+    fn class_of_merged_class() {
+        let mut c = Classification::identify(&small_dp());
+        c.merge(&["D", "E"], "X").unwrap();
+        let mut read = Rt::new("r");
+        read.add_usage("ram_1", Usage::token("read"));
+        let mut write = Rt::new("w");
+        write.add_usage("ram_1", Usage::token("write"));
+        assert_eq!(c.class_of(&read), c.by_name("X"));
+        assert_eq!(c.class_of(&read), c.class_of(&write));
+    }
+
+    #[test]
+    fn letter_names_extend_past_z() {
+        assert_eq!(letter_name(0), "A");
+        assert_eq!(letter_name(25), "Z");
+        assert_eq!(letter_name(26), "AA");
+        assert_eq!(letter_name(27), "AB");
+    }
+
+    #[test]
+    fn table_format() {
+        let c = Classification::identify(&small_dp());
+        let t = c.to_table();
+        assert!(t.contains("acu_1"));
+        assert!(t.contains("read"));
+        assert!(t.lines().count() >= 6);
+    }
+
+    #[test]
+    fn rename_and_by_name() {
+        let mut c = Classification::identify(&small_dp());
+        let id = c.by_name("A").unwrap();
+        c.rename(id, "AddClass");
+        assert_eq!(c.by_name("AddClass"), Some(id));
+        assert_eq!(c.by_name("A"), None);
+    }
+
+    #[test]
+    fn display_class() {
+        let class = RtClass::new("E", "ram_1", &["read", "write"]);
+        assert_eq!(class.to_string(), "E: (ram_1, {read, write})");
+    }
+}

@@ -1,0 +1,448 @@
+//! Instruction types, instruction sets, construction rules, conflict
+//! graphs (paper section 6.2).
+//!
+//! ```text
+//! instruction type = {class1, class2, ...}
+//! instruction set  = {instr_type1, instr_type2, ...}
+//! ```
+//!
+//! Construction rules for *allowed* instruction sets:
+//!
+//! 1. the NOP (empty type) is included;
+//! 2. every individual RT class is a valid type;
+//! 3. every subset of a valid type is a valid type;
+//! 4. if all 2-subsets of a set are valid types, the set itself is a valid
+//!    type (the paper states the 3-class case; the general form follows by
+//!    induction and is what makes "conflict" a *binary* relation).
+//!
+//! Rules 3+4 make the set of valid types exactly the set of independent
+//! sets of the **conflict graph**: classes are nodes, and an edge joins two
+//! classes that never occur together in any type.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dspcc_graph::cliques::maximal_cliques;
+use dspcc_graph::UndirectedGraph;
+
+use crate::classes::ClassId;
+
+/// An instruction set over classes `0..class_count`.
+///
+/// See the [module docs](self) for the construction rules; use
+/// [`InstructionSet::closure`] to build a rule-conforming set from desired
+/// types, or [`InstructionSet::from_types`] + [`InstructionSet::validate`]
+/// to check a hand-written one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstructionSet {
+    class_count: usize,
+    types: BTreeSet<BTreeSet<ClassId>>,
+}
+
+/// Violation of the instruction-set construction rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Rule 1: the NOP is missing.
+    MissingNop,
+    /// Rule 2: a singleton type is missing.
+    MissingSingleton(ClassId),
+    /// Rule 3: a subset of a valid type is missing.
+    NotDownwardClosed {
+        /// The valid type whose subset is missing.
+        of: Vec<ClassId>,
+        /// The missing subset.
+        missing: Vec<ClassId>,
+    },
+    /// Rule 4: all pairs of these classes are valid but the set is not.
+    PairwiseButNotJoint(Vec<ClassId>),
+    /// A type references a class id ≥ `class_count`.
+    UnknownClass(ClassId),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::MissingNop => write!(f, "rule 1 violated: NOP type missing"),
+            IsaError::MissingSingleton(c) => {
+                write!(f, "rule 2 violated: singleton type {{{c}}} missing")
+            }
+            IsaError::NotDownwardClosed { of, missing } => write!(
+                f,
+                "rule 3 violated: {missing:?} (subset of valid type {of:?}) is not a valid type"
+            ),
+            IsaError::PairwiseButNotJoint(t) => write!(
+                f,
+                "rule 4 violated: all pairs of {t:?} are valid types but the set is not"
+            ),
+            IsaError::UnknownClass(c) => write!(f, "type references unknown {c}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+impl InstructionSet {
+    /// Builds an instruction set from an explicit list of types (each a
+    /// list of class ids). Duplicates are merged; no rules are enforced —
+    /// call [`InstructionSet::validate`].
+    pub fn from_types(class_count: usize, types: &[Vec<usize>]) -> Self {
+        let types = types
+            .iter()
+            .map(|t| t.iter().map(|&c| ClassId(c)).collect())
+            .collect();
+        InstructionSet { class_count, types }
+    }
+
+    /// Builds the smallest allowed instruction set containing the
+    /// `desired` types, by applying the construction rules: NOP and
+    /// singletons are added, subsets are added (rule 3), and
+    /// pairwise-compatible sets are completed (rule 4).
+    ///
+    /// This reproduces the paper's example: desired
+    /// `{S,T}, {S,U,V}, {X,Y}` closes to the 13-type set `I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_count > 24` (the closure is exponential in the
+    /// number of classes — real instruction sets have few classes; use the
+    /// conflict graph directly for bigger experiments) or if a desired
+    /// type references an out-of-range class.
+    pub fn closure(class_count: usize, desired: &[Vec<usize>]) -> Self {
+        assert!(
+            class_count <= 24,
+            "closure enumerates up to 2^n types; {class_count} classes is too many"
+        );
+        for t in desired {
+            for &c in t {
+                assert!(c < class_count, "class {c} out of range");
+            }
+        }
+        // Compatible pairs: those inside some desired type.
+        let mut compat = UndirectedGraph::new(class_count);
+        for t in desired {
+            for (i, &a) in t.iter().enumerate() {
+                for &b in &t[i + 1..] {
+                    compat.add_edge(a, b);
+                }
+            }
+        }
+        // Valid types = independent sets of the conflict graph = cliques of
+        // the compatibility graph, plus NOP and singletons.
+        let mut types: BTreeSet<BTreeSet<ClassId>> = BTreeSet::new();
+        types.insert(BTreeSet::new());
+        for c in 0..class_count {
+            types.insert([ClassId(c)].into_iter().collect());
+        }
+        for maximal in maximal_cliques(&compat) {
+            // All subsets of each maximal clique.
+            let n = maximal.len();
+            for mask in 1u32..(1 << n) {
+                let t: BTreeSet<ClassId> = (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| ClassId(maximal[i]))
+                    .collect();
+                types.insert(t);
+            }
+        }
+        InstructionSet { class_count, types }
+    }
+
+    /// Number of RT classes this set ranges over.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// All types, smallest first (NOP, singletons, pairs, …).
+    pub fn types(&self) -> Vec<Vec<ClassId>> {
+        let mut out: Vec<Vec<ClassId>> = self
+            .types
+            .iter()
+            .map(|t| t.iter().copied().collect())
+            .collect();
+        out.sort_by_key(|t: &Vec<ClassId>| (t.len(), t.clone()));
+        out
+    }
+
+    /// Whether the given set of classes is an allowed instruction type.
+    pub fn allows(&self, classes: &[ClassId]) -> bool {
+        let set: BTreeSet<ClassId> = classes.iter().copied().collect();
+        self.types.contains(&set)
+    }
+
+    /// Checks construction rules 1–4.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule with a witness.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        for t in &self.types {
+            for &c in t {
+                if c.0 >= self.class_count {
+                    return Err(IsaError::UnknownClass(c));
+                }
+            }
+        }
+        // Rule 1.
+        if !self.types.contains(&BTreeSet::new()) {
+            return Err(IsaError::MissingNop);
+        }
+        // Rule 2.
+        for c in 0..self.class_count {
+            let singleton: BTreeSet<ClassId> = [ClassId(c)].into_iter().collect();
+            if !self.types.contains(&singleton) {
+                return Err(IsaError::MissingSingleton(ClassId(c)));
+            }
+        }
+        // Rule 3: removing any one element of a type yields a type
+        // (sufficient for full downward closure by induction).
+        for t in &self.types {
+            for &c in t {
+                let mut sub = t.clone();
+                sub.remove(&c);
+                if !self.types.contains(&sub) {
+                    return Err(IsaError::NotDownwardClosed {
+                        of: t.iter().copied().collect(),
+                        missing: sub.into_iter().collect(),
+                    });
+                }
+            }
+        }
+        // Rule 4: every maximal independent set of the conflict graph must
+        // be a type (with rule 3 this makes types = independent sets).
+        let conflict = self.conflict_graph();
+        let compat = conflict.complement();
+        for clique in maximal_cliques(&compat) {
+            let t: BTreeSet<ClassId> = clique.iter().map(|&c| ClassId(c)).collect();
+            if !self.types.contains(&t) {
+                return Err(IsaError::PairwiseButNotJoint(t.into_iter().collect()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The conflict graph (paper figure 6): nodes are classes, and an edge
+    /// joins two classes that occur together in **no** instruction type.
+    pub fn conflict_graph(&self) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(self.class_count);
+        for a in 0..self.class_count {
+            for b in (a + 1)..self.class_count {
+                let together = self
+                    .types
+                    .iter()
+                    .any(|t| t.contains(&ClassId(a)) && t.contains(&ClassId(b)));
+                if !together {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Display for InstructionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.types().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if t.is_empty() {
+                write!(f, "NOP")?;
+            } else {
+                write!(f, "{{")?;
+                for (j, c) in t.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", c.0)?;
+                }
+                write!(f, "}}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Class indices for the paper's example: S=0,T=1,U=2,V=3,X=4,Y=5.
+    const S: usize = 0;
+    const T: usize = 1;
+    const U: usize = 2;
+    const V: usize = 3;
+    const X: usize = 4;
+    const Y: usize = 5;
+
+    fn paper_set() -> InstructionSet {
+        InstructionSet::closure(6, &[vec![S, T], vec![S, U, V], vec![X, Y]])
+    }
+
+    #[test]
+    fn paper_closure_has_13_types() {
+        // I = {NOP, {S},{T},{U},{V},{X},{Y}, {S,U},{S,V},{U,V},{S,U,V},
+        //      {S,T},{X,Y}}
+        let iset = paper_set();
+        assert_eq!(iset.types().len(), 13);
+        assert!(iset.allows(&[]));
+        for c in 0..6 {
+            assert!(iset.allows(&[ClassId(c)]));
+        }
+        let yes: &[&[usize]] = &[&[S, U], &[S, V], &[U, V], &[S, U, V], &[S, T], &[X, Y]];
+        for t in yes {
+            let ids: Vec<ClassId> = t.iter().map(|&c| ClassId(c)).collect();
+            assert!(iset.allows(&ids), "{t:?} should be allowed");
+        }
+        let no: &[&[usize]] = &[&[S, X], &[T, U], &[S, T, U], &[X, Y, S], &[T, V]];
+        for t in no {
+            let ids: Vec<ClassId> = t.iter().map(|&c| ClassId(c)).collect();
+            assert!(!iset.allows(&ids), "{t:?} should be forbidden");
+        }
+    }
+
+    #[test]
+    fn paper_closure_validates() {
+        paper_set().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_conflict_graph_matches_figure_6() {
+        let g = paper_set().conflict_graph();
+        // Compatible pairs: S-T, S-U, S-V, U-V, X-Y. All 10 others conflict.
+        assert_eq!(g.edge_count(), 10);
+        for (a, b) in [(S, T), (S, U), (S, V), (U, V), (X, Y)] {
+            assert!(!g.has_edge(a, b), "{a}-{b} must be compatible");
+        }
+        for (a, b) in [
+            (S, X),
+            (S, Y),
+            (T, U),
+            (T, V),
+            (T, X),
+            (T, Y),
+            (U, X),
+            (U, Y),
+            (V, X),
+            (V, Y),
+        ] {
+            assert!(g.has_edge(a, b), "{a}-{b} must conflict");
+        }
+    }
+
+    #[test]
+    fn missing_nop_detected() {
+        let iset = InstructionSet::from_types(2, &[vec![0], vec![1]]);
+        assert_eq!(iset.validate(), Err(IsaError::MissingNop));
+    }
+
+    #[test]
+    fn missing_singleton_detected() {
+        let iset = InstructionSet::from_types(2, &[vec![], vec![0]]);
+        assert_eq!(
+            iset.validate(),
+            Err(IsaError::MissingSingleton(ClassId(1)))
+        );
+    }
+
+    #[test]
+    fn not_downward_closed_detected() {
+        // {0,1} valid but {1} missing… include singletons 0 and 1 but not
+        // the pair {0,1}'s subset {1}? Build: NOP, {0}, {0,1} — missing {1}
+        // trips rule 2 first; to isolate rule 3 use a triple.
+        let iset = InstructionSet::from_types(
+            3,
+            &[vec![], vec![0], vec![1], vec![2], vec![0, 1, 2]],
+        );
+        match iset.validate() {
+            Err(IsaError::NotDownwardClosed { .. }) => {}
+            other => panic!("expected rule-3 violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pairwise_but_not_joint_detected() {
+        // Rule 4's own example: {S,U},{S,V},{U,V} valid ⇒ {S,U,V} required.
+        let iset = InstructionSet::from_types(
+            3,
+            &[
+                vec![],
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+            ],
+        );
+        assert_eq!(
+            iset.validate(),
+            Err(IsaError::PairwiseButNotJoint(vec![
+                ClassId(0),
+                ClassId(1),
+                ClassId(2)
+            ]))
+        );
+    }
+
+    #[test]
+    fn unknown_class_detected() {
+        let iset = InstructionSet::from_types(1, &[vec![], vec![0], vec![5]]);
+        assert_eq!(iset.validate(), Err(IsaError::UnknownClass(ClassId(5))));
+    }
+
+    #[test]
+    fn closure_of_nothing_is_nop_plus_singletons() {
+        let iset = InstructionSet::closure(3, &[]);
+        assert_eq!(iset.types().len(), 4);
+        iset.validate().unwrap();
+        // Fully serial: conflict graph is complete.
+        assert_eq!(iset.conflict_graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn closure_of_everything_is_powerset() {
+        let iset = InstructionSet::closure(4, &[vec![0, 1, 2, 3]]);
+        assert_eq!(iset.types().len(), 16);
+        iset.validate().unwrap();
+        assert_eq!(iset.conflict_graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn closure_applies_rule_4_transitively() {
+        // Desired pairs {0,1},{0,2},{1,2} — closure must add {0,1,2}.
+        let iset = InstructionSet::closure(3, &[vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert!(iset.allows(&[ClassId(0), ClassId(1), ClassId(2)]));
+        iset.validate().unwrap();
+    }
+
+    #[test]
+    fn display_lists_nop_first() {
+        let iset = InstructionSet::closure(2, &[vec![0, 1]]);
+        let s = iset.to_string();
+        assert!(s.starts_with("{NOP, {0}, {1}, {0,1}}"), "{s}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(IsaError::MissingNop.to_string().contains("rule 1"));
+        assert!(IsaError::MissingSingleton(ClassId(2))
+            .to_string()
+            .contains("rule 2"));
+        assert!(IsaError::PairwiseButNotJoint(vec![])
+            .to_string()
+            .contains("rule 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn closure_guards_class_count() {
+        InstructionSet::closure(25, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn closure_guards_class_range() {
+        InstructionSet::closure(2, &[vec![0, 7]]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Instruction-set modelling — the paper's core contribution (section 6).
+//!
+//! RTs without a datapath resource conflict may still be forbidden from
+//! executing in parallel *by the instruction set* (e.g. because a vertical
+//! microcode encoding is preferred). The paper defines a class of
+//! instruction sets whose parallelism restrictions can be modelled
+//! **statically, before scheduling**, as ordinary resource conflicts:
+//!
+//! 1. [`classes`] — every RT belongs to exactly one *RT class*, determined
+//!    by the OPU resource it uses and the way it is used (figure 5).
+//!    Classes can be merged when their distinction carries no scheduling
+//!    information (section 7 merges 13 classes down to 9).
+//! 2. [`iset`] — an *instruction type* is a set of RT classes; an
+//!    *instruction set* is a set of instruction types obeying construction
+//!    rules 1–4 (NOP present, singletons present, downward closed, and
+//!    pairwise-compatible ⇒ jointly allowed). Under these rules the
+//!    allowed types are exactly the independent sets of a *conflict graph*
+//!    over RT classes.
+//! 3. [`conflict`] — the conflict graph's edges are covered with cliques;
+//!    each clique becomes an **artificial resource** added to every RT of
+//!    its member classes, with the RT's class as usage. Conflicting
+//!    classes then disagree on an artificial resource, and the scheduler
+//!    needs no knowledge of the instruction set at all.
+//!
+//! # Example: the paper's instruction set `I`
+//!
+//! ```
+//! use dspcc_isa::iset::InstructionSet;
+//!
+//! // Classes S,T,U,V,X,Y = 0..6; desired types {S,T},{S,U,V},{X,Y}.
+//! let iset = InstructionSet::closure(6, &[
+//!     vec![0, 1],
+//!     vec![0, 2, 3],
+//!     vec![4, 5],
+//! ]);
+//! assert_eq!(iset.types().len(), 13); // NOP + 6 singletons + 6 larger
+//! iset.validate().unwrap();
+//! let g = iset.conflict_graph();
+//! assert_eq!(g.edge_count(), 10); // figure 6
+//! ```
+
+pub mod classes;
+pub mod conflict;
+pub mod iset;
+
+pub use classes::{ClassId, Classification, RtClass};
+pub use conflict::{
+    apply_artificial_resources, artificial_resources, artificial_resources_for_graph,
+    ArtificialResource, CoverStrategy,
+};
+pub use iset::{InstructionSet, IsaError};

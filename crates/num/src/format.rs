@@ -1,0 +1,276 @@
+//! Word formats: width-parameterised two's-complement fixed point.
+
+use std::fmt;
+
+/// A two's-complement fixed-point word format of a given bit width.
+///
+/// The audio core of the paper works on one word length throughout the
+/// datapath; the width is a parameter of the core definition (section 5:
+/// "program and instruction bus width … are parameters"). Widths from 2 to
+/// 48 bits are supported so double-precision accumulators can be modelled
+/// too.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_num::WordFormat;
+///
+/// let q15 = WordFormat::new(16)?;
+/// assert_eq!(q15.min_value(), -32768);
+/// assert_eq!(q15.max_value(), 32767);
+/// assert_eq!(q15.wrap(32768), -32768);   // adder overflow wraps
+/// assert_eq!(q15.saturate(32768), 32767); // clip saturates
+/// # Ok::<(), dspcc_num::WordFormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WordFormat {
+    width: u32,
+}
+
+/// Error constructing a [`WordFormat`] with an unsupported width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordFormatError {
+    width: u32,
+}
+
+impl fmt::Display for WordFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsupported word width {} (supported: 2..=48 bits)",
+            self.width
+        )
+    }
+}
+
+impl std::error::Error for WordFormatError {}
+
+impl WordFormat {
+    /// Creates a format of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WordFormatError`] unless `2 <= width <= 48`.
+    pub fn new(width: u32) -> Result<Self, WordFormatError> {
+        if (2..=48).contains(&width) {
+            Ok(WordFormat { width })
+        } else {
+            Err(WordFormatError { width })
+        }
+    }
+
+    /// The standard 16-bit audio format (Q15).
+    pub fn q15() -> Self {
+        WordFormat { width: 16 }
+    }
+
+    /// Bit width of the word.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of fractional bits under the Q(width−1) interpretation.
+    pub fn frac_bits(&self) -> u32 {
+        self.width - 1
+    }
+
+    /// Smallest representable value, −2^(width−1).
+    pub fn min_value(&self) -> i64 {
+        -(1i64 << (self.width - 1))
+    }
+
+    /// Largest representable value, 2^(width−1) − 1.
+    pub fn max_value(&self) -> i64 {
+        (1i64 << (self.width - 1)) - 1
+    }
+
+    /// Returns whether `v` is representable without wrapping.
+    pub fn contains(&self, v: i64) -> bool {
+        v >= self.min_value() && v <= self.max_value()
+    }
+
+    /// Reduces `v` into the word range modulo 2^width (hardware adder
+    /// overflow behaviour).
+    pub fn wrap(&self, v: i64) -> i64 {
+        let modulus = 1i64 << self.width;
+        let m = v.rem_euclid(modulus);
+        if m > self.max_value() {
+            m - modulus
+        } else {
+            m
+        }
+    }
+
+    /// Clamps `v` into the word range (the `clip` datapath action).
+    pub fn saturate(&self, v: i64) -> i64 {
+        v.clamp(self.min_value(), self.max_value())
+    }
+
+    /// Wrapping addition: `wrap(a + b)`.
+    pub fn add(&self, a: i64, b: i64) -> i64 {
+        self.wrap(a + b)
+    }
+
+    /// Saturating addition: `saturate(a + b)` — the ALU's `add_clip`.
+    pub fn add_clip(&self, a: i64, b: i64) -> i64 {
+        self.saturate(a + b)
+    }
+
+    /// Wrapping subtraction: `wrap(a - b)`.
+    pub fn sub(&self, a: i64, b: i64) -> i64 {
+        self.wrap(a - b)
+    }
+
+    /// Q-format multiplication: full product, arithmetic shift right by
+    /// width−1, wrap.
+    ///
+    /// The only product that can exceed the range after the shift is
+    /// −1.0 × −1.0 (e.g. Q15: −32768²≫15 = 32768), which wraps to −1.0 —
+    /// the behaviour of a bare hardware multiplier without a saturation
+    /// stage. Use [`WordFormat::mult_clip`] for the saturating variant.
+    pub fn mult(&self, a: i64, b: i64) -> i64 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        self.wrap((a * b) >> self.frac_bits())
+    }
+
+    /// Saturating Q-format multiplication.
+    pub fn mult_clip(&self, a: i64, b: i64) -> i64 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        self.saturate((a * b) >> self.frac_bits())
+    }
+
+    /// Converts a real number in \[−1, 1) to the nearest representable
+    /// fixed-point value, saturating outside the range.
+    pub fn from_f64(&self, x: f64) -> i64 {
+        let scaled = (x * (1i64 << self.frac_bits()) as f64).round() as i64;
+        self.saturate(scaled)
+    }
+
+    /// Real value of a fixed-point word under the Q(width−1) interpretation.
+    pub fn to_f64(&self, v: i64) -> f64 {
+        v as f64 / (1i64 << self.frac_bits()) as f64
+    }
+}
+
+impl Default for WordFormat {
+    /// Defaults to [`WordFormat::q15`], the 16-bit audio format.
+    fn default() -> Self {
+        WordFormat::q15()
+    }
+}
+
+impl fmt::Display for WordFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", 1, self.frac_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bounds_enforced() {
+        assert!(WordFormat::new(1).is_err());
+        assert!(WordFormat::new(49).is_err());
+        assert!(WordFormat::new(2).is_ok());
+        assert!(WordFormat::new(48).is_ok());
+        let err = WordFormat::new(64).unwrap_err();
+        assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    fn q15_range() {
+        let f = WordFormat::q15();
+        assert_eq!(f.width(), 16);
+        assert_eq!(f.min_value(), -32768);
+        assert_eq!(f.max_value(), 32767);
+        assert_eq!(f.frac_bits(), 15);
+    }
+
+    #[test]
+    fn wrap_behaves_like_twos_complement() {
+        let f = WordFormat::q15();
+        assert_eq!(f.wrap(32767), 32767);
+        assert_eq!(f.wrap(32768), -32768);
+        assert_eq!(f.wrap(-32769), 32767);
+        assert_eq!(f.wrap(65536), 0);
+        assert_eq!(f.wrap(0), 0);
+    }
+
+    #[test]
+    fn saturate_clamps() {
+        let f = WordFormat::q15();
+        assert_eq!(f.saturate(100_000), 32767);
+        assert_eq!(f.saturate(-100_000), -32768);
+        assert_eq!(f.saturate(1234), 1234);
+    }
+
+    #[test]
+    fn add_wraps_add_clip_saturates() {
+        let f = WordFormat::q15();
+        assert_eq!(f.add(32767, 1), -32768);
+        assert_eq!(f.add_clip(32767, 1), 32767);
+        assert_eq!(f.add_clip(-32768, -1), -32768);
+        assert_eq!(f.add(1000, 2000), 3000);
+    }
+
+    #[test]
+    fn mult_q_format() {
+        let f = WordFormat::q15();
+        let half = f.from_f64(0.5);
+        assert_eq!(f.mult(half, half), f.from_f64(0.25));
+        // -1.0 * -1.0 wraps to -1.0 (hardware multiplier), saturates to ~1.0.
+        assert_eq!(f.mult(-32768, -32768), -32768);
+        assert_eq!(f.mult_clip(-32768, -32768), 32767);
+    }
+
+    #[test]
+    fn mult_zero_and_identity() {
+        let f = WordFormat::q15();
+        assert_eq!(f.mult(0, 12345), 0);
+        // Multiplying by ~1.0 (max_value) loses only the LSB scaling.
+        let x = 16384; // 0.5
+        let y = f.mult(f.max_value(), x);
+        assert!((f.to_f64(y) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_to_f64_round_trip() {
+        let f = WordFormat::q15();
+        for &x in &[0.0, 0.5, -0.5, 0.999, -1.0, 0.123456] {
+            let v = f.from_f64(x);
+            assert!((f.to_f64(v) - x).abs() < 1e-4, "round-trip failed for {x}");
+        }
+    }
+
+    #[test]
+    fn from_f64_saturates_out_of_range() {
+        let f = WordFormat::q15();
+        assert_eq!(f.from_f64(2.0), f.max_value());
+        assert_eq!(f.from_f64(-2.0), f.min_value());
+    }
+
+    #[test]
+    fn narrow_format() {
+        let f = WordFormat::new(4).unwrap(); // range -8..=7
+        assert_eq!(f.min_value(), -8);
+        assert_eq!(f.max_value(), 7);
+        assert_eq!(f.wrap(8), -8);
+        assert_eq!(f.add(7, 1), -8);
+        assert_eq!(f.add_clip(7, 1), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(WordFormat::q15().to_string(), "Q1.15");
+        assert_eq!(WordFormat::default(), WordFormat::q15());
+    }
+
+    #[test]
+    fn sub_wraps() {
+        let f = WordFormat::q15();
+        assert_eq!(f.sub(-32768, 1), 32767);
+        assert_eq!(f.sub(100, 40), 60);
+    }
+}

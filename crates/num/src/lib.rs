@@ -1,0 +1,198 @@
+//! Fixed-point saturating DSP arithmetic for `dspcc`.
+//!
+//! The in-house DSP cores of the paper (digital audio domain, section 7)
+//! compute on two's-complement fixed-point words; the application of
+//! figure 7 uses multiplications, additions, *clip* (saturating) actions and
+//! delays. This crate defines that arithmetic **once**, so the reference
+//! interpreter (`dspcc-dfg`) and the cycle-accurate simulator (`dspcc-sim`)
+//! are bit-exact against each other by construction.
+//!
+//! # Semantics
+//!
+//! All values are `width`-bit two's-complement integers carried in `i64`.
+//! The fractional interpretation is Q(width−1): the implicit binary point
+//! sits after the sign bit, matching the paper's audio coefficients.
+//!
+//! * [`WordFormat::wrap`] — reduce into the word range modulo 2^width
+//!   (what a plain hardware adder does on overflow).
+//! * [`WordFormat::saturate`] — clamp into the word range (the `clip`
+//!   actions of the application: `add_clip`, `pass_clip`).
+//! * [`WordFormat::mult`] — full-precision product, arithmetic shift right
+//!   by width−1 (Q-format renormalisation), then wrap.
+//!
+//! # Example
+//!
+//! ```
+//! use dspcc_num::WordFormat;
+//!
+//! let q15 = WordFormat::new(16).unwrap();
+//! // 0.5 * 0.5 = 0.25 in Q15.
+//! let half = q15.from_f64(0.5);
+//! assert_eq!(q15.to_f64(q15.mult(half, half)), 0.25);
+//! // Saturating addition clips at full scale.
+//! let max = q15.max_value();
+//! assert_eq!(q15.add_clip(max, max), max);
+//! ```
+
+use std::fmt;
+
+mod format;
+
+pub use format::{WordFormat, WordFormatError};
+
+/// Address arithmetic of the ACU (address computation unit).
+///
+/// Delay lines live in RAM as circular buffers; the ACU computes
+/// `(base + offset) mod modulus` — the paper's `addmod` usage — and simple
+/// increments (`inca`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Acu;
+
+impl Acu {
+    /// `(base + offset) mod modulus` with a non-negative result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0`.
+    pub fn addmod(base: i64, offset: i64, modulus: i64) -> i64 {
+        assert!(modulus > 0, "addmod modulus must be positive");
+        (base + offset).rem_euclid(modulus)
+    }
+
+    /// `(addr + 1) mod modulus` — the `inca` usage of figure 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0`.
+    pub fn inca(addr: i64, modulus: i64) -> i64 {
+        Self::addmod(addr, 1, modulus)
+    }
+}
+
+/// A value tagged with its [`WordFormat`], for ergonomic chained arithmetic
+/// in examples and tests.
+///
+/// The compiler pipeline itself works on raw `i64` + [`WordFormat`] to keep
+/// the datapath hot loops allocation- and branch-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sample {
+    value: i64,
+    format: WordFormat,
+}
+
+impl Sample {
+    /// Wraps `value` into `format` and tags it.
+    pub fn new(format: WordFormat, value: i64) -> Self {
+        Sample {
+            value: format.wrap(value),
+            format,
+        }
+    }
+
+    /// The raw integer value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// The format this sample is in.
+    pub fn format(&self) -> WordFormat {
+        self.format
+    }
+
+    /// Wrapping addition (plain hardware adder).
+    #[must_use]
+    pub fn add(self, rhs: Sample) -> Sample {
+        Sample::new(self.format, self.format.add(self.value, rhs.value))
+    }
+
+    /// Saturating addition (`add_clip`).
+    #[must_use]
+    pub fn add_clip(self, rhs: Sample) -> Sample {
+        Sample::new(self.format, self.format.add_clip(self.value, rhs.value))
+    }
+
+    /// Q-format multiplication.
+    #[must_use]
+    pub fn mult(self, rhs: Sample) -> Sample {
+        Sample::new(self.format, self.format.mult(self.value, rhs.value))
+    }
+
+    /// Saturating identity (`pass_clip`).
+    #[must_use]
+    pub fn pass_clip(self) -> Sample {
+        Sample::new(self.format, self.format.saturate(self.value))
+    }
+
+    /// Approximate real value under the Q(width−1) interpretation.
+    pub fn to_f64(self) -> f64 {
+        self.format.to_f64(self.value)
+    }
+}
+
+impl fmt::Display for Sample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acu_addmod_wraps_circular_buffer() {
+        assert_eq!(Acu::addmod(6, 3, 8), 1);
+        assert_eq!(Acu::addmod(0, 0, 8), 0);
+        assert_eq!(Acu::addmod(7, 1, 8), 0);
+    }
+
+    #[test]
+    fn acu_addmod_handles_negative_offsets() {
+        // Reading "2 frames ago" steps backwards through the buffer.
+        assert_eq!(Acu::addmod(0, -2, 8), 6);
+        assert_eq!(Acu::addmod(1, -2, 8), 7);
+    }
+
+    #[test]
+    fn acu_inca_is_addmod_one() {
+        for addr in 0..8 {
+            assert_eq!(Acu::inca(addr, 8), Acu::addmod(addr, 1, 8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn acu_zero_modulus_panics() {
+        Acu::addmod(1, 1, 0);
+    }
+
+    #[test]
+    fn sample_chained_arithmetic() {
+        let q15 = WordFormat::new(16).unwrap();
+        let a = Sample::new(q15, q15.from_f64(0.5));
+        let b = Sample::new(q15, q15.from_f64(0.25));
+        let y = a.mult(b).add(b); // 0.5*0.25 + 0.25 = 0.375
+        assert!((y.to_f64() - 0.375).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sample_display_is_nonempty() {
+        let q15 = WordFormat::new(16).unwrap();
+        let s = Sample::new(q15, 0);
+        assert_eq!(s.to_string(), "+0.000000");
+    }
+
+    #[test]
+    fn sample_new_wraps_out_of_range() {
+        let q15 = WordFormat::new(16).unwrap();
+        let s = Sample::new(q15, 1 << 20);
+        assert!(s.value() >= q15.min_value() && s.value() <= q15.max_value());
+    }
+
+    #[test]
+    fn sample_pass_clip_saturates() {
+        let q15 = WordFormat::new(16).unwrap();
+        let max = Sample::new(q15, q15.max_value());
+        assert_eq!(max.pass_clip().value(), q15.max_value());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the fixed-point arithmetic substrate.
+
+use dspcc_num::{Acu, WordFormat};
+use proptest::prelude::*;
+
+fn arb_format() -> impl Strategy<Value = WordFormat> {
+    (2u32..=32).prop_map(|w| WordFormat::new(w).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn wrap_is_idempotent_in_range((f, v) in arb_format().prop_flat_map(|f| (Just(f), any::<i64>().prop_map(|v| v % (1i64 << 50))))) {
+        let w = f.wrap(v);
+        prop_assert!(f.contains(w));
+        prop_assert_eq!(f.wrap(w), w);
+    }
+
+    #[test]
+    fn wrap_is_congruent_mod_2w((f, v) in arb_format().prop_flat_map(|f| (Just(f), -(1i64 << 40)..(1i64 << 40)))) {
+        let w = f.wrap(v);
+        let modulus = 1i64 << f.width();
+        prop_assert_eq!((w - v).rem_euclid(modulus), 0);
+    }
+
+    #[test]
+    fn saturate_is_identity_in_range((f, v) in arb_format().prop_flat_map(|f| (Just(f), f.min_value()..=f.max_value()))) {
+        prop_assert_eq!(f.saturate(v), v);
+        prop_assert_eq!(f.wrap(v), v);
+    }
+
+    #[test]
+    fn add_clip_never_leaves_range((f, a, b) in arb_format().prop_flat_map(|f| (Just(f), f.min_value()..=f.max_value(), f.min_value()..=f.max_value()))) {
+        let s = f.add_clip(a, b);
+        prop_assert!(f.contains(s));
+        // Saturating add is monotone: result is between min(a,b) growth bounds.
+        prop_assert!(s >= f.min_value() && s <= f.max_value());
+    }
+
+    #[test]
+    fn add_agrees_with_clip_when_no_overflow((f, a, b) in arb_format().prop_flat_map(|f| (Just(f), f.min_value()..=f.max_value(), f.min_value()..=f.max_value()))) {
+        if f.contains(a + b) {
+            prop_assert_eq!(f.add(a, b), a + b);
+            prop_assert_eq!(f.add_clip(a, b), a + b);
+        }
+    }
+
+    #[test]
+    fn add_is_commutative((f, a, b) in arb_format().prop_flat_map(|f| (Just(f), f.min_value()..=f.max_value(), f.min_value()..=f.max_value()))) {
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.add_clip(a, b), f.add_clip(b, a));
+    }
+
+    #[test]
+    fn mult_stays_in_range((f, a, b) in arb_format().prop_flat_map(|f| (Just(f), f.min_value()..=f.max_value(), f.min_value()..=f.max_value()))) {
+        prop_assert!(f.contains(f.mult(a, b)));
+        prop_assert!(f.contains(f.mult_clip(a, b)));
+    }
+
+    #[test]
+    fn mult_is_commutative((f, a, b) in arb_format().prop_flat_map(|f| (Just(f), f.min_value()..=f.max_value(), f.min_value()..=f.max_value()))) {
+        prop_assert_eq!(f.mult(a, b), f.mult(b, a));
+    }
+
+    #[test]
+    fn mult_by_zero_is_zero((f, a) in arb_format().prop_flat_map(|f| (Just(f), f.min_value()..=f.max_value()))) {
+        prop_assert_eq!(f.mult(a, 0), 0);
+        prop_assert_eq!(f.mult_clip(0, a), 0);
+    }
+
+    #[test]
+    fn mult_approximates_real_product(a in -0.9f64..0.9, b in -0.9f64..0.9) {
+        let f = WordFormat::q15();
+        let fa = f.from_f64(a);
+        let fb = f.from_f64(b);
+        let prod = f.to_f64(f.mult(fa, fb));
+        // One LSB of Q15 is ~3e-5; truncation error is bounded by a few LSB.
+        prop_assert!((prod - a * b).abs() < 1e-3, "{a}*{b} gave {prod}");
+    }
+
+    #[test]
+    fn addmod_result_in_range((base, off, m) in (0i64..64, -64i64..64, 1i64..64)) {
+        let r = Acu::addmod(base, off, m);
+        prop_assert!(r >= 0 && r < m);
+    }
+
+    #[test]
+    fn addmod_is_congruent((base, off, m) in (0i64..64, -64i64..64, 1i64..64)) {
+        let r = Acu::addmod(base, off, m);
+        prop_assert_eq!((r - (base + off)).rem_euclid(m), 0);
+    }
+
+    #[test]
+    fn stepping_inca_visits_all_addresses(m in 1i64..32) {
+        let mut seen = vec![false; m as usize];
+        let mut addr = 0i64;
+        for _ in 0..m {
+            seen[addr as usize] = true;
+            addr = Acu::inca(addr, m);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(addr, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! RT generation and RT modification for `dspcc` (compiler steps 1–2,
+//! paper section 4).
+//!
+//! * [`lower()`] — **RT generation**: translates the signal-flow graph into
+//!   register transfers on a target datapath. Every operation becomes a
+//!   path `register files → OPU → buffer → bus → (mux) → destination
+//!   register(s)` with a full usage specification (figure 2). Delay-line
+//!   taps and signal updates become ACU address computations plus RAM
+//!   accesses over circular buffers addressed by a single decrementing
+//!   *frame pointer*; coefficients come from the ROM; immediates from the
+//!   program-constant unit.
+//! * [`modify`] — **RT modification**: (a) resource merging per a
+//!   [`dspcc_arch::merge::MergePlan`] (intermediate architecture → real
+//!   core) and (b) instruction-set imposition by installing the artificial
+//!   resources computed by [`dspcc_isa`].
+//!
+//! After modification the RTs are self-describing: the scheduler needs no
+//! knowledge of either the datapath or the instruction set beyond the
+//! usage maps.
+
+pub mod lower;
+pub mod modify;
+
+pub use lower::{
+    lower, Immediate, LowerError, LowerOptions, Lowering, RamLayout, VIRTUAL_BASE,
+};
+pub use modify::{apply_instruction_set, apply_merge_plan, ModifyError};

@@ -1,0 +1,301 @@
+//! Schedule compaction by double justification.
+//!
+//! A feasible schedule can usually be shortened by *justification* (Valls,
+//! Ballestín & Quintanilla's classic RCPSP technique): first every RT is
+//! pushed to its **latest** feasible cycle processing in decreasing issue
+//! order (right justification), then everything is pulled back to its
+//! **earliest** feasible cycle in increasing issue order (left
+//! justification). Neither pass can lengthen the schedule, and the
+//! pull-back regularly drops several cycles because right justification
+//! lines the tail chains up against the deadline, freeing the resource
+//! slots that the original greedy pass wasted early.
+//!
+//! [`compact`] alternates passes to a fixpoint; [`schedule_and_compact`]
+//! is the production entry point: best-effort construction followed by
+//! compaction, optionally iterated with perturbation.
+
+use dspcc_ir::{Program, RtId};
+
+use crate::deps::DependenceGraph;
+use crate::list::best_effort_schedule;
+use crate::schedule::{ConflictMatrix, SchedError, Schedule};
+
+/// One right-justification pass: every RT moves to its latest feasible
+/// cycle < `deadline`, processed in decreasing issue order.
+pub fn right_justify(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    schedule: &Schedule,
+    deadline: u32,
+) -> Schedule {
+    let n = program.rt_count();
+    let issue = schedule.issue_cycles(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(issue[i].expect("complete schedule")));
+    let mut new_issue: Vec<Option<u32>> = vec![None; n];
+    let mut cycles: Vec<Vec<RtId>> = vec![Vec::new(); deadline as usize];
+    for &i in &order {
+        let id = RtId(i as u32);
+        // Latest start bounded by already-placed successors.
+        let mut latest = deadline - 1;
+        for (succ, lat) in deps.successors(id) {
+            let ts = new_issue[succ.0 as usize].expect("reverse order");
+            latest = latest.min(ts.saturating_sub(lat));
+        }
+        let mut t = latest;
+        loop {
+            if matrix.fits(id, &cycles[t as usize]) {
+                cycles[t as usize].push(id);
+                new_issue[i] = Some(t);
+                break;
+            }
+            assert!(t > 0, "right justification cannot fail below the original");
+            t -= 1;
+        }
+    }
+    let mut out = Schedule::new();
+    for (i, t) in new_issue.iter().enumerate() {
+        out.place(RtId(i as u32), t.expect("all placed"));
+    }
+    out
+}
+
+/// One left-justification pass: every RT moves to its earliest feasible
+/// cycle, processed in increasing issue order.
+pub fn left_justify(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    schedule: &Schedule,
+) -> Schedule {
+    left_justify_seeded(program, deps, matrix, schedule, 0)
+}
+
+/// As [`left_justify`], with a deterministic perturbation of the
+/// processing order (seed 0 = pure issue order). Perturbed passes are the
+/// escape mechanism of the iterated local search in
+/// [`schedule_and_compact`].
+pub fn left_justify_seeded(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    schedule: &Schedule,
+    seed: u64,
+) -> Schedule {
+    let n = program.rt_count();
+    let issue = schedule.issue_cycles(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let base = issue[i].expect("complete schedule") as i64;
+        if seed == 0 {
+            (base, 0)
+        } else {
+            // Nudge issue keys by ±2 cycles to reshuffle near-ties.
+            let j = (splitmix(i as u64, seed) % 5) as i64 - 2;
+            (base + j, splitmix(i as u64, seed ^ 0xABCD) as i64)
+        }
+    });
+    // A perturbed order may not respect dependences; fall back to a
+    // dependence-respecting sweep over the ordered list.
+    let mut new_issue: Vec<Option<u32>> = vec![None; n];
+    let mut remaining: Vec<usize> =
+        (0..n).map(|i| deps.predecessors(RtId(i as u32)).count()).collect();
+    let mut cycles: Vec<Vec<RtId>> = Vec::new();
+    let mut pending: Vec<usize> = order;
+    while !pending.is_empty() {
+        let pos = pending
+            .iter()
+            .position(|&i| remaining[i] == 0)
+            .expect("acyclic graph always has a ready RT");
+        let i = pending.remove(pos);
+        let id = RtId(i as u32);
+        for (succ, _) in deps.successors(id) {
+            remaining[succ.0 as usize] -= 1;
+        }
+        let mut earliest = 0u32;
+        for (pred, lat) in deps.predecessors(id) {
+            earliest = earliest.max(new_issue[pred.0 as usize].expect("ready order") + lat);
+        }
+        let mut t = earliest;
+        loop {
+            while cycles.len() <= t as usize {
+                cycles.push(Vec::new());
+            }
+            if matrix.fits(id, &cycles[t as usize]) {
+                cycles[t as usize].push(id);
+                new_issue[i] = Some(t);
+                break;
+            }
+            t += 1;
+        }
+    }
+    let mut out = Schedule::new();
+    for (i, t) in new_issue.iter().enumerate() {
+        out.place(RtId(i as u32), t.expect("all placed"));
+    }
+    out
+}
+
+fn splitmix(x: u64, seed: u64) -> u64 {
+    let mut z = x.wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Alternates right/left justification until the length stops improving.
+pub fn compact(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    schedule: Schedule,
+    max_rounds: u32,
+) -> Schedule {
+    let mut best = schedule;
+    for _ in 0..max_rounds {
+        let len = best.length();
+        if len == 0 {
+            break;
+        }
+        let right = right_justify(program, deps, matrix, &best, len);
+        let left = left_justify(program, deps, matrix, &right);
+        if left.length() >= len {
+            // Keep the shorter of the two; stop on stagnation.
+            if left.length() < best.length() {
+                best = left;
+            }
+            break;
+        }
+        best = left;
+    }
+    best
+}
+
+/// The production scheduler: best-effort construction (multiple
+/// priorities, restarts, forward and backward) followed by justification
+/// compaction.
+///
+/// # Errors
+///
+/// Returns [`SchedError::BudgetExceeded`] when even the compacted
+/// schedule misses the budget.
+pub fn schedule_and_compact(
+    program: &Program,
+    deps: &DependenceGraph,
+    budget: Option<u32>,
+    restarts: u32,
+) -> Result<Schedule, SchedError> {
+    let matrix = ConflictMatrix::build(program);
+    // Construct without a hard budget so a too-tight target cannot wedge
+    // the greedy pass, then compact and check the budget at the end.
+    let initial = best_effort_schedule(program, deps, None, restarts)?;
+    let mut best = compact(program, deps, &matrix, initial, 32);
+    // Iterated local search: perturbed left-justification escapes the
+    // justification fixpoint; each round re-compacts and keeps the best.
+    for seed in 1..=(restarts as u64 * 4).max(8) {
+        if budget.map(|b| best.length() <= b).unwrap_or(false) {
+            break; // good enough for the caller's budget
+        }
+        let perturbed = left_justify_seeded(program, deps, &matrix, &best, seed);
+        let candidate = compact(program, deps, &matrix, perturbed, 8);
+        if candidate.length() < best.length() {
+            best = candidate;
+        }
+    }
+    match budget {
+        Some(b) if best.length() > b => Err(SchedError::BudgetExceeded {
+            budget: b,
+            unplaced: 0,
+        }),
+        _ => Ok(best),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{list_schedule, ListConfig};
+    use dspcc_ir::{Rt, Usage};
+
+    fn chains(k: usize) -> Program {
+        let mut p = Program::new();
+        for i in 0..k {
+            let vc = p.add_value(&format!("c{i}"));
+            let vm = p.add_value(&format!("m{i}"));
+            let mut c = Rt::new(&format!("const{i}"));
+            c.add_def(vc);
+            c.add_usage("rom", Usage::apply("const", [format!("{i}")]));
+            let mut m = Rt::new(&format!("mult{i}"));
+            m.add_use(vc);
+            m.add_def(vm);
+            m.add_usage("mult", Usage::apply("mult", [format!("m{i}")]));
+            let mut a = Rt::new(&format!("add{i}"));
+            a.add_use(vm);
+            a.add_usage("alu", Usage::apply("add", [format!("a{i}")]));
+            p.add_rt(c);
+            p.add_rt(m);
+            p.add_rt(a);
+        }
+        p
+    }
+
+    #[test]
+    fn justification_never_lengthens() {
+        let p = chains(6);
+        let deps = DependenceGraph::build(&p).unwrap();
+        let matrix = ConflictMatrix::build(&p);
+        let s = list_schedule(&p, &deps, &ListConfig::default()).unwrap();
+        let len = s.length();
+        let right = right_justify(&p, &deps, &matrix, &s, len);
+        right.verify(&p, &deps).unwrap();
+        assert!(right.length() <= len);
+        let left = left_justify(&p, &deps, &matrix, &right);
+        left.verify(&p, &deps).unwrap();
+        assert!(left.length() <= right.length());
+    }
+
+    #[test]
+    fn compact_improves_a_bad_schedule() {
+        // Deliberately pessimal: one RT per cycle.
+        let p = chains(4);
+        let deps = DependenceGraph::build(&p).unwrap();
+        let matrix = ConflictMatrix::build(&p);
+        let bad = crate::baseline::sequential_schedule(&p, &deps);
+        let good = compact(&p, &deps, &matrix, bad.clone(), 16);
+        good.verify(&p, &deps).unwrap();
+        assert!(
+            good.length() < bad.length(),
+            "{} !< {}",
+            good.length(),
+            bad.length()
+        );
+        // Pipeline of 4 chains over 3 units: optimal is 6.
+        assert!(good.length() <= 7, "{}", good.length());
+    }
+
+    #[test]
+    fn schedule_and_compact_end_to_end() {
+        let p = chains(5);
+        let deps = DependenceGraph::build(&p).unwrap();
+        let s = schedule_and_compact(&p, &deps, Some(8), 4).unwrap();
+        s.verify(&p, &deps).unwrap();
+        assert!(s.length() <= 8);
+    }
+
+    #[test]
+    fn budget_failure_reported_after_compaction() {
+        let p = chains(5);
+        let deps = DependenceGraph::build(&p).unwrap();
+        let err = schedule_and_compact(&p, &deps, Some(3), 2).unwrap_err();
+        assert!(matches!(err, SchedError::BudgetExceeded { budget: 3, .. }));
+    }
+
+    #[test]
+    fn empty_program_compacts() {
+        let p = Program::new();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let s = schedule_and_compact(&p, &deps, None, 1).unwrap();
+        assert_eq!(s.length(), 0);
+    }
+}

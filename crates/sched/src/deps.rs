@@ -1,0 +1,317 @@
+//! Dependence-graph construction over RTs.
+//!
+//! Within one iteration of the time-loop the only ordering constraints are
+//! *flow dependences*: an RT consuming a value can issue no earlier than
+//! the producer's issue cycle plus the producer's pipeline latency.
+//!
+//! Delay-line taps read values of **previous** frames out of RAM; with
+//! circular buffers of sufficient depth the intra-frame read and write
+//! slots never collide, so taps and signal writes of the same signal are
+//! unordered inside a frame (the inter-iteration distance matters only for
+//! loop folding, which handles it via [`crate::folding`]).
+
+use std::fmt;
+
+use dspcc_graph::dag::Dag;
+use dspcc_ir::{Program, RtId};
+
+/// Flow-dependence graph with ASAP/ALAP analysis.
+#[derive(Debug, Clone)]
+pub struct DependenceGraph {
+    dag: Dag,
+}
+
+/// Error building the dependence graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepError {
+    /// The program failed [`Program::validate`].
+    MalformedProgram(String),
+    /// Value flow forms a cycle (impossible for programs lowered from a
+    /// signal-flow graph, but checked for hand-built programs).
+    CyclicDependences(Vec<usize>),
+}
+
+impl fmt::Display for DepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepError::MalformedProgram(m) => write!(f, "malformed program: {m}"),
+            DepError::CyclicDependences(nodes) => {
+                write!(f, "cyclic dependences through RTs {nodes:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DepError {}
+
+impl DependenceGraph {
+    /// Builds the flow-dependence graph of `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DepError`] if the program is malformed or cyclic.
+    pub fn build(program: &Program) -> Result<Self, DepError> {
+        Self::build_with_edges(program, &[])
+    }
+
+    /// Builds the dependence graph with additional *sequence edges*
+    /// `(from, to, min_separation)` — orderings not visible in value flow:
+    /// successive reads of one input port, writes to one output port, or
+    /// the frame-pointer update that must not overtake the frame's address
+    /// computations (separation 0 allows the same cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DepError`] if the program is malformed or cyclic.
+    pub fn build_with_edges(
+        program: &Program,
+        sequence_edges: &[(RtId, RtId, u32)],
+    ) -> Result<Self, DepError> {
+        program
+            .validate()
+            .map_err(DepError::MalformedProgram)?;
+        let n = program.rt_count();
+        let mut dag = Dag::new(n);
+        // producer_of is O(n) per value; index once instead.
+        let mut producer = vec![None; program.value_count()];
+        for (id, rt) in program.rts() {
+            for &d in rt.defs() {
+                producer[d.0 as usize] = Some(id);
+            }
+        }
+        for (id, rt) in program.rts() {
+            for &u in rt.uses() {
+                let p = producer[u.0 as usize].expect("validated program");
+                if p != id {
+                    let latency = program.rt(p).latency() as i64;
+                    dag.add_edge(p.0 as usize, id.0 as usize, latency);
+                }
+            }
+        }
+        for &(from, to, sep) in sequence_edges {
+            if from != to {
+                dag.add_edge(from.0 as usize, to.0 as usize, sep as i64);
+            }
+        }
+        match dag.topological_order() {
+            Ok(_) => Ok(DependenceGraph { dag }),
+            Err(e) => Err(DepError::CyclicDependences(e.stuck_nodes)),
+        }
+    }
+
+    /// Number of RTs.
+    pub fn rt_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Direct successors (consumers) of `rt` with edge latencies.
+    pub fn successors(&self, rt: RtId) -> impl Iterator<Item = (RtId, u32)> + '_ {
+        self.dag
+            .successors(rt.0 as usize)
+            .iter()
+            .map(|&(s, w)| (RtId(s as u32), w as u32))
+    }
+
+    /// Direct predecessors (producers) of `rt` with edge latencies.
+    pub fn predecessors(&self, rt: RtId) -> impl Iterator<Item = (RtId, u32)> + '_ {
+        self.dag
+            .predecessors(rt.0 as usize)
+            .iter()
+            .map(|&(p, w)| (RtId(p as u32), w as u32))
+    }
+
+    /// ASAP issue cycle of every RT (index = RT id).
+    pub fn asap(&self) -> Vec<u32> {
+        self.dag.asap().into_iter().map(|t| t as u32).collect()
+    }
+
+    /// ALAP issue cycle of every RT when the whole schedule must fit in
+    /// `budget` cycles (every RT must *finish* by `budget`, i.e. issue by
+    /// `budget − latency`; latency is handled on the edges, so sinks issue
+    /// at `budget − 1` at the latest, counting cycles from 0).
+    pub fn alap(&self, budget: u32) -> Vec<u32> {
+        self.dag
+            .alap(budget as i64 - 1)
+            .into_iter()
+            .map(|t| t.max(0) as u32)
+            .collect()
+    }
+
+    /// Length of the critical path in cycles: a lower bound on any
+    /// schedule (issue of the last RT is ≥ this, so the schedule length is
+    /// ≥ this + 1).
+    pub fn critical_path(&self) -> u32 {
+        self.dag.critical_path_length() as u32
+    }
+
+    /// The time-mirrored dependence graph: every edge `a →(w) b` becomes
+    /// `b →(w) a`. Scheduling the mirror forward and flipping the result
+    /// (`t ← L−1−t`) is *backward scheduling*: every RT lands at its
+    /// latest feasible cycle, which packs tail-heavy programs (outputs,
+    /// stores at the end of the time-loop) far better than forward
+    /// greed.
+    pub fn reversed(&self) -> DependenceGraph {
+        let n = self.dag.node_count();
+        let mut dag = Dag::new(n);
+        for v in 0..n {
+            for &(s, w) in self.dag.successors(v) {
+                dag.add_edge(s, v, w);
+            }
+        }
+        DependenceGraph { dag }
+    }
+
+    /// A topological order of the RTs.
+    pub fn topological_order(&self) -> Vec<RtId> {
+        self.dag
+            .topological_order()
+            .expect("checked acyclic at build")
+            .into_iter()
+            .map(|i| RtId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_ir::{Rt, Usage};
+
+    /// chain: a --(lat 2)--> b --> c ; d independent.
+    fn chain_program() -> Program {
+        let mut p = Program::new();
+        let va = p.add_value("va");
+        let vb = p.add_value("vb");
+        let mut a = Rt::new("a");
+        a.add_def(va);
+        a.set_latency(2);
+        a.add_usage("mult", Usage::token("mult"));
+        let mut b = Rt::new("b");
+        b.add_use(va);
+        b.add_def(vb);
+        b.add_usage("alu", Usage::token("add"));
+        let mut c = Rt::new("c");
+        c.add_use(vb);
+        c.add_usage("alu", Usage::token("add"));
+        let mut d = Rt::new("d");
+        d.add_usage("rom", Usage::token("const"));
+        p.add_rt(a);
+        p.add_rt(b);
+        p.add_rt(c);
+        p.add_rt(d);
+        p
+    }
+
+    #[test]
+    fn flow_edges_with_latency() {
+        let p = chain_program();
+        let g = DependenceGraph::build(&p).unwrap();
+        let succs: Vec<_> = g.successors(RtId(0)).collect();
+        assert_eq!(succs, vec![(RtId(1), 2)]);
+        let preds: Vec<_> = g.predecessors(RtId(2)).collect();
+        assert_eq!(preds, vec![(RtId(1), 1)]);
+    }
+
+    #[test]
+    fn asap_accounts_for_latency() {
+        let g = DependenceGraph::build(&chain_program()).unwrap();
+        assert_eq!(g.asap(), vec![0, 2, 3, 0]);
+        assert_eq!(g.critical_path(), 3);
+    }
+
+    #[test]
+    fn alap_under_budget() {
+        let g = DependenceGraph::build(&chain_program()).unwrap();
+        // Budget 6 cycles: c by 5, b by 4, a by 2; d anywhere up to 5.
+        assert_eq!(g.alap(6), vec![2, 4, 5, 5]);
+    }
+
+    #[test]
+    fn alap_equals_asap_on_critical_path_at_tight_budget() {
+        let g = DependenceGraph::build(&chain_program()).unwrap();
+        let budget = g.critical_path() + 1;
+        let asap = g.asap();
+        let alap = g.alap(budget);
+        for rt in [0usize, 1, 2] {
+            assert_eq!(asap[rt], alap[rt], "rt{rt} should have zero slack");
+        }
+    }
+
+    #[test]
+    fn malformed_program_rejected() {
+        let mut p = Program::new();
+        let v = p.add_value("v");
+        let mut user = Rt::new("user");
+        user.add_use(v);
+        p.add_rt(user);
+        match DependenceGraph::build(&p) {
+            Err(DepError::MalformedProgram(m)) => assert!(m.contains("never defined")),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_use_is_not_an_edge() {
+        // An RT that defines and uses the same value (an in-place update)
+        // must not create a self loop.
+        let mut p = Program::new();
+        let v = p.add_value("v");
+        let mut init = Rt::new("init");
+        init.add_def(v);
+        let mut upd = Rt::new("upd");
+        upd.add_use(v);
+        p.add_rt(init);
+        p.add_rt(upd);
+        let g = DependenceGraph::build(&p).unwrap();
+        assert_eq!(g.successors(RtId(1)).count(), 0);
+    }
+
+    #[test]
+    fn topological_order_respects_flow() {
+        let g = DependenceGraph::build(&chain_program()).unwrap();
+        let order = g.topological_order();
+        let pos = |id: RtId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(RtId(0)) < pos(RtId(1)));
+        assert!(pos(RtId(1)) < pos(RtId(2)));
+    }
+
+    #[test]
+    fn sequence_edges_add_ordering() {
+        let mut p = Program::new();
+        let mut a = Rt::new("read_l");
+        a.add_usage("ipb", Usage::token("read"));
+        let mut b = Rt::new("read_r");
+        b.add_usage("ipb", Usage::token("read"));
+        p.add_rt(a);
+        p.add_rt(b);
+        // No value flow, but the reads must stay ordered.
+        let g = DependenceGraph::build_with_edges(&p, &[(RtId(0), RtId(1), 1)]).unwrap();
+        assert_eq!(g.asap(), vec![0, 1]);
+        // Zero-separation edges allow the same cycle but not reordering.
+        let g0 = DependenceGraph::build_with_edges(&p, &[(RtId(0), RtId(1), 0)]).unwrap();
+        assert_eq!(g0.asap(), vec![0, 0]);
+        let order = g0.topological_order();
+        assert_eq!(order, vec![RtId(0), RtId(1)]);
+    }
+
+    #[test]
+    fn cyclic_sequence_edges_rejected() {
+        let mut p = Program::new();
+        p.add_rt(Rt::new("a"));
+        p.add_rt(Rt::new("b"));
+        let err = DependenceGraph::build_with_edges(
+            &p,
+            &[(RtId(0), RtId(1), 1), (RtId(1), RtId(0), 1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DepError::CyclicDependences(_)));
+    }
+
+    #[test]
+    fn dep_error_display() {
+        let e = DepError::CyclicDependences(vec![1, 2]);
+        assert!(e.to_string().contains("cyclic"));
+        let e = DepError::MalformedProgram("x".into());
+        assert!(e.to_string().contains("malformed"));
+    }
+}

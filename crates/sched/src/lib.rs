@@ -1,0 +1,61 @@
+//! Schedulers for `dspcc` (compiler step 3, paper section 4).
+//!
+//! "The modified RTs are input for the scheduler which performs the
+//! ordering of the RTs. The scheduler combines RTs into instructions. The
+//! modifications insure that a scheduler only creates mcode instructions by
+//! combining RTs that are physically possible and allowed in the
+//! instruction set."
+//!
+//! Because instruction-set restrictions were already lowered to artificial
+//! resource conflicts, every scheduler here is a plain *resource-constrained
+//! scheduler*: two RTs may share a cycle iff they are pairwise compatible
+//! ([`dspcc_ir::Rt::compatible_with`]).
+//!
+//! * [`deps`] — dependence-graph construction (flow dependences with
+//!   pipeline latencies) and ASAP/ALAP windows.
+//! * [`list`] — priority-based list scheduling under a cycle budget; the
+//!   production scheduler.
+//! * [`exact`] — branch-and-bound scheduler with *execution-interval
+//!   analysis*: bipartite-matching feasibility pruning per resource, the
+//!   technique of the paper's future-work reference \[11\] (Timmer & Jess,
+//!   EDAC'95).
+//! * [`folding`] — modulo scheduling of the time-loop (the paper notes the
+//!   63-cycle result "could be reduced a few cycles if the time-loop could
+//!   be folded which is not supported by the current system" — it is
+//!   supported here as an extension).
+//! * [`baseline`] — the naive sequential schedule and an ISA-unaware
+//!   scheduler, baselines for the evaluation.
+//! * [`report`] — occupation statistics and the figure-9 ASCII chart.
+//!
+//! # Example
+//!
+//! ```
+//! use dspcc_ir::{Program, Rt, Usage};
+//! use dspcc_sched::{deps::DependenceGraph, list::{list_schedule, ListConfig}};
+//!
+//! let mut p = Program::new();
+//! let v = p.add_value("v");
+//! let mut a = Rt::new("producer");
+//! a.add_def(v);
+//! a.add_usage("alu", Usage::token("add"));
+//! let mut b = Rt::new("consumer");
+//! b.add_use(v);
+//! b.add_usage("alu", Usage::token("add"));
+//! p.add_rt(a);
+//! p.add_rt(b);
+//! let deps = DependenceGraph::build(&p)?;
+//! let schedule = list_schedule(&p, &deps, &ListConfig::default())?;
+//! assert_eq!(schedule.length(), 2); // flow dependence forces 2 cycles
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod baseline;
+pub mod compact;
+pub mod deps;
+pub mod exact;
+pub mod folding;
+pub mod list;
+pub mod report;
+mod schedule;
+
+pub use schedule::{ConflictMatrix, Schedule, SchedError, VerifyError};

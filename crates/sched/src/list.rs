@@ -1,0 +1,574 @@
+//! Priority-based list scheduling under a cycle budget.
+//!
+//! The production scheduler: cycle by cycle, ready RTs are packed into the
+//! current instruction in priority order, most-urgent first. Thanks to the
+//! RT-modification step, "ready and pairwise compatible" is the *complete*
+//! legality condition — datapath and instruction set are both encoded in
+//! the usage maps.
+
+use dspcc_ir::{Program, RtId};
+
+use crate::deps::DependenceGraph;
+use crate::schedule::{ConflictMatrix, SchedError, Schedule};
+
+/// Priority function for choosing among ready RTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Least slack (ALAP − ASAP) first, then deepest successor chain —
+    /// the strongest heuristic for tight budgets.
+    #[default]
+    Slack,
+    /// Earliest deadline (ALAP) first, then deepest successor chain —
+    /// saturates pipelined resource chains well.
+    Alap,
+    /// Deadline of the most urgent transitive *sink* first, then own
+    /// deadline. Keeps whole dependence "lanes" together: all feeders of
+    /// an urgent output chain go before any feeder of a later one, which
+    /// is what lets uniform DSP time-loops finish lanes in deadline order
+    /// instead of finishing everything at once.
+    SinkAlap,
+    /// Deepest successor chain (critical path) first.
+    CriticalPath,
+    /// Program (source) order — the weakest baseline.
+    SourceOrder,
+}
+
+/// Configuration of [`list_schedule`].
+#[derive(Debug, Clone, Default)]
+pub struct ListConfig {
+    /// Hard cycle budget; `None` schedules without a deadline.
+    pub budget: Option<u32>,
+    /// Priority function.
+    pub priority: Priority,
+    /// Deterministic tie-break perturbation; 0 is unperturbed. Randomised
+    /// restarts over a handful of seeds recover most of the gap between
+    /// one greedy pass and an exact schedule (see
+    /// [`best_effort_schedule`]).
+    pub jitter_seed: u64,
+}
+
+impl ListConfig {
+    /// Config with a hard budget and default priority.
+    pub fn with_budget(budget: u32) -> Self {
+        ListConfig {
+            budget: Some(budget),
+            ..ListConfig::default()
+        }
+    }
+}
+
+/// Runs list scheduling over several priorities and jitter seeds, keeping
+/// the shortest verified schedule. `restarts` counts jittered attempts
+/// per priority (beyond the unjittered one).
+///
+/// # Errors
+///
+/// Returns the best schedule found; [`SchedError::BudgetExceeded`] only
+/// if *no* attempt fits the budget.
+pub fn best_effort_schedule(
+    program: &Program,
+    deps: &DependenceGraph,
+    budget: Option<u32>,
+    restarts: u32,
+) -> Result<Schedule, SchedError> {
+    let matrix = ConflictMatrix::build(program);
+    let mut best: Option<Schedule> = None;
+    let mut last_err = None;
+    let mut consider = |result: Result<Schedule, SchedError>| match result {
+        Ok(s) => {
+            if best.as_ref().map(|b| s.length() < b.length()).unwrap_or(true) {
+                best = Some(s);
+            }
+        }
+        Err(e) => last_err = Some(e),
+    };
+    for priority in [Priority::SinkAlap, Priority::Slack, Priority::Alap, Priority::CriticalPath] {
+        for seed in 0..=restarts as u64 {
+            let config = ListConfig {
+                budget,
+                priority,
+                jitter_seed: seed,
+            };
+            consider(insertion_schedule(program, deps, &matrix, &config));
+            consider(backward_insertion_schedule(program, deps, &matrix, &config));
+            consider(list_schedule_with_matrix(program, deps, &matrix, &config));
+        }
+    }
+    match best {
+        Some(s) => Ok(s),
+        None => Err(last_err.expect("at least one attempt ran")),
+    }
+}
+
+/// Insertion scheduling: RTs are placed one at a time, each into the
+/// *earliest* cycle where its predecessors have delivered and no placed RT
+/// conflicts. Chains then pack like bricks — each pipeline lane slides in
+/// behind the previous one — which suits the steady-state resource
+/// saturation of DSP time-loops far better than cycle-by-cycle greediness.
+///
+/// RTs are visited in topological order, most urgent first among ready
+/// ones (`priority`/`jitter_seed` as in [`ListConfig`]).
+///
+/// # Errors
+///
+/// Returns [`SchedError::BudgetExceeded`] when an RT cannot be placed
+/// within the budget.
+pub fn insertion_schedule(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    config: &ListConfig,
+) -> Result<Schedule, SchedError> {
+    let n = program.rt_count();
+    if n == 0 {
+        return Ok(Schedule::new());
+    }
+    let asap = deps.asap();
+    let horizon = config
+        .budget
+        .unwrap_or_else(|| serial_upper_bound(program, deps));
+    let target = priority_target(program, deps, config.budget);
+    let alap = deps.alap(target);
+    let depth = successor_depths(deps);
+    let sink = sink_alaps(deps, &alap);
+    let key = |rt: usize| -> (i64, i64, i64, i64) {
+        let tie = if config.jitter_seed == 0 {
+            rt as i64
+        } else {
+            (jitter(rt, config.jitter_seed) & 0xFFFF) as i64
+        };
+        match config.priority {
+            Priority::Slack => (
+                alap[rt] as i64 - asap[rt] as i64,
+                -(depth[rt] as i64),
+                tie,
+                0,
+            ),
+            Priority::Alap => (alap[rt] as i64, -(depth[rt] as i64), tie, 0),
+            Priority::SinkAlap => {
+                (sink[rt] as i64, alap[rt] as i64, -(depth[rt] as i64), tie)
+            }
+            Priority::CriticalPath => (-(depth[rt] as i64), alap[rt] as i64, tie, 0),
+            Priority::SourceOrder => (rt as i64, 0, 0, 0),
+        }
+    };
+
+    let mut issue: Vec<Option<u32>> = vec![None; n];
+    let mut remaining_preds: Vec<usize> =
+        (0..n).map(|i| deps.predecessors(RtId(i as u32)).count()).collect();
+    let mut cycle_contents: Vec<Vec<RtId>> = Vec::new();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let mut unplaced = n;
+    while unplaced > 0 {
+        // Most urgent ready RT.
+        let (pos, &rt) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| key(i))
+            .expect("acyclic graph always has a ready RT");
+        ready.swap_remove(pos);
+        let id = RtId(rt as u32);
+        let mut earliest = asap[rt];
+        for (pred, lat) in deps.predecessors(id) {
+            earliest = earliest.max(issue[pred.0 as usize].expect("topo order") + lat);
+        }
+        let limit = config.budget.unwrap_or(u32::MAX).min(horizon + n as u32);
+        let mut placed = false;
+        for t in earliest..limit {
+            while cycle_contents.len() <= t as usize {
+                cycle_contents.push(Vec::new());
+            }
+            if matrix.fits(id, &cycle_contents[t as usize]) {
+                cycle_contents[t as usize].push(id);
+                issue[rt] = Some(t);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(SchedError::BudgetExceeded {
+                budget: limit,
+                unplaced,
+            });
+        }
+        unplaced -= 1;
+        for (succ, _) in deps.successors(id) {
+            let s = succ.0 as usize;
+            remaining_preds[s] -= 1;
+            if remaining_preds[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    let mut schedule = Schedule::new();
+    for (i, t) in issue.iter().enumerate() {
+        schedule.place(RtId(i as u32), t.expect("all placed"));
+    }
+    Ok(schedule)
+}
+
+/// Deterministic per-RT hash for tie-break jitter (splitmix64).
+fn jitter(rt: usize, seed: u64) -> u64 {
+    let mut z = (rt as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs list scheduling.
+///
+/// # Errors
+///
+/// Returns [`SchedError::BudgetExceeded`] if a budget is set and some RT
+/// cannot be placed within it.
+pub fn list_schedule(
+    program: &Program,
+    deps: &DependenceGraph,
+    config: &ListConfig,
+) -> Result<Schedule, SchedError> {
+    let matrix = ConflictMatrix::build(program);
+    list_schedule_with_matrix(program, deps, &matrix, config)
+}
+
+/// As [`list_schedule`], with a caller-provided conflict matrix (reused
+/// across repeated scheduling runs).
+pub fn list_schedule_with_matrix(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    config: &ListConfig,
+) -> Result<Schedule, SchedError> {
+    let n = program.rt_count();
+    if n == 0 {
+        return Ok(Schedule::new());
+    }
+    let asap = deps.asap();
+    let horizon = config
+        .budget
+        .unwrap_or_else(|| serial_upper_bound(program, deps));
+    // Deadlines for the *priority* functions are computed against a tight
+    // target — the best conceivable schedule — regardless of the actual
+    // budget; loose deadlines make every priority meaningless.
+    let target = priority_target(program, deps, config.budget);
+    let alap = deps.alap(target);
+    let depth = successor_depths(deps);
+
+    // Priority key: smaller is more urgent.
+    let sink = sink_alaps(deps, &alap);
+    let key = |rt: usize| -> (i64, i64, i64, i64) {
+        let tie = if config.jitter_seed == 0 {
+            rt as i64
+        } else {
+            (jitter(rt, config.jitter_seed) & 0xFFFF) as i64
+        };
+        match config.priority {
+            Priority::Slack => (
+                alap[rt] as i64 - asap[rt] as i64,
+                -(depth[rt] as i64),
+                tie,
+                0,
+            ),
+            Priority::Alap => (alap[rt] as i64, -(depth[rt] as i64), tie, 0),
+            Priority::SinkAlap => {
+                (sink[rt] as i64, alap[rt] as i64, -(depth[rt] as i64), tie)
+            }
+            Priority::CriticalPath => (-(depth[rt] as i64), alap[rt] as i64, tie, 0),
+            Priority::SourceOrder => (rt as i64, 0, 0, 0),
+        }
+    };
+
+    let mut issue: Vec<Option<u32>> = vec![None; n];
+    let mut unscheduled = n;
+    let mut remaining_preds: Vec<usize> =
+        (0..n).map(|i| deps.predecessors(RtId(i as u32)).count()).collect();
+    // earliest[rt]: max over scheduled preds of issue+latency, and asap.
+    let mut earliest: Vec<u32> = asap.clone();
+    let mut schedule = Schedule::new();
+    let mut t: u32 = 0;
+
+    while unscheduled > 0 {
+        if let Some(budget) = config.budget {
+            if t >= budget {
+                return Err(SchedError::BudgetExceeded {
+                    budget,
+                    unplaced: unscheduled,
+                });
+            }
+        }
+        // Ready at t: all preds scheduled and latencies satisfied.
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| issue[i].is_none() && remaining_preds[i] == 0 && earliest[i] <= t)
+            .collect();
+        ready.sort_by_key(|&i| key(i));
+        let mut instr: Vec<RtId> = Vec::new();
+        for i in ready {
+            let rt = RtId(i as u32);
+            if matrix.fits(rt, &instr) {
+                instr.push(rt);
+                issue[i] = Some(t);
+                unscheduled -= 1;
+                for (succ, lat) in deps.successors(rt) {
+                    let s = succ.0 as usize;
+                    remaining_preds[s] -= 1;
+                    earliest[s] = earliest[s].max(t + lat);
+                }
+            }
+        }
+        for &rt in &instr {
+            schedule.place(rt, t);
+        }
+        t += 1;
+        // Safety valve: without a budget the loop must still terminate.
+        if t > horizon + n as u32 + 8 {
+            return Err(SchedError::Dependences(
+                "scheduler failed to make progress".to_owned(),
+            ));
+        }
+    }
+    Ok(schedule)
+}
+
+/// Backward insertion scheduling: runs [`insertion_schedule`] on the
+/// time-mirrored dependence graph and flips the result, so every RT lands
+/// at its *latest* feasible cycle. Complements forward insertion on
+/// programs whose sinks (output writes, stores) crowd the end of the
+/// time-loop.
+///
+/// # Errors
+///
+/// Returns [`SchedError::BudgetExceeded`] when the mirrored placement
+/// cannot fit the budget.
+pub fn backward_insertion_schedule(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    config: &ListConfig,
+) -> Result<Schedule, SchedError> {
+    let reversed = deps.reversed();
+    let mirrored = insertion_schedule(program, &reversed, matrix, config)?;
+    let len = mirrored.length();
+    let mut flipped = Schedule::new();
+    for (t, instr) in mirrored.instructions() {
+        for &rt in instr {
+            flipped.place(rt, len - 1 - t);
+        }
+    }
+    Ok(flipped)
+}
+
+/// ALAP of the most urgent transitive sink of each RT (the RT's own ALAP
+/// for sinks) — the lane-coherent deadline of [`Priority::SinkAlap`].
+fn sink_alaps(deps: &DependenceGraph, alap: &[u32]) -> Vec<u32> {
+    let order = deps.topological_order();
+    let mut sink = vec![u32::MAX; deps.rt_count()];
+    for &rt in order.iter().rev() {
+        let i = rt.0 as usize;
+        let mut best = u32::MAX;
+        for (succ, _) in deps.successors(rt) {
+            best = best.min(sink[succ.0 as usize]);
+        }
+        sink[i] = if best == u32::MAX { alap[i] } else { best };
+    }
+    sink
+}
+
+/// The deadline target used for priority computation: the larger of the
+/// budget (if any), the critical path, and the resource lower bound.
+fn priority_target(program: &Program, deps: &DependenceGraph, budget: Option<u32>) -> u32 {
+    budget
+        .unwrap_or(0)
+        .max(deps.critical_path() + 1)
+        .max(resource_lower_bound(program))
+}
+
+/// Longest-chain depth of each RT (number of latency-weighted cycles of
+/// work after it) — the critical-path priority.
+fn successor_depths(deps: &DependenceGraph) -> Vec<u32> {
+    let order = deps.topological_order();
+    let mut depth = vec![0u32; deps.rt_count()];
+    for &rt in order.iter().rev() {
+        let i = rt.0 as usize;
+        for (succ, lat) in deps.successors(rt) {
+            depth[i] = depth[i].max(depth[succ.0 as usize] + lat);
+        }
+    }
+    depth
+}
+
+/// Upper bound on schedule length: every RT in its own cycle after its
+/// predecessors.
+fn serial_upper_bound(program: &Program, deps: &DependenceGraph) -> u32 {
+    program.rt_count() as u32 + deps.critical_path() + 1
+}
+
+/// Lower bound from resource pressure: for each resource, RTs with
+/// distinct usages of it need distinct cycles.
+pub fn resource_lower_bound(program: &Program) -> u32 {
+    use std::collections::BTreeMap;
+    let mut demand: BTreeMap<&str, BTreeMap<String, usize>> = BTreeMap::new();
+    for (_, rt) in program.rts() {
+        for (res, usage) in rt.usages() {
+            *demand
+                .entry(res.name())
+                .or_default()
+                .entry(usage.to_string())
+                .or_insert(0) += 1;
+        }
+    }
+    // Identical usages can share one cycle only if the whole RTs are
+    // identical; counting each usage occurrence separately is the safe
+    // bound for distinct transfers (distinct data ⇒ distinct bus usage
+    // anyway). We count occurrences, which is exact for bus-carrying
+    // resources and slightly optimistic for pure-token ones.
+    demand
+        .values()
+        .map(|usages| usages.values().sum::<usize>() as u32)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_ir::{Rt, Usage};
+
+    /// Two independent chains const→mult→add sharing one ALU/MULT/ROM.
+    fn two_chain_program() -> Program {
+        let mut p = Program::new();
+        for k in 0..2 {
+            let vc = p.add_value(&format!("c{k}"));
+            let vm = p.add_value(&format!("m{k}"));
+            let mut c = Rt::new(&format!("const{k}"));
+            c.add_def(vc);
+            c.add_usage("rom", Usage::token("const"));
+            c.add_usage("bus_rom", Usage::apply("const", [format!("c{k}")]));
+            let mut m = Rt::new(&format!("mult{k}"));
+            m.add_use(vc);
+            m.add_def(vm);
+            m.add_usage("mult", Usage::token("mult"));
+            m.add_usage("bus_mult", Usage::apply("mult", [format!("m{k}")]));
+            let mut a = Rt::new(&format!("add{k}"));
+            a.add_use(vm);
+            a.add_usage("alu", Usage::token("add"));
+            a.add_usage("bus_alu", Usage::apply("add", [format!("a{k}")]));
+            p.add_rt(c);
+            p.add_rt(m);
+            p.add_rt(a);
+        }
+        p
+    }
+
+    fn schedule_ok(p: &Program, config: &ListConfig) -> Schedule {
+        let deps = DependenceGraph::build(p).unwrap();
+        let s = list_schedule(p, &deps, config).unwrap();
+        s.verify(p, &deps).unwrap();
+        s
+    }
+
+    #[test]
+    fn pipelines_two_chains_in_four_cycles() {
+        // chain k issues const@t, mult@t+1, add@t+2; second chain offset 1
+        // because rom/mult/alu busy → total 4 cycles.
+        let p = two_chain_program();
+        let s = schedule_ok(&p, &ListConfig::default());
+        assert_eq!(s.length(), 4);
+        assert!(s.parallelism() > 1.0);
+    }
+
+    #[test]
+    fn budget_met_exactly() {
+        let p = two_chain_program();
+        let s = schedule_ok(&p, &ListConfig::with_budget(4));
+        assert!(s.length() <= 4);
+    }
+
+    #[test]
+    fn budget_too_tight_reported() {
+        let p = two_chain_program();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let err = list_schedule(&p, &deps, &ListConfig::with_budget(3)).unwrap_err();
+        match err {
+            SchedError::BudgetExceeded { budget: 3, unplaced } => assert!(unplaced >= 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_priorities_produce_valid_schedules() {
+        let p = two_chain_program();
+        for priority in [Priority::Slack, Priority::CriticalPath, Priority::SourceOrder] {
+            let s = schedule_ok(
+                &p,
+                &ListConfig {
+                    budget: None,
+                    priority,
+                    jitter_seed: 0,
+                },
+            );
+            assert!(s.length() >= 4);
+        }
+    }
+
+    #[test]
+    fn empty_program_schedules_to_zero() {
+        let p = Program::new();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let s = list_schedule(&p, &deps, &ListConfig::default()).unwrap();
+        assert_eq!(s.length(), 0);
+    }
+
+    #[test]
+    fn independent_compatible_rts_share_one_cycle() {
+        let mut p = Program::new();
+        for name in ["a", "b", "c"] {
+            let mut rt = Rt::new(name);
+            rt.add_usage(format!("opu_{name}").as_str(), Usage::token("op"));
+            p.add_rt(rt);
+        }
+        let s = schedule_ok(&p, &ListConfig::default());
+        assert_eq!(s.length(), 1);
+        assert_eq!(s.instruction(0).len(), 3);
+    }
+
+    #[test]
+    fn artificial_resource_serialises_classes() {
+        // Two RTs on different OPUs but conflicting via an artificial
+        // resource (the whole point of the paper).
+        let mut p = Program::new();
+        let mut a = Rt::new("a");
+        a.add_usage("opu_a", Usage::token("op"));
+        a.add_usage("AB", Usage::token("A"));
+        let mut b = Rt::new("b");
+        b.add_usage("opu_b", Usage::token("op"));
+        b.add_usage("AB", Usage::token("B"));
+        p.add_rt(a);
+        p.add_rt(b);
+        let s = schedule_ok(&p, &ListConfig::default());
+        assert_eq!(s.length(), 2);
+    }
+
+    #[test]
+    fn resource_lower_bound_counts_busiest_resource() {
+        let p = two_chain_program();
+        // rom, mult, alu each used twice (distinct data) → bound 2.
+        assert_eq!(resource_lower_bound(&p), 2);
+        assert_eq!(resource_lower_bound(&Program::new()), 0);
+    }
+
+    #[test]
+    fn latency_respected_in_schedule() {
+        let mut p = Program::new();
+        let v = p.add_value("v");
+        let mut producer = Rt::new("m");
+        producer.set_latency(3);
+        producer.add_def(v);
+        producer.add_usage("mult", Usage::token("mult"));
+        let mut consumer = Rt::new("a");
+        consumer.add_use(v);
+        consumer.add_usage("alu", Usage::token("add"));
+        p.add_rt(producer);
+        p.add_rt(consumer);
+        let s = schedule_ok(&p, &ListConfig::default());
+        assert_eq!(s.length(), 4); // issue at 0, consumer at 3
+    }
+}

@@ -1,0 +1,229 @@
+//! Occupation statistics and the figure-9 chart.
+//!
+//! "The occupation of the RAM, MULT and ALU are all more than 90% which is
+//! extremely high taking the irregularities in the dataflow of the
+//! application into account. This also clearly proves the quality of the
+//! code!" — the evaluation of the paper *is* this report.
+
+use std::fmt::Write as _;
+
+use dspcc_ir::Program;
+
+use crate::schedule::Schedule;
+
+/// Per-resource occupation of a schedule.
+#[derive(Debug, Clone)]
+pub struct OccupationReport {
+    length: u32,
+    rows: Vec<OccupationRow>,
+}
+
+/// One resource's occupation.
+#[derive(Debug, Clone)]
+pub struct OccupationRow {
+    /// Display label (left column of figure 9).
+    pub label: String,
+    /// Resource name in RT usage maps.
+    pub resource: String,
+    /// `busy[t]` = some RT in cycle `t` uses the resource.
+    pub busy: Vec<bool>,
+}
+
+impl OccupationRow {
+    /// Number of busy cycles.
+    pub fn busy_cycles(&self) -> u32 {
+        self.busy.iter().filter(|&&b| b).count() as u32
+    }
+
+    /// Occupation percentage over the schedule length (0–100).
+    pub fn percent(&self) -> u32 {
+        if self.busy.is_empty() {
+            return 0;
+        }
+        (self.busy_cycles() * 100 + (self.busy.len() as u32 / 2)) / self.busy.len() as u32
+    }
+}
+
+impl OccupationReport {
+    /// Computes occupation of the given `(label, resource)` rows over
+    /// `schedule`. Rows appear in the given order, matching figure 9's
+    /// layout (`PRG_CNST, ROM, MULT, ALU, ACU, RAM, IPB, OPB_1, OPB_2`).
+    pub fn compute(
+        program: &Program,
+        schedule: &Schedule,
+        rows: &[(&str, &str)],
+    ) -> OccupationReport {
+        let length = schedule.length();
+        let rows = rows
+            .iter()
+            .map(|&(label, resource)| {
+                let mut busy = vec![false; length as usize];
+                for (t, instr) in schedule.instructions() {
+                    if instr
+                        .iter()
+                        .any(|&rt| program.rt(rt).usage_of(resource).is_some())
+                    {
+                        busy[t as usize] = true;
+                    }
+                }
+                OccupationRow {
+                    label: label.to_owned(),
+                    resource: resource.to_owned(),
+                    busy,
+                }
+            })
+            .collect();
+        OccupationReport { length, rows }
+    }
+
+    /// Schedule length in cycles.
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// All rows in display order.
+    pub fn rows(&self) -> &[OccupationRow] {
+        &self.rows
+    }
+
+    /// The row for `label`, if present.
+    pub fn row(&self, label: &str) -> Option<&OccupationRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Renders the figure-9 style ASCII chart:
+    ///
+    /// ```text
+    /// 92%  MULT       |   **********************…
+    ///  3%  IPB        |  *                     *
+    /// ----------------|----|----|----|----|----
+    ///              0      5   10   15   20
+    /// ```
+    pub fn chart(&self) -> String {
+        let mut out = String::new();
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for row in &self.rows {
+            let stars: String = row
+                .busy
+                .iter()
+                .map(|&b| if b { '*' } else { ' ' })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:>3}%  {:<label_width$} |{stars}",
+                row.percent(),
+                row.label
+            );
+        }
+        // Axis: a tick every 5 cycles.
+        let mut axis = String::new();
+        let mut labels = String::new();
+        for t in 0..self.length {
+            axis.push(if t % 5 == 0 { '|' } else { '-' });
+        }
+        for t in (0..self.length).step_by(10) {
+            let pos = t as usize;
+            while labels.len() < pos {
+                labels.push(' ');
+            }
+            let _ = write!(labels, "{t}");
+        }
+        let indent = " ".repeat(label_width + 7);
+        let _ = writeln!(out, "{}-{axis}", "-".repeat(label_width + 6));
+        let _ = writeln!(out, "{indent}{labels}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_ir::{Rt, RtId, Usage};
+
+    fn program_and_schedule() -> (Program, Schedule) {
+        let mut p = Program::new();
+        for i in 0..4 {
+            let mut m = Rt::new(&format!("m{i}"));
+            m.add_usage("mult", Usage::apply("mult", [format!("{i}")]));
+            p.add_rt(m);
+        }
+        let mut a = Rt::new("a");
+        a.add_usage("alu", Usage::token("add"));
+        p.add_rt(a);
+        // mults in cycles 0-3, alu in cycle 2 only.
+        let s = Schedule::from_cycles(vec![
+            vec![RtId(0)],
+            vec![RtId(1)],
+            vec![RtId(2), RtId(4)],
+            vec![RtId(3)],
+        ]);
+        (p, s)
+    }
+
+    #[test]
+    fn occupation_percentages() {
+        let (p, s) = program_and_schedule();
+        let report =
+            OccupationReport::compute(&p, &s, &[("MULT", "mult"), ("ALU", "alu")]);
+        assert_eq!(report.length(), 4);
+        assert_eq!(report.row("MULT").unwrap().percent(), 100);
+        assert_eq!(report.row("MULT").unwrap().busy_cycles(), 4);
+        assert_eq!(report.row("ALU").unwrap().percent(), 25);
+        assert!(report.row("GHOST").is_none());
+    }
+
+    #[test]
+    fn busy_pattern_matches_schedule() {
+        let (p, s) = program_and_schedule();
+        let report = OccupationReport::compute(&p, &s, &[("ALU", "alu")]);
+        assert_eq!(report.row("ALU").unwrap().busy, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn chart_has_percent_rows_and_axis() {
+        let (p, s) = program_and_schedule();
+        let report =
+            OccupationReport::compute(&p, &s, &[("MULT", "mult"), ("ALU", "alu")]);
+        let chart = report.chart();
+        assert!(chart.contains("100%  MULT"), "{chart}");
+        assert!(chart.contains(" 25%  ALU"), "{chart}");
+        assert!(chart.contains("****"), "{chart}");
+        assert!(chart.contains('|'), "{chart}");
+        assert!(chart.lines().count() >= 4);
+    }
+
+    #[test]
+    fn unused_resource_is_zero_percent() {
+        let (p, s) = program_and_schedule();
+        let report = OccupationReport::compute(&p, &s, &[("RAM", "ram")]);
+        assert_eq!(report.row("RAM").unwrap().percent(), 0);
+    }
+
+    #[test]
+    fn empty_schedule_report() {
+        let p = Program::new();
+        let s = Schedule::new();
+        let report = OccupationReport::compute(&p, &s, &[("ALU", "alu")]);
+        assert_eq!(report.length(), 0);
+        assert_eq!(report.row("ALU").unwrap().percent(), 0);
+        // Chart should not panic on empty schedules.
+        let _ = report.chart();
+    }
+
+    #[test]
+    fn percent_rounds_to_nearest() {
+        // 2 busy of 3 cycles = 66.7% → rounds to 67.
+        let row = OccupationRow {
+            label: "X".into(),
+            resource: "x".into(),
+            busy: vec![true, true, false],
+        };
+        assert_eq!(row.percent(), 67);
+    }
+}

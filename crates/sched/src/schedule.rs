@@ -1,0 +1,420 @@
+//! The schedule data structure, conflict matrix, and schedule verification.
+
+use std::fmt;
+
+use dspcc_ir::{Program, RtId};
+
+use crate::deps::DependenceGraph;
+
+/// Precomputed pairwise compatibility of all RTs of a program.
+///
+/// Schedulers query compatibility millions of times; this packs the
+/// symmetric conflict relation into a bit matrix once.
+#[derive(Debug, Clone)]
+pub struct ConflictMatrix {
+    n: usize,
+    bits: Vec<u64>,
+}
+
+impl ConflictMatrix {
+    /// Builds the matrix from the (already modified) RTs of `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.rt_count();
+        let words = (n + 63) / 64;
+        let mut bits = vec![0u64; n * words];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let conflict = !program
+                    .rt(RtId(i as u32))
+                    .compatible_with(program.rt(RtId(j as u32)));
+                if conflict {
+                    bits[i * words + j / 64] |= 1 << (j % 64);
+                    bits[j * words + i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        ConflictMatrix { n, bits }
+    }
+
+    /// Number of RTs.
+    pub fn rt_count(&self) -> usize {
+        self.n
+    }
+
+    /// Whether RTs `a` and `b` conflict (cannot share an instruction).
+    pub fn conflicts(&self, a: RtId, b: RtId) -> bool {
+        let words = (self.n + 63) / 64;
+        let (i, j) = (a.0 as usize, b.0 as usize);
+        self.bits[i * words + j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// Whether `rt` is compatible with every RT in `instruction`.
+    pub fn fits(&self, rt: RtId, instruction: &[RtId]) -> bool {
+        instruction.iter().all(|&other| !self.conflicts(rt, other))
+    }
+}
+
+/// A schedule: one (possibly empty) instruction per cycle.
+///
+/// Cycle `t` holds the RTs *issued* at `t`; an RT with latency `l`
+/// delivers its result at `t + l`. The schedule length counts until the
+/// last issue plus one — matching the paper's "scheduled in 63 cycles"
+/// (the time-loop is re-entered immediately, overlapping drain with the
+/// next frame's fill).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    cycles: Vec<Vec<RtId>>,
+}
+
+/// Scheduling failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// No schedule within the cycle budget was found.
+    BudgetExceeded {
+        /// The budget that was requested.
+        budget: u32,
+        /// RTs that could not be placed (diagnostic feedback for the
+        /// source-rewrite iteration of figure 1).
+        unplaced: usize,
+    },
+    /// The dependence graph is unschedulable (e.g. a cycle).
+    Dependences(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::BudgetExceeded { budget, unplaced } => write!(
+                f,
+                "no feasible schedule within {budget} cycles ({unplaced} RT(s) unplaced); \
+                 rewrite the source or relax the budget"
+            ),
+            SchedError::Dependences(m) => write!(f, "dependence problem: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Violation found by [`Schedule::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An RT appears zero or multiple times.
+    NotExactlyOnce(RtId),
+    /// A flow dependence is violated.
+    DependenceViolated {
+        /// Producer RT.
+        producer: RtId,
+        /// Consumer RT.
+        consumer: RtId,
+        /// Cycle the producer issues.
+        producer_cycle: u32,
+        /// Cycle the consumer issues.
+        consumer_cycle: u32,
+        /// Required separation.
+        latency: u32,
+    },
+    /// Two conflicting RTs share a cycle.
+    ResourceConflict {
+        /// First RT.
+        a: RtId,
+        /// Second RT.
+        b: RtId,
+        /// The cycle they share.
+        cycle: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NotExactlyOnce(rt) => {
+                write!(f, "{rt} is not scheduled exactly once")
+            }
+            VerifyError::DependenceViolated {
+                producer,
+                consumer,
+                producer_cycle,
+                consumer_cycle,
+                latency,
+            } => write!(
+                f,
+                "{consumer}@{consumer_cycle} issues before {producer}@{producer_cycle} \
+                 + latency {latency}"
+            ),
+            VerifyError::ResourceConflict { a, b, cycle } => {
+                write!(f, "{a} and {b} conflict in cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Creates a schedule from explicit per-cycle instruction contents.
+    pub fn from_cycles(cycles: Vec<Vec<RtId>>) -> Self {
+        Schedule { cycles }
+    }
+
+    /// Places `rt` at `cycle`, growing the schedule as needed.
+    pub fn place(&mut self, rt: RtId, cycle: u32) {
+        while self.cycles.len() <= cycle as usize {
+            self.cycles.push(Vec::new());
+        }
+        self.cycles[cycle as usize].push(rt);
+    }
+
+    /// Number of cycles (index of last non-empty instruction + 1).
+    pub fn length(&self) -> u32 {
+        self.cycles
+            .iter()
+            .rposition(|c| !c.is_empty())
+            .map(|i| i as u32 + 1)
+            .unwrap_or(0)
+    }
+
+    /// The instruction (set of RTs issued) at `cycle`.
+    pub fn instruction(&self, cycle: u32) -> &[RtId] {
+        self.cycles
+            .get(cycle as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates `(cycle, instruction)` pairs up to [`Schedule::length`].
+    pub fn instructions(&self) -> impl Iterator<Item = (u32, &[RtId])> {
+        self.cycles
+            .iter()
+            .take(self.length() as usize)
+            .enumerate()
+            .map(|(t, instr)| (t as u32, instr.as_slice()))
+    }
+
+    /// The issue cycle of each RT, indexed by RT id; `None` if unscheduled.
+    pub fn issue_cycles(&self, rt_count: usize) -> Vec<Option<u32>> {
+        let mut cycles = vec![None; rt_count];
+        for (t, instr) in self.instructions() {
+            for &rt in instr {
+                cycles[rt.0 as usize] = Some(t);
+            }
+        }
+        cycles
+    }
+
+    /// Average number of RTs per instruction — the parallelism achieved.
+    pub fn parallelism(&self) -> f64 {
+        let total: usize = self.cycles.iter().map(|c| c.len()).sum();
+        if self.length() == 0 {
+            0.0
+        } else {
+            total as f64 / self.length() as f64
+        }
+    }
+
+    /// Verifies the schedule against the program: every RT exactly once,
+    /// all flow dependences separated by the producer latency, and all
+    /// same-cycle RT pairs compatible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify(
+        &self,
+        program: &Program,
+        deps: &DependenceGraph,
+    ) -> Result<(), VerifyError> {
+        let mut seen = vec![0u32; program.rt_count()];
+        for (_, instr) in self.instructions() {
+            for &rt in instr {
+                seen[rt.0 as usize] += 1;
+            }
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            if count != 1 {
+                return Err(VerifyError::NotExactlyOnce(RtId(i as u32)));
+            }
+        }
+        let issue = self.issue_cycles(program.rt_count());
+        for id in program.rt_ids() {
+            let t = issue[id.0 as usize].expect("checked above");
+            for (succ, latency) in deps.successors(id) {
+                let ts = issue[succ.0 as usize].expect("checked above");
+                if ts < t + latency {
+                    return Err(VerifyError::DependenceViolated {
+                        producer: id,
+                        consumer: succ,
+                        producer_cycle: t,
+                        consumer_cycle: ts,
+                        latency,
+                    });
+                }
+            }
+        }
+        for (t, instr) in self.instructions() {
+            for (i, &a) in instr.iter().enumerate() {
+                for &b in &instr[i + 1..] {
+                    if !program.rt(a).compatible_with(program.rt(b)) {
+                        return Err(VerifyError::ResourceConflict { a, b, cycle: t });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, instr) in self.instructions() {
+            write!(f, "{t:>4}: ")?;
+            if instr.is_empty() {
+                writeln!(f, "nop")?;
+            } else {
+                let names: Vec<String> = instr.iter().map(|r| r.to_string()).collect();
+                writeln!(f, "{}", names.join(" | "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_ir::{Rt, Usage};
+
+    fn two_conflicting_rts() -> Program {
+        let mut p = Program::new();
+        let mut a = Rt::new("a");
+        a.add_usage("alu", Usage::token("add"));
+        let mut b = Rt::new("b");
+        b.add_usage("alu", Usage::token("sub"));
+        p.add_rt(a);
+        p.add_rt(b);
+        p
+    }
+
+    #[test]
+    fn conflict_matrix_matches_rt_compatibility() {
+        let p = two_conflicting_rts();
+        let m = ConflictMatrix::build(&p);
+        assert!(m.conflicts(RtId(0), RtId(1)));
+        assert!(m.conflicts(RtId(1), RtId(0)));
+        assert!(!m.fits(RtId(0), &[RtId(1)]));
+        assert!(m.fits(RtId(0), &[]));
+        assert_eq!(m.rt_count(), 2);
+    }
+
+    #[test]
+    fn schedule_place_and_length() {
+        let mut s = Schedule::new();
+        assert_eq!(s.length(), 0);
+        s.place(RtId(0), 3);
+        assert_eq!(s.length(), 4);
+        assert_eq!(s.instruction(3), &[RtId(0)]);
+        assert_eq!(s.instruction(0), &[] as &[RtId]);
+        assert_eq!(s.instruction(99), &[] as &[RtId]);
+    }
+
+    #[test]
+    fn parallelism_metric() {
+        let s = Schedule::from_cycles(vec![vec![RtId(0), RtId(1)], vec![RtId(2)]]);
+        assert!((s.parallelism() - 1.5).abs() < 1e-9);
+        assert_eq!(Schedule::new().parallelism(), 0.0);
+    }
+
+    #[test]
+    fn verify_accepts_serial_schedule() {
+        let p = two_conflicting_rts();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let s = Schedule::from_cycles(vec![vec![RtId(0)], vec![RtId(1)]]);
+        s.verify(&p, &deps).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_conflict_in_cycle() {
+        let p = two_conflicting_rts();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let s = Schedule::from_cycles(vec![vec![RtId(0), RtId(1)]]);
+        assert!(matches!(
+            s.verify(&p, &deps),
+            Err(VerifyError::ResourceConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_missing_and_duplicate() {
+        let p = two_conflicting_rts();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let missing = Schedule::from_cycles(vec![vec![RtId(0)]]);
+        assert_eq!(
+            missing.verify(&p, &deps),
+            Err(VerifyError::NotExactlyOnce(RtId(1)))
+        );
+        let dup = Schedule::from_cycles(vec![vec![RtId(0)], vec![RtId(0)], vec![RtId(1)]]);
+        assert_eq!(
+            dup.verify(&p, &deps),
+            Err(VerifyError::NotExactlyOnce(RtId(0)))
+        );
+    }
+
+    #[test]
+    fn verify_rejects_latency_violation() {
+        let mut p = Program::new();
+        let v = p.add_value("v");
+        let mut a = Rt::new("a");
+        a.add_def(v);
+        a.set_latency(2);
+        a.add_usage("mult", Usage::token("mult"));
+        let mut b = Rt::new("b");
+        b.add_use(v);
+        b.add_usage("alu", Usage::token("add"));
+        p.add_rt(a);
+        p.add_rt(b);
+        let deps = DependenceGraph::build(&p).unwrap();
+        let bad = Schedule::from_cycles(vec![vec![RtId(0)], vec![RtId(1)]]);
+        assert!(matches!(
+            bad.verify(&p, &deps),
+            Err(VerifyError::DependenceViolated { latency: 2, .. })
+        ));
+        let good = Schedule::from_cycles(vec![vec![RtId(0)], vec![], vec![RtId(1)]]);
+        good.verify(&p, &deps).unwrap();
+    }
+
+    #[test]
+    fn compatible_rts_may_share_cycle() {
+        let mut p = Program::new();
+        let mut a = Rt::new("a");
+        a.add_usage("alu", Usage::token("add"));
+        let mut b = Rt::new("b");
+        b.add_usage("mult", Usage::token("mult"));
+        p.add_rt(a);
+        p.add_rt(b);
+        let deps = DependenceGraph::build(&p).unwrap();
+        let s = Schedule::from_cycles(vec![vec![RtId(0), RtId(1)]]);
+        s.verify(&p, &deps).unwrap();
+        assert_eq!(s.length(), 1);
+    }
+
+    #[test]
+    fn display_shows_nops() {
+        let s = Schedule::from_cycles(vec![vec![RtId(0)], vec![], vec![RtId(1)]]);
+        let text = s.to_string();
+        assert!(text.contains("nop"));
+        assert!(text.contains("rt0"));
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = SchedError::BudgetExceeded { budget: 64, unplaced: 3 };
+        assert!(e.to_string().contains("64"));
+        let e = VerifyError::ResourceConflict { a: RtId(0), b: RtId(1), cycle: 7 };
+        assert!(e.to_string().contains("cycle 7"));
+    }
+}

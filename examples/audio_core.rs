@@ -1,0 +1,67 @@
+//! The paper's real-life example end to end (sections 5–7, figures 7–9):
+//! the digital-audio core, the stereo tone-control application, the
+//! 64-cycle budget, the occupation chart — and, beyond the paper,
+//! bit-exact execution of the generated microcode.
+//!
+//! ```sh
+//! cargo run --release --example audio_core
+//! ```
+
+use dspcc::dfg::Interpreter;
+use dspcc::num::WordFormat;
+use dspcc::{apps, cores, Compiler};
+
+const ROWS: [(&str, &str); 9] = [
+    ("PRG_CNST", "prgc"),
+    ("ROM", "rom"),
+    ("MULT", "mult"),
+    ("ALU", "alu"),
+    ("ACU", "acu"),
+    ("RAM", "ram"),
+    ("IPB", "ipb"),
+    ("OPB_1", "opb_1"),
+    ("OPB_2", "opb_2"),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let core = cores::audio_core();
+    let source = apps::audio_application();
+    println!("compiling the figure-7 stereo audio application…");
+    let compiled = Compiler::new(&core).restarts(6).compile(&source)?;
+
+    println!("  RTs                 : {}", compiled.lowering.program.rt_count());
+    println!("  artificial resources: {:?}", compiled.artificial_names);
+    println!("  flat schedule       : {} cycles", compiled.cycles());
+    let folded = compiled.fold(2, 16)?;
+    println!(
+        "  folded (2 stages)   : {} cycles/frame — {} the 64-cycle budget",
+        folded.ii(),
+        if folded.ii() <= 64 { "meets" } else { "misses" }
+    );
+
+    println!("\nfigure-9 occupation (folded kernel):");
+    println!("{}", compiled.folded_occupation(&folded, &ROWS).chart());
+
+    // Execute the flat microcode against the reference interpreter with a
+    // stereo test signal.
+    println!("running 64 frames of stereo audio through the simulator…");
+    let q15 = WordFormat::q15();
+    let mut sim = compiled.simulator()?;
+    let mut reference = Interpreter::new(&compiled.dfg, q15);
+    let mut peak: i64 = 0;
+    for n in 0..64i64 {
+        // A decaying two-tone test signal.
+        let l = q15.from_f64(0.5 * (0.2 * n as f64).sin() * 0.98f64.powi(n as i32));
+        let r = q15.from_f64(0.4 * (0.31 * n as f64).cos() * 0.97f64.powi(n as i32));
+        let hw = sim.step_frame(&[l, r])?;
+        let sw = reference.step(&[l, r]);
+        assert_eq!(hw, sw, "frame {n} diverged");
+        peak = peak.max(hw.iter().map(|v| v.abs()).max().unwrap_or(0));
+    }
+    println!("64 frames bit-exact across all 8 output ports (peak |y| = {peak}).");
+    println!(
+        "\nthe paper verified quality via occupation statistics; this reproduction\n\
+         additionally proves the generated code correct against the source semantics."
+    );
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: the full figure-1b pipeline, checked at
+//! every interface — schedule legality, instruction-set conformance,
+//! encoding round trips, and bit-exact execution.
+
+use dspcc::dfg::Interpreter;
+use dspcc::encode::decode;
+use dspcc::isa::ClassId;
+use dspcc::num::WordFormat;
+use dspcc::{apps, cores, Compiler};
+
+/// Every schedule instruction of a compiled audio program maps to an
+/// allowed instruction type of the core's instruction set — checked
+/// against the *original* set definition, not the artificial resources
+/// (closing the loop on paper section 6.3's soundness claim).
+#[test]
+fn audio_schedule_conforms_to_instruction_set() {
+    let core = cores::audio_core();
+    let compiled = Compiler::new(&core)
+        .restarts(2)
+        .compile(&apps::audio_application())
+        .unwrap();
+    let classification = compiled.classification.as_ref().unwrap();
+    let iset = core.instruction_set.as_ref().unwrap();
+    for (cycle, instr) in compiled.schedule.instructions() {
+        let mut classes: Vec<ClassId> = instr
+            .iter()
+            .filter_map(|&rt| classification.class_of(compiled.lowering.program.rt(rt)))
+            .collect();
+        classes.sort();
+        classes.dedup();
+        assert!(
+            iset.allows(&classes),
+            "cycle {cycle} holds classes {classes:?}, not an allowed instruction type"
+        );
+    }
+}
+
+/// The schedule respects dependences and resource compatibility (the
+/// scheduler's own verifier) for every prepackaged workload.
+#[test]
+fn all_workloads_schedule_and_verify() {
+    let core = cores::audio_core();
+    for source in [
+        apps::audio_application(),
+        apps::fir(12),
+        apps::biquad_cascade(4),
+        apps::sum_of_products(9),
+    ] {
+        let compiled = Compiler::new(&core).restarts(2).compile(&source).unwrap();
+        compiled
+            .schedule
+            .verify(&compiled.lowering.program, &compiled.deps)
+            .unwrap();
+    }
+}
+
+/// Microcode words decode back to exactly the operations the schedule
+/// placed in each cycle.
+#[test]
+fn encoding_round_trips_the_schedule() {
+    let core = cores::audio_core();
+    let compiled = Compiler::new(&core)
+        .restarts(2)
+        .compile(&apps::fir(8))
+        .unwrap();
+    for (cycle, instr) in compiled.schedule.instructions() {
+        let decoded = decode(
+            &compiled.microcode.words[cycle as usize],
+            &compiled.microcode.layout,
+            core.format,
+        );
+        // Every scheduled RT's OPU appears among the decoded actions
+        // (identical RTs share one field).
+        for &rt_id in instr {
+            let rt = compiled.assignment.program.rt(rt_id);
+            let opu = decoded.actions.iter().find(|a| rt.usage_of(&a.opu).is_some());
+            assert!(
+                opu.is_some(),
+                "cycle {cycle}: RT `{}` has no decoded action",
+                rt.name()
+            );
+        }
+        // And no action without a scheduled RT.
+        for action in &decoded.actions {
+            assert!(
+                instr.iter().any(|&rt_id| {
+                    compiled
+                        .assignment
+                        .program
+                        .rt(rt_id)
+                        .usage_of(&action.opu)
+                        .is_some()
+                }),
+                "cycle {cycle}: spurious action on `{}`",
+                action.opu
+            );
+        }
+    }
+}
+
+/// Long-run differential test: 256 frames of the audio application,
+/// generated code vs reference interpreter, all 8 ports.
+#[test]
+fn audio_application_long_run_differential() {
+    let core = cores::audio_core();
+    let compiled = Compiler::new(&core)
+        .restarts(2)
+        .compile(&apps::audio_application())
+        .unwrap();
+    let q15 = WordFormat::q15();
+    let mut sim = compiled.simulator().unwrap();
+    let mut reference = Interpreter::new(&compiled.dfg, q15);
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for frame in 0..256 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let l = (state as i64 % 20000).clamp(-32768, 32767);
+        let r = ((state >> 17) as i64 % 20000).clamp(-32768, 32767);
+        assert_eq!(
+            sim.step_frame(&[l, r]).unwrap(),
+            reference.step(&[l, r]),
+            "frame {frame} diverged"
+        );
+    }
+}
+
+/// The two schedulers (list+compaction vs exact B&B) agree on
+/// functional behaviour for a small program.
+#[test]
+fn exact_and_heuristic_schedules_agree_functionally() {
+    let core = cores::tiny_core();
+    let src = apps::sum_of_products(4);
+    let heuristic = Compiler::new(&core).compile(&src).unwrap();
+    let exact = Compiler::new(&core)
+        .budget(heuristic.cycles())
+        .exact(true)
+        .compile(&src)
+        .unwrap();
+    assert!(exact.cycles() <= heuristic.cycles());
+    let mut sim_h = heuristic.simulator().unwrap();
+    let mut sim_e = exact.simulator().unwrap();
+    for x in [123i64, -456, 7890] {
+        assert_eq!(sim_h.step_frame(&[x]).unwrap(), sim_e.step_frame(&[x]).unwrap());
+    }
+}
+
+/// Folding never reports an initiation interval below the resource bound
+/// or above the flat schedule.
+#[test]
+fn folded_ii_is_bracketed() {
+    let core = cores::audio_core();
+    let compiled = Compiler::new(&core)
+        .restarts(2)
+        .compile(&apps::biquad_cascade(4))
+        .unwrap();
+    let bound = dspcc::sched::list::resource_lower_bound(&compiled.lowering.program);
+    let folded = compiled.fold(4, 8).unwrap();
+    assert!(folded.ii() >= bound);
+    assert!(folded.ii() <= compiled.cycles());
+}
+
+/// Feasibility feedback: every failure mode surfaces as the right error.
+#[test]
+fn feasibility_feedback_paths() {
+    use dspcc::CompileError;
+    let tiny = cores::tiny_core();
+    // Missing hardware.
+    let err = Compiler::new(&tiny)
+        .compile("input u; output y; y = pass(u@1);")
+        .unwrap_err();
+    assert!(matches!(err, CompileError::Lower(_)));
+    // Budget too tight.
+    let err = Compiler::new(&tiny)
+        .budget(2)
+        .compile(&apps::sum_of_products(6))
+        .unwrap_err();
+    assert!(matches!(err, CompileError::Schedule(_)));
+    // Program memory too small (audio controller stores 128 words).
+    let audio = cores::audio_core();
+    let too_big = apps::fir(40);
+    match Compiler::new(&audio).compile(&too_big) {
+        Ok(c) => assert!(c.cycles() <= 128),
+        Err(e) => assert!(
+            matches!(
+                e,
+                CompileError::Schedule(_) | CompileError::ProgramTooLong { .. }
+                    | CompileError::Lower(_)
+            ),
+            "unexpected error {e}"
+        ),
+    }
+}
