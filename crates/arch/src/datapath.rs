@@ -357,10 +357,7 @@ impl DatapathBuilder {
         self.opus.push(OpuSpec {
             name: name.to_owned(),
             kind,
-            ops: ops
-                .iter()
-                .map(|&(op, lat)| (op.to_owned(), lat))
-                .collect(),
+            ops: ops.iter().map(|&(op, lat)| (op.to_owned(), lat)).collect(),
             inputs: Vec::new(),
             output_bus: None,
             flags: Vec::new(),
@@ -373,7 +370,9 @@ impl DatapathBuilder {
     pub fn memory(mut self, opu: &str, words: u32) -> Self {
         match self.opus.iter_mut().find(|o| o.name == opu) {
             Some(o) => o.memory_size = words,
-            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+            None => self
+                .pending_errors
+                .push(ArchError::UnknownOpu(opu.to_owned())),
         }
         self
     }
@@ -382,7 +381,9 @@ impl DatapathBuilder {
     pub fn inputs(mut self, opu: &str, rfs: &[&str]) -> Self {
         match self.opus.iter_mut().find(|o| o.name == opu) {
             Some(o) => o.inputs = rfs.iter().map(|s| (*s).to_owned()).collect(),
-            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+            None => self
+                .pending_errors
+                .push(ArchError::UnknownOpu(opu.to_owned())),
         }
         self
     }
@@ -391,7 +392,9 @@ impl DatapathBuilder {
     pub fn output(mut self, opu: &str, bus: &str) -> Self {
         match self.opus.iter_mut().find(|o| o.name == opu) {
             Some(o) => o.output_bus = Some(bus.to_owned()),
-            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+            None => self
+                .pending_errors
+                .push(ArchError::UnknownOpu(opu.to_owned())),
         }
         self
     }
@@ -400,7 +403,9 @@ impl DatapathBuilder {
     pub fn flags(mut self, opu: &str, flags: &[&str]) -> Self {
         match self.opus.iter_mut().find(|o| o.name == opu) {
             Some(o) => o.flags = flags.iter().map(|s| (*s).to_owned()).collect(),
-            None => self.pending_errors.push(ArchError::UnknownOpu(opu.to_owned())),
+            None => self
+                .pending_errors
+                .push(ArchError::UnknownOpu(opu.to_owned())),
         }
         self
     }
@@ -484,10 +489,7 @@ impl DatapathBuilder {
                 return Err(ArchError::DanglingRegisterFile(r.name.clone()));
             }
         }
-        let buses = bus_names
-            .into_iter()
-            .map(|name| BusSpec { name })
-            .collect();
+        let buses = bus_names.into_iter().map(|name| BusSpec { name }).collect();
         Ok(Datapath {
             opus: self.opus,
             rfs: self.rfs,
@@ -567,7 +569,10 @@ mod tests {
 
     #[test]
     fn unknown_bus_rejected() {
-        let err = tiny().write_port("rf_a", &["bus_ghost"]).build().unwrap_err();
+        let err = tiny()
+            .write_port("rf_a", &["bus_ghost"])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ArchError::UnknownBus { .. }));
     }
 

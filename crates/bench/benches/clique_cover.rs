@@ -1,10 +1,14 @@
 //! E8 (runtime side) — edge-clique-cover algorithms on conflict graphs:
-//! the paper's figure-6 graph plus random graphs of growing size.
+//! the paper's figure-6 graph plus random graphs of growing size, and the
+//! bitset-vs-naive comparison that measures the word-packed rewrite
+//! (`greedy_vs_naive` / `maximal_cliques` groups; see DESIGN.md).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dspcc::graph::cliques::{maximal_cliques, CliqueScratch};
 use dspcc::graph::cover::{
     greedy_edge_clique_cover, minimum_edge_clique_cover, per_edge_clique_cover,
 };
+use dspcc::graph::naive::{naive_greedy_edge_clique_cover, naive_maximal_cliques};
 use dspcc::graph::UndirectedGraph;
 
 fn paper_graph() -> UndirectedGraph {
@@ -55,7 +59,7 @@ fn bench_covers(c: &mut Criterion) {
     group.bench_function("paper_fig6/exact_minimum", |b| {
         b.iter(|| minimum_edge_clique_cover(&paper))
     });
-    for n in [8usize, 12, 16, 24] {
+    for n in [8usize, 12, 16, 24, 64, 128, 256] {
         let g = random_graph(n, 42);
         group.bench_with_input(BenchmarkId::new("greedy_random", n), &g, |b, g| {
             b.iter(|| greedy_edge_clique_cover(g))
@@ -70,5 +74,49 @@ fn bench_covers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_covers);
+/// The rewrite's headline numbers: bitset greedy cover vs the retained
+/// naive reference on the same random conflict graphs (the acceptance
+/// target is ≥5× at n = 128).
+fn bench_greedy_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_vs_naive");
+    for n in [64usize, 128] {
+        let g = random_graph(n, 42);
+        group.bench_with_input(BenchmarkId::new("bitset", n), &g, |b, g| {
+            b.iter(|| greedy_edge_clique_cover(g))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
+            b.iter(|| naive_greedy_edge_clique_cover(g))
+        });
+    }
+    group.finish();
+}
+
+/// Maximal clique enumeration through the allocation-free bitset path vs
+/// the Vec-churning reference, on an n = 64 random conflict graph.
+fn bench_maximal_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_cliques");
+    let g = random_graph(64, 42);
+    group.bench_function("bitset/64", |b| b.iter(|| maximal_cliques(&g)));
+    group.bench_function("bitset_scratch_reuse/64", |b| {
+        let mut scratch = CliqueScratch::new(64);
+        b.iter(|| {
+            let mut count = 0usize;
+            maximal_cliques_count(&g, &mut scratch, &mut count);
+            count
+        })
+    });
+    group.bench_function("naive/64", |b| b.iter(|| naive_maximal_cliques(&g)));
+    group.finish();
+}
+
+fn maximal_cliques_count(g: &UndirectedGraph, scratch: &mut CliqueScratch, count: &mut usize) {
+    dspcc::graph::cliques::maximal_cliques_with(g, scratch, |_| *count += 1);
+}
+
+criterion_group!(
+    benches,
+    bench_covers,
+    bench_greedy_vs_naive,
+    bench_maximal_cliques
+);
 criterion_main!(benches);

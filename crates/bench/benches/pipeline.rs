@@ -27,5 +27,26 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// End-to-end `Compiler::compile` throughput — the serving metric: how many
+/// compile requests per second one core can sustain, across workload sizes.
+/// Everything the bitset rewrite touched (conflict graph, clique cover,
+/// scheduler restarts) sits on this path.
+fn bench_compile_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_throughput");
+    group.sample_size(10);
+    let audio = cores::audio_core();
+    group.bench_function("audio_application", |b| {
+        let src = apps::audio_application();
+        b.iter(|| Compiler::new(&audio).restarts(1).compile(&src).unwrap())
+    });
+    for taps in [8usize, 16, 32] {
+        let src = apps::fir(taps);
+        group.bench_with_input(BenchmarkId::new("fir", taps), &src, |b, src| {
+            b.iter(|| Compiler::new(&audio).restarts(1).compile(src).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_compile_throughput);
 criterion_main!(benches);

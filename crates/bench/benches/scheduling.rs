@@ -26,9 +26,7 @@ fn bench_schedulers(c: &mut Criterion) {
         let (lowering, deps) = lowered_fir(taps);
         let matrix = ConflictMatrix::build(&lowering.program);
         group.bench_with_input(BenchmarkId::new("list", taps), &taps, |b, _| {
-            b.iter(|| {
-                list_schedule(&lowering.program, &deps, &ListConfig::default()).unwrap()
-            })
+            b.iter(|| list_schedule(&lowering.program, &deps, &ListConfig::default()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("insertion", taps), &taps, |b, _| {
             b.iter(|| {

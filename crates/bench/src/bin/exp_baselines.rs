@@ -20,7 +20,10 @@ fn main() {
     let deps = &compiled.deps;
 
     let sequential = sequential_schedule(program, deps);
-    println!("{:<36} {:>8} {:>14}", "scheduler", "cycles", "illegal instrs");
+    println!(
+        "{:<36} {:>8} {:>14}",
+        "scheduler", "cycles", "illegal instrs"
+    );
     println!(
         "{:<36} {:>8} {:>14}",
         "sequential (1 RT/cycle)",
@@ -59,13 +62,14 @@ fn main() {
     );
 
     // ISA-unaware scheduling packs instructions the encoding cannot express.
-    let names: Vec<&str> = compiled.artificial_names.iter().map(|s| s.as_str()).collect();
+    let names: Vec<&str> = compiled
+        .artificial_names
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
     let stripped = strip_artificial_resources(program, &names);
-    let stripped_deps = DependenceGraph::build_with_edges(
-        &stripped,
-        &compiled.lowering.sequence_edges,
-    )
-    .unwrap();
+    let stripped_deps =
+        DependenceGraph::build_with_edges(&stripped, &compiled.lowering.sequence_edges).unwrap();
     let unaware = schedule_and_compact(&stripped, &stripped_deps, None, 6).unwrap();
     println!(
         "{:<36} {:>8} {:>14}",

@@ -13,7 +13,10 @@ fn main() {
         .compile(&source)
         .expect("compiles without budget");
     let flat = compiled.cycles();
-    println!("{:<8} {:>12} {:>14}", "budget", "flat fits?", "folded fits?");
+    println!(
+        "{:<8} {:>12} {:>14}",
+        "budget", "flat fits?", "folded fits?"
+    );
     for budget in [56u32, 58, 60, 62, 63, 64, 66, 68, 70, 72, 74, 76, 80] {
         let flat_ok = flat <= budget;
         let folded_ok = compiled

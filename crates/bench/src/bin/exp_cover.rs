@@ -31,16 +31,10 @@ fn main() {
         let usages: usize = lowering
             .program
             .rts()
-            .map(|(_, rt)| {
-                names
-                    .iter()
-                    .filter(|n| rt.usage_of(n).is_some())
-                    .count()
-            })
+            .map(|(_, rt)| names.iter().filter(|n| rt.usage_of(n).is_some()).count())
             .sum();
         let deps =
-            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
-                .unwrap();
+            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges).unwrap();
         let start = Instant::now();
         let mut cycles = 0;
         const REPS: u32 = 20;

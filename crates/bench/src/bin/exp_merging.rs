@@ -4,8 +4,8 @@
 use dspcc::arch::merge::MergePlan;
 use dspcc::dfg::{parse, Dfg};
 use dspcc::rtgen::{apply_merge_plan, lower, LowerOptions};
-use dspcc::sched::deps::DependenceGraph;
 use dspcc::sched::compact::schedule_and_compact;
+use dspcc::sched::deps::DependenceGraph;
 use dspcc::{apps, cores};
 
 fn schedule_cycles(l: &dspcc::rtgen::Lowering) -> u32 {

@@ -11,14 +11,16 @@ use dspcc::{apps, cores};
 fn main() {
     println!("=== E6: bipartite-matching interval pruning (exact scheduler) ===\n");
     let core = cores::tiny_core();
-    println!("{:<14} {:>7} {:>16} {:>16} {:>9}", "workload", "budget", "nodes (pruned)", "nodes (blind)", "speedup");
+    println!(
+        "{:<14} {:>7} {:>16} {:>16} {:>9}",
+        "workload", "budget", "nodes (pruned)", "nodes (blind)", "speedup"
+    );
     for taps in [3usize, 4, 5, 6] {
         let src = apps::sum_of_products(taps);
         let dfg = Dfg::build(&parse(&src).unwrap()).unwrap();
         let lowering = lower(&dfg, &core.datapath, &LowerOptions::default()).unwrap();
         let deps =
-            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
-                .unwrap();
+            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges).unwrap();
         // One cycle below feasible: the provers must exhaust the space.
         let feasible = {
             let mut cfg = ExactConfig::new(200);
@@ -43,7 +45,11 @@ fn main() {
             pruned.nodes_explored,
             blind.nodes_explored,
             speedup,
-            if pruned.complete && blind.complete { "" } else { "  (limit hit)" },
+            if pruned.complete && blind.complete {
+                ""
+            } else {
+                "  (limit hit)"
+            },
         );
     }
     println!(

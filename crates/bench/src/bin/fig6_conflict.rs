@@ -34,7 +34,10 @@ fn main() {
     println!("\n");
 
     let g = iset.conflict_graph();
-    println!("conflict graph edges ({} — paper figure 6 has 10):", g.edge_count());
+    println!(
+        "conflict graph edges ({} — paper figure 6 has 10):",
+        g.edge_count()
+    );
     for (a, b) in g.edges() {
         print!("{}-{} ", NAMES[a], NAMES[b]);
     }
@@ -49,7 +52,9 @@ fn main() {
         vec![3, 5],
     ];
     validate_cover(&g, &paper_cover).expect("the paper's cover is valid");
-    println!("paper's clique cover (6 cliques): {{S,X}} {{S,Y}} {{T,U,Y}} {{T,V,X}} {{U,X}} {{V,Y}}");
+    println!(
+        "paper's clique cover (6 cliques): {{S,X}} {{S,Y}} {{T,U,Y}} {{T,V,X}} {{U,X}} {{V,Y}}"
+    );
 
     for (name, cover) in [
         ("per-edge", per_edge_clique_cover(&g)),
@@ -58,7 +63,11 @@ fn main() {
     ] {
         validate_cover(&g, &cover).expect("cover valid");
         let rendered: Vec<String> = cover.iter().map(|c| show(c)).collect();
-        println!("{name:<15}: {} cliques  {}", cover.len(), rendered.join(" "));
+        println!(
+            "{name:<15}: {} cliques  {}",
+            cover.len(),
+            rendered.join(" ")
+        );
     }
     println!("\nany clique cover yields a valid schedule (paper 6.3); the cover size only");
     println!("controls how many artificial resources each RT carries (experiment E8).");

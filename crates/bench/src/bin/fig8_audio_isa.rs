@@ -10,10 +10,17 @@ fn main() {
     println!("=== E3 / section 7: the audio instruction set ===\n");
     let dp = audio_datapath();
     let (classification, iset) = audio_isa(&dp);
-    iset.validate().expect("audio instruction set satisfies rules 1-4");
-    println!("instruction types (incl. sub-instructions): {}", iset.types().len());
+    iset.validate()
+        .expect("audio instruction set satisfies rules 1-4");
+    println!(
+        "instruction types (incl. sub-instructions): {}",
+        iset.types().len()
+    );
     let g = iset.conflict_graph();
-    println!("conflict graph edges: {} (paper: the IO classes A, B, C pairwise)", g.edge_count());
+    println!(
+        "conflict graph edges: {} (paper: the IO classes A, B, C pairwise)",
+        g.edge_count()
+    );
     let ars = artificial_resources(&iset, &classification, CoverStrategy::GreedyMaximal);
     println!(
         "artificial resources: {} (paper: \"A single artificial resource 'ABC' is required\")",

@@ -27,12 +27,18 @@ fn main() {
 
     println!("=== E4 / figure 9: audio application on the figure-8 core ===\n");
     println!("real-time budget   : 64 cycles (2.8 MHz / 44 kHz, paper section 7)");
-    println!("RTs                : {}", compiled.lowering.program.rt_count());
+    println!(
+        "RTs                : {}",
+        compiled.lowering.program.rt_count()
+    );
     println!(
         "resource bound     : {} cycles (busiest unit: ACU, 59 ops)",
         resource_lower_bound(&compiled.lowering.program)
     );
-    println!("flat schedule      : {} cycles (paper: 63)", compiled.cycles());
+    println!(
+        "flat schedule      : {} cycles (paper: 63)",
+        compiled.cycles()
+    );
 
     let folded2 = compiled.fold(2, 24).expect("2-stage folding succeeds");
     println!(
@@ -50,11 +56,17 @@ fn main() {
         );
     }
 
-    println!("\n--- figure 9 chart: folded kernel (II = {}) ---\n", folded2.ii());
+    println!(
+        "\n--- figure 9 chart: folded kernel (II = {}) ---\n",
+        folded2.ii()
+    );
     let kernel_report = compiled.folded_occupation(&folded2, &FIG9_ROWS);
     println!("{}", kernel_report.chart());
 
-    println!("--- flat schedule chart ({} cycles) ---\n", compiled.cycles());
+    println!(
+        "--- flat schedule chart ({} cycles) ---\n",
+        compiled.cycles()
+    );
     let flat_report = fig9_report(&compiled);
     println!("{}", flat_report.chart());
 
@@ -95,7 +107,11 @@ fn main() {
         compare_row(
             "meets 64-cycle budget",
             "yes",
-            if folded2.ii() <= 64 { "yes (folded)" } else { "no" }
+            if folded2.ii() <= 64 {
+                "yes (folded)"
+            } else {
+                "no"
+            }
         )
     );
     println!(

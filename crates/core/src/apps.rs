@@ -63,7 +63,11 @@ pub fn audio_application() -> String {
         let _ = writeln!(src, "/* --- channel {ch}: treble shelf coefficients --- */");
         let _ = writeln!(src, "coeff d1_{ch} = {:.6};", s * 0.250 + ci as f64 * 0.001);
         let _ = writeln!(src, "coeff d2_{ch} = {:.6};", s * 0.125 + ci as f64 * 0.002);
-        let _ = writeln!(src, "coeff e1_{ch} = {:.6};", -s * 0.500 + ci as f64 * 0.003);
+        let _ = writeln!(
+            src,
+            "coeff e1_{ch} = {:.6};",
+            -s * 0.500 + ci as f64 * 0.003
+        );
         for stage in 1..=4 {
             let base = 0.02 * stage as f64 + 0.005 * ci as f64;
             let _ = writeln!(src, "/* biquad {stage}, channel {ch} */");
@@ -208,7 +212,6 @@ pub fn biquad_cascade(n: usize) -> String {
     src
 }
 
-
 /// Generates a tap-free sum-of-products: `n` independent `mlt(c_i, u)`
 /// terms reduced by a balanced add tree. Exercises MULT/ALU/ROM
 /// parallelism without needing RAM or an ACU (for cores without delay
@@ -321,7 +324,7 @@ mod tests {
         assert_eq!(max_depth, 3); // region size 4
         let tapped = dfg.signals().iter().filter(|s| s.max_tap_depth > 0).count();
         assert_eq!(tapped, 12); // 2×(u, v, y1..y4)
-        // 12 regions × 4 words = 48 ≤ the audio core's 64-word RAM.
+                                // 12 regions × 4 words = 48 ≤ the audio core's 64-word RAM.
     }
 
     #[test]

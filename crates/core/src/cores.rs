@@ -112,7 +112,11 @@ pub fn audio_datapath() -> Datapath {
 /// but not simultaneously".
 pub fn audio_isa(dp: &Datapath) -> (Classification, InstructionSet) {
     let mut c = Classification::identify(dp);
-    assert_eq!(c.len(), 14, "audio core identifies 14 raw (OPU, op) classes");
+    assert_eq!(
+        c.len(),
+        14,
+        "audio core identifies 14 raw (OPU, op) classes"
+    );
     // Figure-5 style letters follow declaration order:
     // A=ipb.read, B=opb_1.write, C=opb_2.write, D=acu.addmod,
     // E=ram.read, F=ram.write, G=mult.mult,
@@ -211,22 +215,40 @@ pub fn unmerged_intermediate() -> Core {
         .opu(
             OpuKind::Alu,
             "alu_1",
-            &[("add", 1), ("add_clip", 1), ("sub", 1), ("pass", 1), ("pass_clip", 1)],
+            &[
+                ("add", 1),
+                ("add_clip", 1),
+                ("sub", 1),
+                ("pass", 1),
+                ("pass_clip", 1),
+            ],
         )
         .inputs("alu_1", &["rf_a1_x", "rf_a1_y"])
         .output("alu_1", "bus_alu_1")
         .opu(
             OpuKind::Alu,
             "alu_2",
-            &[("add", 1), ("add_clip", 1), ("sub", 1), ("pass", 1), ("pass_clip", 1)],
+            &[
+                ("add", 1),
+                ("add_clip", 1),
+                ("sub", 1),
+                ("pass", 1),
+                ("pass_clip", 1),
+            ],
         )
         .inputs("alu_2", &["rf_a2_x", "rf_a2_y"])
         .output("alu_2", "bus_alu_2")
         .opu(OpuKind::ProgConst, "prgc", &[("const", 1)])
         .output("prgc", "bus_prgc")
-        .write_port("rf_a1_x", &["bus_ipb", "bus_alu_1", "bus_alu_2", "bus_prgc"])
+        .write_port(
+            "rf_a1_x",
+            &["bus_ipb", "bus_alu_1", "bus_alu_2", "bus_prgc"],
+        )
         .write_port("rf_a1_y", &["bus_ipb", "bus_alu_1", "bus_alu_2"])
-        .write_port("rf_a2_x", &["bus_ipb", "bus_alu_1", "bus_alu_2", "bus_prgc"])
+        .write_port(
+            "rf_a2_x",
+            &["bus_ipb", "bus_alu_1", "bus_alu_2", "bus_prgc"],
+        )
         .write_port("rf_a2_y", &["bus_ipb", "bus_alu_1", "bus_alu_2"])
         .write_port("rf_out", &["bus_alu_1", "bus_alu_2"])
         .build()
@@ -264,7 +286,10 @@ mod tests {
         assert_eq!(c.len(), 9);
         let names: Vec<&str> = c.classes().iter().map(|cl| cl.name()).collect();
         for expected in ["A", "B", "C", "D", "G", "X", "Y", "L", "M"] {
-            assert!(names.contains(&expected), "missing class {expected}: {names:?}");
+            assert!(
+                names.contains(&expected),
+                "missing class {expected}: {names:?}"
+            );
         }
         // X covers both RAM usages; Y all five ALU usages.
         let x = c.class(c.by_name("X").unwrap());

@@ -21,11 +21,11 @@ use dspcc_encode::{allocate_registers, encode, FieldLayout, Microcode, RegAssign
 use dspcc_isa::{artificial_resources, Classification, CoverStrategy, InstructionSet};
 use dspcc_num::WordFormat;
 use dspcc_rtgen::{apply_instruction_set, lower, LowerOptions, Lowering};
+use dspcc_sched::compact::schedule_and_compact;
 use dspcc_sched::deps::DependenceGraph;
 use dspcc_sched::exact::{exact_schedule, ExactConfig};
 use dspcc_sched::folding::LoopEdge;
-use dspcc_sched::compact::schedule_and_compact;
-use dspcc_sched::folding::{fold_schedule_with_restarts, FoldedSchedule, FoldError};
+use dspcc_sched::folding::{fold_schedule_with_restarts, FoldError, FoldedSchedule};
 use dspcc_sched::list::{list_schedule, ListConfig, Priority};
 use dspcc_sched::report::OccupationReport;
 use dspcc_sched::Schedule;
@@ -196,8 +196,7 @@ impl<'c> Compiler<'c> {
         let opts = LowerOptions {
             cse_constants: self.cse_constants,
         };
-        let mut lowering =
-            lower(dfg, &core.datapath, &opts).map_err(CompileError::Lower)?;
+        let mut lowering = lower(dfg, &core.datapath, &opts).map_err(CompileError::Lower)?;
         // Step 2: RT modification — impose the instruction set.
         let mut artificial_names = Vec::new();
         let classification = match (&core.classification, &core.instruction_set) {
@@ -215,9 +214,8 @@ impl<'c> Compiler<'c> {
             _ => core.classification.clone(),
         };
         // Step 3: scheduling.
-        let deps =
-            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
-                .map_err(|e| CompileError::Deps(e.to_string()))?;
+        let deps = DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
+            .map_err(|e| CompileError::Deps(e.to_string()))?;
         let hard_cap = core.controller.program_depth();
         let budget = self.budget.map(|b| b.min(hard_cap)).unwrap_or(hard_cap);
         let schedule = if self.exact {
@@ -244,8 +242,7 @@ impl<'c> Compiler<'c> {
                 priority: self.priority,
                 jitter_seed: 0,
             };
-            list_schedule(&lowering.program, &deps, &config)
-                .map_err(CompileError::Schedule)?
+            list_schedule(&lowering.program, &deps, &config).map_err(CompileError::Schedule)?
         };
         if schedule.length() > hard_cap {
             return Err(CompileError::ProgramTooLong {
@@ -255,9 +252,8 @@ impl<'c> Compiler<'c> {
         }
         // Register allocation + encoding.
         let pinned = vec![lowering.fp_reg.clone()];
-        let assignment =
-            allocate_registers(&lowering.program, &schedule, &core.datapath, &pinned)
-                .map_err(CompileError::RegAlloc)?;
+        let assignment = allocate_registers(&lowering.program, &schedule, &core.datapath, &pinned)
+            .map_err(CompileError::RegAlloc)?;
         let layout = FieldLayout::derive(&core.datapath, core.format);
         let words = encode(
             &assignment.program,

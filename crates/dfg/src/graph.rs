@@ -70,7 +70,9 @@ impl DfgOp {
     /// Expected number of value inputs.
     pub fn arity(&self) -> usize {
         match self {
-            DfgOp::Input { .. } | DfgOp::Tap { .. } | DfgOp::Coeff { .. }
+            DfgOp::Input { .. }
+            | DfgOp::Tap { .. }
+            | DfgOp::Coeff { .. }
             | DfgOp::ProgConst { .. } => 0,
             DfgOp::Pass | DfgOp::PassClip | DfgOp::Output { .. } | DfgOp::SignalWrite { .. } => 1,
             DfgOp::Mlt | DfgOp::Add | DfgOp::AddClip | DfgOp::Sub => 2,

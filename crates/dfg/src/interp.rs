@@ -45,7 +45,7 @@ impl<'a> Interpreter<'a> {
             .iter()
             .map(|s| {
                 let mut h = VecDeque::with_capacity(s.max_tap_depth as usize);
-                h.extend(std::iter::repeat(0).take(s.max_tap_depth as usize));
+                h.extend(std::iter::repeat_n(0, s.max_tap_depth as usize));
                 h
             })
             .collect();
@@ -176,8 +176,10 @@ mod tests {
     fn two_frame_delay() {
         let dfg = build("input u; output y; y = pass(u@2);");
         let mut i = Interpreter::new(&dfg, WordFormat::q15());
-        assert_eq!(i.run(&[vec![1], vec![2], vec![3], vec![4]]),
-                   vec![vec![0], vec![0], vec![1], vec![2]]);
+        assert_eq!(
+            i.run(&[vec![1], vec![2], vec![3], vec![4]]),
+            vec![vec![0], vec![0], vec![1], vec![2]]
+        );
     }
 
     #[test]

@@ -170,7 +170,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 let start = i;
                 i += 1;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
                         || bytes[i] == 'E'
                         || ((bytes[i] == '-' || bytes[i] == '+')
                             && matches!(bytes[i - 1], 'e' | 'E')))
@@ -270,9 +272,6 @@ mod tests {
 
     #[test]
     fn identifiers_with_underscores() {
-        assert_eq!(
-            kinds("add_clip"),
-            vec![TokenKind::Ident("add_clip".into())]
-        );
+        assert_eq!(kinds("add_clip"), vec![TokenKind::Ident("add_clip".into())]);
     }
 }

@@ -274,9 +274,7 @@ impl Builder<'_> {
                     "sub" => DfgOp::Sub,
                     "pass" => DfgOp::Pass,
                     "pass_clip" => DfgOp::PassClip,
-                    other => {
-                        return Err(self.err(line, format!("unknown operation `{other}`")))
-                    }
+                    other => return Err(self.err(line, format!("unknown operation `{other}`"))),
                 };
                 if args.len() != dfg_op.arity() {
                     return Err(self.err(
@@ -300,10 +298,7 @@ impl Builder<'_> {
             if !assigned {
                 return Err(SemaError {
                     line: 0,
-                    message: format!(
-                        "output `{}` is never written",
-                        self.dfg.output_ports[port]
-                    ),
+                    message: format!("output `{}` is never written", self.dfg.output_ports[port]),
                 });
             }
         }
@@ -362,8 +357,7 @@ mod tests {
 
     #[test]
     fn double_signal_update_rejected() {
-        let err =
-            build("input u; signal v; output y; v = u; v = u; y = v@1;").unwrap_err();
+        let err = build("input u; signal v; output y; v = u; v = u; y = v@1;").unwrap_err();
         assert!(err.message.contains("updated twice"));
     }
 
@@ -384,10 +378,7 @@ mod tests {
     fn signal_read_after_update_ok() {
         let dfg = build("input u; signal v; output y; v = pass(u); y = v;").unwrap();
         // `y = v` reuses the pass node, no extra compute node.
-        assert_eq!(
-            dfg.count_ops(|o| matches!(o, DfgOp::Pass)),
-            1
-        );
+        assert_eq!(dfg.count_ops(|o| matches!(o, DfgOp::Pass)), 1);
     }
 
     #[test]
@@ -457,9 +448,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SemaError { line: 3, message: "boom".into() };
+        let e = SemaError {
+            line: 3,
+            message: "boom".into(),
+        };
         assert_eq!(e.to_string(), "line 3: boom");
-        let e = SemaError { line: 0, message: "boom".into() };
+        let e = SemaError {
+            line: 0,
+            message: "boom".into(),
+        };
         assert_eq!(e.to_string(), "boom");
     }
 }

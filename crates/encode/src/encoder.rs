@@ -217,7 +217,11 @@ fn encode_rt(
                 unreachable!("immediate {other:?} in {k:?} field of `{}`", field.opu)
             }
         };
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let encoded = (raw as u64) & mask;
         // Reject true overflow (sign-extension round trip must hold).
         let back = decode_imm(encoded, bits, kind, format);
@@ -391,8 +395,12 @@ mod tests {
         let words = encode(&p, &s, &layout, &BTreeMap::new(), WordFormat::q15()).unwrap();
         assert_eq!(words.len(), 3);
         assert!(words[0].is_zero());
-        assert!(decode(&words[1], &layout, WordFormat::q15()).actions.is_empty());
-        assert!(!decode(&words[2], &layout, WordFormat::q15()).actions.is_empty());
+        assert!(decode(&words[1], &layout, WordFormat::q15())
+            .actions
+            .is_empty());
+        assert!(!decode(&words[2], &layout, WordFormat::q15())
+            .actions
+            .is_empty());
     }
 
     #[test]
@@ -427,8 +435,7 @@ mod tests {
         let id = p.add_rt(rt);
         let mut s = Schedule::new();
         s.place(id, 0);
-        let imms: BTreeMap<RtId, Immediate> =
-            [(id, Immediate::Raw(37))].into_iter().collect();
+        let imms: BTreeMap<RtId, Immediate> = [(id, Immediate::Raw(37))].into_iter().collect();
         let words = encode(&p, &s, &layout, &imms, WordFormat::q15()).unwrap();
         let d = decode(&words[0], &layout, WordFormat::q15());
         assert_eq!(d.actions[0].imm, Some(37));
@@ -461,7 +468,10 @@ mod tests {
         s.place(a, 0);
         s.place(b, 0);
         let err = encode(&p, &s, &layout, &BTreeMap::new(), WordFormat::q15()).unwrap_err();
-        assert!(matches!(err, EncodeError::FieldClash { cycle: 0, .. }), "{err}");
+        assert!(
+            matches!(err, EncodeError::FieldClash { cycle: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -522,8 +532,7 @@ mod tests {
         let mut s = Schedule::new();
         s.place(a, 0);
         s.place(b, 0);
-        let imms: BTreeMap<RtId, Immediate> =
-            [(b, Immediate::Fixed(0.5))].into_iter().collect();
+        let imms: BTreeMap<RtId, Immediate> = [(b, Immediate::Fixed(0.5))].into_iter().collect();
         let words = encode(&p, &s, &layout, &imms, WordFormat::q15()).unwrap();
         let d = decode(&words[0], &layout, WordFormat::q15());
         assert_eq!(d.actions.len(), 2);

@@ -125,18 +125,12 @@ pub fn allocate_registers(
     // Group ranges per register file and linear-scan each.
     let mut per_rf: BTreeMap<String, Vec<(u32, u32, u32)>> = BTreeMap::new();
     for (&(ref rf, virt), &(w, r)) in &ranges {
-        per_rf
-            .entry(rf.clone())
-            .or_default()
-            .push((w, r, virt));
+        per_rf.entry(rf.clone()).or_default().push((w, r, virt));
     }
     let mut mapping: BTreeMap<(String, u32), u32> = BTreeMap::new();
     let mut peak_usage: BTreeMap<String, u32> = BTreeMap::new();
     for (rf, mut items) in per_rf {
-        let size = dp
-            .register_file(&rf)
-            .map(|s| s.size())
-            .unwrap_or(u32::MAX);
+        let size = dp.register_file(&rf).map(|s| s.size()).unwrap_or(u32::MAX);
         let pinned_here: Vec<u32> = pinned
             .iter()
             .filter(|(p, _)| *p == rf)
@@ -336,7 +330,11 @@ mod tests {
         let dp = small_dp(2);
         let err = allocate_registers(&p, &s, &dp, &[]).unwrap_err();
         match err {
-            RegAllocError::Pressure { rf, needed, available } => {
+            RegAllocError::Pressure {
+                rf,
+                needed,
+                available,
+            } => {
                 assert_eq!(rf, "rf_a");
                 assert_eq!(available, 2);
                 assert!(needed >= 3);

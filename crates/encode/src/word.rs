@@ -60,7 +60,11 @@ impl Word {
         let limb = (offset / 64) as usize;
         let shift = offset % 64;
         // Clear then set, possibly across a limb boundary.
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         self.limbs[limb] &= !(mask << shift);
         self.limbs[limb] |= (value & mask) << shift;
         let spill = (shift + width).saturating_sub(64);
@@ -88,7 +92,11 @@ impl Word {
         }
         let limb = (offset / 64) as usize;
         let shift = offset % 64;
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let mut v = (self.limbs[limb] >> shift) & mask;
         let spill = (shift + width).saturating_sub(64);
         if spill > 0 {
@@ -111,7 +119,11 @@ impl fmt::Display for Word {
         for (i, limb) in self.limbs.iter().enumerate().rev() {
             if i + 1 == self.limbs.len() {
                 let rem = self.width % 64;
-                let digits = if rem == 0 { 16 } else { (rem as usize + 3) / 4 };
+                let digits = if rem == 0 {
+                    16
+                } else {
+                    (rem as usize).div_ceil(4)
+                };
                 write!(f, "{limb:0digits$x}")?;
             } else {
                 write!(f, "{limb:016x}")?;

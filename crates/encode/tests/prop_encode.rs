@@ -7,24 +7,26 @@ use proptest::prelude::*;
 /// Non-overlapping random fields inside one word.
 fn arb_fields() -> impl Strategy<Value = (u32, Vec<(u32, u32, u64)>)> {
     (64u32..260).prop_flat_map(|width| {
-        proptest::collection::vec((0u32..16, 1u32..33, any::<u64>()), 1..12).prop_map(
-            move |raw| {
-                // Lay the requested field sizes out back-to-back so they
-                // never overlap, clipping at the word end.
-                let mut fields = Vec::new();
-                let mut cursor = 0u32;
-                for (gap, bits, value) in raw {
-                    let offset = cursor + gap;
-                    if offset + bits > width {
-                        break;
-                    }
-                    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-                    fields.push((offset, bits, value & mask));
-                    cursor = offset + bits;
+        proptest::collection::vec((0u32..16, 1u32..33, any::<u64>()), 1..12).prop_map(move |raw| {
+            // Lay the requested field sizes out back-to-back so they
+            // never overlap, clipping at the word end.
+            let mut fields = Vec::new();
+            let mut cursor = 0u32;
+            for (gap, bits, value) in raw {
+                let offset = cursor + gap;
+                if offset + bits > width {
+                    break;
                 }
-                (width, fields)
-            },
-        )
+                let mask = if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
+                fields.push((offset, bits, value & mask));
+                cursor = offset + bits;
+            }
+            (width, fields)
+        })
     })
 }
 

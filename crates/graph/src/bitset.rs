@@ -1,0 +1,349 @@
+//! Word-packed bitsets — the representation behind the hot combinatorial
+//! kernels (adjacency rows, Bron–Kerbosch P/X sets, covered-edge masks).
+//!
+//! A [`Bitset`] stores membership of `0..capacity` in `⌈capacity/64⌉`
+//! machine words, so set intersection, union, difference, and cardinality
+//! run word-parallel: one AND/OR/ANDN plus a popcount per 64 elements.
+//! All binary operations are also available against raw `&[u64]` slices so
+//! that callers holding packed *rows* (e.g. [`crate::UndirectedGraph`]
+//! adjacency, [`Bitset::words`] of another set) can combine them without
+//! constructing temporaries.
+
+use std::fmt;
+
+/// Number of elements per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` values in `0..capacity`, packed 64 per
+/// word.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_graph::Bitset;
+///
+/// let mut s = Bitset::new(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert!(s.contains(3) && !s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitset {
+    nbits: usize,
+    words: Vec<u64>,
+}
+
+/// Words needed to store `nbits` bits.
+pub(crate) fn words_for(nbits: usize) -> usize {
+    nbits.div_ceil(WORD_BITS)
+}
+
+impl Bitset {
+    /// An empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Bitset {
+            nbits: capacity,
+            words: vec![0; words_for(capacity)],
+        }
+    }
+
+    /// The universe size this set ranges over.
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index out of range");
+        let (w, b) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let newly = self.words[w] & b == 0;
+        self.words[w] |= b;
+        newly
+    }
+
+    /// Removes `i`; returns whether it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.nbits {
+            return false;
+        }
+        let (w, b) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let was = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        was
+    }
+
+    /// Whether `i` is a member (out-of-range values are never members).
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.nbits && self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts every element of the universe.
+    pub fn insert_all(&mut self) {
+        self.words.fill(!0);
+        self.mask_tail();
+    }
+
+    /// Zeroes the bits beyond `capacity` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.nbits % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of members (one popcount per word).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the smallest member.
+    pub fn take_first(&mut self) -> Option<usize> {
+        let v = self.first()?;
+        self.remove(v);
+        Some(v)
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones::new(&self.words)
+    }
+
+    /// Members collected into a sorted vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// The backing words (little-endian bit order within each word).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words. Callers must not set bits at or
+    /// beyond `capacity`.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Overwrites this set with the contents of `words` (same universe).
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(words.len(), self.words.len());
+        self.words.copy_from_slice(words);
+    }
+
+    /// `self ∩= other` against a raw packed row.
+    pub fn intersect_words(&mut self, other: &[u64]) {
+        for (a, &b) in self.words.iter_mut().zip(other) {
+            *a &= b;
+        }
+    }
+
+    /// `self ∪= other` against a raw packed row.
+    pub fn union_words(&mut self, other: &[u64]) {
+        for (a, &b) in self.words.iter_mut().zip(other) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∖= other` against a raw packed row.
+    pub fn difference_words(&mut self, other: &[u64]) {
+        for (a, &b) in self.words.iter_mut().zip(other) {
+            *a &= !b;
+        }
+    }
+
+    /// `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &Bitset) {
+        self.intersect_words(&other.words);
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &Bitset) {
+        self.union_words(&other.words);
+    }
+
+    /// Whether `self ∩ other` is nonempty, without materializing it.
+    pub fn intersects_words(&self, other: &[u64]) -> bool {
+        self.words.iter().zip(other).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// `|self ∩ other|` in one fused AND + popcount pass.
+    pub fn intersection_count_words(&self, other: &[u64]) -> usize {
+        self.words
+            .iter()
+            .zip(other)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitset{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the set bits of a packed word slice, ascending.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> Ones<'a> {
+    /// Iterates the set bits of `words` (bit `i` of word `w` is element
+    /// `w * 64 + i`).
+    pub fn new(words: &'a [u64]) -> Self {
+        Ones {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = Bitset::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(130) && !s.contains(10_000));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn insert_all_masks_tail() {
+        let mut s = Bitset::new(70);
+        s.insert_all();
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        let mut exact = Bitset::new(128);
+        exact.insert_all();
+        assert_eq!(exact.count(), 128);
+    }
+
+    #[test]
+    fn iter_ascending_across_words() {
+        let mut s = Bitset::new(200);
+        for v in [199, 0, 63, 64, 65, 127, 128] {
+            s.insert(v);
+        }
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn word_parallel_ops() {
+        let mut a = Bitset::new(100);
+        let mut b = Bitset::new(100);
+        for v in [1, 50, 80] {
+            a.insert(v);
+        }
+        for v in [50, 80, 99] {
+            b.insert(v);
+        }
+        assert_eq!(a.intersection_count_words(b.words()), 2);
+        assert!(a.intersects_words(b.words()));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![50, 80]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 50, 80, 99]);
+        let mut d = a.clone();
+        d.difference_words(b.words());
+        assert_eq!(d.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn first_and_take_first() {
+        let mut s = Bitset::new(128);
+        assert_eq!(s.first(), None);
+        s.insert(70);
+        s.insert(90);
+        assert_eq!(s.first(), Some(70));
+        assert_eq!(s.take_first(), Some(70));
+        assert_eq!(s.take_first(), Some(90));
+        assert_eq!(s.take_first(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let mut s = Bitset::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(0));
+        s.insert_all();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().next(), None);
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut s = Bitset::new(10);
+        s.insert(2);
+        s.insert(7);
+        assert_eq!(format!("{s:?}"), "Bitset{2, 7}");
+    }
+}

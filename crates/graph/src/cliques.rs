@@ -1,4 +1,5 @@
-//! Maximal clique enumeration (Bron–Kerbosch with pivoting).
+//! Maximal clique enumeration (Bron–Kerbosch with pivoting) and maximum
+//! clique search, on word-packed bitsets.
 //!
 //! The paper covers the edges of the instruction-set conflict graph with
 //! cliques and prefers *maximal* cliques because every clique becomes one
@@ -6,14 +7,66 @@
 //! checks at schedule time (section 6.3: "any clique cover will lead to a
 //! valid schedule. The only motivation to look for a maximal clique cover is
 //! to minimize the run time of the scheduler").
+//!
+//! # Implementation notes
+//!
+//! The Bron–Kerbosch recursion carries the candidate set P and exclusion
+//! set X as bitsets over the node universe. Neighbourhood restriction
+//! (`P ∩ N(v)`, `X ∩ N(v)`) is a word-parallel AND against the graph's
+//! packed adjacency rows, and pivot selection maximises `|P ∩ N(u)|` via
+//! fused AND + popcount. All P/X/candidate buffers live in a
+//! [`CliqueScratch`] pool preallocated to the maximum recursion depth, so
+//! **the recursion performs zero heap allocations** — only the output
+//! cliques themselves are allocated. The pre-bitset implementation is
+//! retained as [`crate::naive::naive_maximal_cliques`] for differential
+//! testing and benchmarking.
 
+use crate::bitset::{words_for, Bitset, Ones};
 use crate::UndirectedGraph;
+
+/// Preallocated per-depth P/X/candidate buffers for [`maximal_cliques_with`].
+///
+/// One level per possible recursion depth (`n + 1`), three rows of
+/// `⌈n/64⌉` words each, plus the running clique. Reusable across calls on
+/// graphs with the same node count; building one per call is what
+/// [`maximal_cliques`] does.
+pub struct CliqueScratch {
+    n: usize,
+    stride: usize,
+    /// `(n + 1) * stride` words each: per-depth P, X, and branch candidates.
+    p: Vec<u64>,
+    x: Vec<u64>,
+    cand: Vec<u64>,
+    /// The running clique R (capacity `n`, never reallocates).
+    r: Vec<usize>,
+}
+
+impl CliqueScratch {
+    /// Scratch for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let stride = words_for(n);
+        let pool = (n + 1) * stride;
+        CliqueScratch {
+            n,
+            stride,
+            p: vec![0; pool],
+            x: vec![0; pool],
+            cand: vec![0; pool],
+            r: Vec::with_capacity(n),
+        }
+    }
+
+    /// The node count this scratch was sized for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
 
 /// Enumerates all maximal cliques of `g`.
 ///
-/// Uses Bron–Kerbosch with greedy pivoting. Each returned clique is sorted
-/// ascending. Isolated nodes are returned as singleton cliques; the empty
-/// graph on zero nodes yields no cliques.
+/// Uses Bron–Kerbosch with greedy pivoting over bitsets. Each returned
+/// clique is sorted ascending. Isolated nodes are returned as singleton
+/// cliques; the empty graph on zero nodes yields no cliques.
 ///
 /// # Example
 ///
@@ -30,89 +83,210 @@ use crate::UndirectedGraph;
 /// assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
 /// ```
 pub fn maximal_cliques(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let mut scratch = CliqueScratch::new(g.node_count());
     let mut out = Vec::new();
-    let mut r = Vec::new();
-    let p: Vec<usize> = (0..g.node_count()).collect();
-    let x = Vec::new();
-    bron_kerbosch(g, &mut r, p, x, &mut out);
+    maximal_cliques_with(g, &mut scratch, |clique| {
+        let mut c = clique.to_vec();
+        c.sort_unstable();
+        out.push(c);
+    });
     out
+}
+
+/// As [`maximal_cliques`], but visiting each maximal clique through a
+/// callback using caller-provided scratch, so repeated enumeration (e.g.
+/// inside covers or benches) performs no per-call allocation beyond what
+/// the callback does. Visited cliques are in discovery order, **unsorted**.
+///
+/// # Panics
+///
+/// Panics if `scratch` was built for a different node count.
+pub fn maximal_cliques_with(
+    g: &UndirectedGraph,
+    scratch: &mut CliqueScratch,
+    mut visit: impl FnMut(&[usize]),
+) {
+    let n = g.node_count();
+    assert_eq!(scratch.n, n, "scratch sized for a different graph");
+    if n == 0 {
+        return;
+    }
+    let stride = scratch.stride;
+    // Depth 0: P = all nodes, X = ∅.
+    scratch.p[..stride].fill(!0);
+    let tail = n % 64;
+    if tail != 0 {
+        scratch.p[stride - 1] = (1u64 << tail) - 1;
+    }
+    scratch.x[..stride].fill(0);
+    scratch.r.clear();
+    bk(
+        g,
+        &mut scratch.r,
+        &mut scratch.p,
+        &mut scratch.x,
+        &mut scratch.cand,
+        stride,
+        &mut visit,
+    );
+}
+
+/// One Bron–Kerbosch level. `p`/`x`/`cand` hold this level's row first and
+/// all deeper rows after it; children recurse on the tails.
+#[allow(clippy::too_many_arguments)]
+fn bk(
+    g: &UndirectedGraph,
+    r: &mut Vec<usize>,
+    p: &mut [u64],
+    x: &mut [u64],
+    cand: &mut [u64],
+    stride: usize,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    let (p_cur, p_rest) = p.split_at_mut(stride);
+    let (x_cur, x_rest) = x.split_at_mut(stride);
+    let (cand_cur, cand_rest) = cand.split_at_mut(stride);
+
+    if p_cur.iter().all(|&w| w == 0) {
+        if x_cur.iter().all(|&w| w == 0) && !r.is_empty() {
+            visit(r);
+        }
+        return;
+    }
+    // Pivot on the vertex of P ∪ X with the most neighbours in P (fused
+    // AND + popcount per row); only P ∖ N(pivot) needs branching.
+    let mut pivot = usize::MAX;
+    let mut best = usize::MAX;
+    for u in Ones::new(p_cur).chain(Ones::new(x_cur)) {
+        let nb = g.neighbors_mask(u);
+        let uncovered: usize = p_cur
+            .iter()
+            .zip(nb)
+            .map(|(&pw, &nw)| (pw & !nw).count_ones() as usize)
+            .sum();
+        if uncovered < best {
+            best = uncovered;
+            pivot = u;
+            if uncovered == 0 {
+                break;
+            }
+        }
+    }
+    let pivot_nb = g.neighbors_mask(pivot);
+    for (c, (&pw, &nw)) in cand_cur.iter_mut().zip(p_cur.iter().zip(pivot_nb)) {
+        *c = pw & !nw;
+    }
+    // Destructive iteration over the fixed candidate row: P and X mutate
+    // as we branch, the candidate set does not.
+    while let Some(v) = Ones::new(cand_cur).next() {
+        cand_cur[v / 64] &= !(1 << (v % 64));
+        let nv = g.neighbors_mask(v);
+        r.push(v);
+        for w in 0..stride {
+            p_rest[w] = p_cur[w] & nv[w];
+            x_rest[w] = x_cur[w] & nv[w];
+        }
+        bk(g, r, p_rest, x_rest, cand_rest, stride, visit);
+        r.pop();
+        p_cur[v / 64] &= !(1 << (v % 64));
+        x_cur[v / 64] |= 1 << (v % 64);
+    }
 }
 
 /// Finds one maximum-cardinality clique of `g` (largest maximal clique).
 ///
+/// Branch and bound with a greedy-colouring upper bound (Tomita-style):
+/// the candidate set is greedily partitioned into independent colour
+/// classes, and a branch is pruned when `|R| + colour(v)` cannot beat the
+/// incumbent — far faster than materializing every maximal clique, which
+/// is what the retained [`crate::naive::naive_maximum_clique`] does.
+///
 /// Returns an empty vector for a graph with zero nodes.
 pub fn maximum_clique(g: &UndirectedGraph) -> Vec<usize> {
-    maximal_cliques(g)
-        .into_iter()
-        .max_by_key(|c| c.len())
-        .unwrap_or_default()
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut best: Vec<usize> = Vec::new();
+    let mut r: Vec<usize> = Vec::with_capacity(n);
+    let mut p = Bitset::new(n);
+    p.insert_all();
+    mc_expand(g, &mut r, &mut p, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn mc_expand(g: &UndirectedGraph, r: &mut Vec<usize>, p: &mut Bitset, best: &mut Vec<usize>) {
+    if p.is_empty() {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    // Greedy colouring of P: repeatedly peel an independent set; every
+    // vertex in colour class c can extend R by at most c more vertices.
+    let n = g.node_count();
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(p.count());
+    let mut uncolored = p.clone();
+    let mut class = Bitset::new(n);
+    let mut color = 0usize;
+    while !uncolored.is_empty() {
+        color += 1;
+        class.copy_from_words(uncolored.words());
+        while let Some(v) = class.take_first() {
+            uncolored.remove(v);
+            class.difference_words(g.neighbors_mask(v));
+            order.push((v, color));
+        }
+    }
+    // Branch in reverse colour order: the first prune kills the rest.
+    while let Some((v, bound)) = order.pop() {
+        if r.len() + bound <= best.len() {
+            return;
+        }
+        r.push(v);
+        // Child candidates: unbranched P restricted to N(v). Branched
+        // vertices were already removed from `p`, and `v ∉ N(v)`.
+        let mut child = p.clone();
+        child.intersect_words(g.neighbors_mask(v));
+        mc_expand(g, r, &mut child, best);
+        r.pop();
+        p.remove(v);
+    }
 }
 
 /// Extends `clique` to a maximal clique of `g` by greedily absorbing
-/// compatible nodes in index order.
+/// compatible nodes in index order (word-parallel candidate pruning).
 ///
 /// # Panics
 ///
 /// Panics if `clique` is not a clique of `g`.
 pub fn extend_to_maximal(g: &UndirectedGraph, clique: &[usize]) -> Vec<usize> {
     assert!(g.is_clique(clique), "input must be a clique");
+    let n = g.node_count();
     let mut result: Vec<usize> = clique.to_vec();
-    for v in 0..g.node_count() {
-        if result.contains(&v) {
-            continue;
-        }
-        if result.iter().all(|&u| g.has_edge(u, v)) {
-            result.push(v);
-        }
+    if n == 0 {
+        return result;
+    }
+    // Candidates: adjacent to every current member. Members themselves are
+    // excluded automatically (v ∉ N(v)).
+    let mut cand = Bitset::new(n);
+    cand.insert_all();
+    for &u in clique {
+        cand.intersect_words(g.neighbors_mask(u));
+    }
+    while let Some(v) = cand.take_first() {
+        result.push(v);
+        cand.intersect_words(g.neighbors_mask(v));
     }
     result.sort_unstable();
     result
 }
 
-fn bron_kerbosch(
-    g: &UndirectedGraph,
-    r: &mut Vec<usize>,
-    p: Vec<usize>,
-    x: Vec<usize>,
-    out: &mut Vec<Vec<usize>>,
-) {
-    if p.is_empty() && x.is_empty() {
-        if !r.is_empty() {
-            let mut clique = r.clone();
-            clique.sort_unstable();
-            out.push(clique);
-        }
-        return;
-    }
-    // Pivot on the vertex of P ∪ X with the most neighbours in P; only
-    // vertices outside its neighbourhood need to be branched on.
-    let pivot = p
-        .iter()
-        .chain(x.iter())
-        .copied()
-        .max_by_key(|&u| p.iter().filter(|&&v| g.has_edge(u, v)).count())
-        .expect("p or x nonempty");
-    let candidates: Vec<usize> = p
-        .iter()
-        .copied()
-        .filter(|&v| !g.has_edge(pivot, v))
-        .collect();
-    let mut p = p;
-    let mut x = x;
-    for v in candidates {
-        r.push(v);
-        let p_next: Vec<usize> = p.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
-        let x_next: Vec<usize> = x.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
-        bron_kerbosch(g, r, p_next, x_next, out);
-        r.pop();
-        p.retain(|&u| u != v);
-        x.push(v);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive::{naive_maximal_cliques, naive_maximum_clique};
 
     fn graph(n: usize, edges: &[(usize, usize)]) -> UndirectedGraph {
         let mut g = UndirectedGraph::new(n);
@@ -205,7 +379,16 @@ mod tests {
     fn every_maximal_clique_is_maximal() {
         let g = graph(
             6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (3, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 2),
+                (3, 5),
+            ],
         );
         for c in maximal_cliques(&g) {
             assert!(g.is_clique(&c));
@@ -219,5 +402,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bitset_bk_matches_naive_on_dense_graph() {
+        // Deterministic pseudo-random graph, ~50% density.
+        let n = 20;
+        let mut g = UndirectedGraph::new(n);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(2) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        let mut fast = maximal_cliques(&g);
+        let mut slow = naive_maximal_cliques(&g);
+        fast.sort();
+        slow.sort();
+        assert_eq!(fast, slow);
+        assert_eq!(maximum_clique(&g).len(), naive_maximum_clique(&g).len());
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs() {
+        let g1 = graph(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let g2 = graph(4, &[(0, 3), (1, 2)]);
+        let mut scratch = CliqueScratch::new(4);
+        let mut count1 = 0;
+        maximal_cliques_with(&g1, &mut scratch, |_| count1 += 1);
+        assert_eq!(count1, 2);
+        let mut count2 = 0;
+        maximal_cliques_with(&g2, &mut scratch, |_| count2 += 1);
+        assert_eq!(count2, 2);
+        assert_eq!(scratch.node_count(), 4);
+    }
+
+    #[test]
+    fn maximum_clique_on_disconnected_cliques() {
+        // K3 on {0,1,2}, K5 on {3..8}.
+        let mut edges = vec![(0, 1), (1, 2), (0, 2)];
+        for a in 3..8 {
+            for b in (a + 1)..8 {
+                edges.push((a, b));
+            }
+        }
+        let g = graph(8, &edges);
+        assert_eq!(maximum_clique(&g), vec![3, 4, 5, 6, 7]);
     }
 }

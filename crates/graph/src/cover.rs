@@ -21,8 +21,20 @@
 //! * [`minimum_edge_clique_cover`] — exact minimum via branch and bound over
 //!   maximal cliques; exponential, intended for graphs of tens of nodes
 //!   (conflict graphs are small: one node per RT class).
+//!
+//! # Implementation notes
+//!
+//! Covered edges are tracked as **bit masks**, not boolean vectors: the
+//! greedy cover keeps a packed covered-adjacency matrix (one row of
+//! `⌈n/64⌉` words per node) and grows each clique by word-parallel
+//! intersection of adjacency rows; the exact cover indexes edges and works
+//! on packed per-clique edge masks, so "which edges does this clique newly
+//! cover" is an AND-NOT over a handful of words instead of an O(|E|)
+//! `contains` scan. The pre-bitset greedy is retained as
+//! [`crate::naive::naive_greedy_edge_clique_cover`] for testing/benches.
 
-use crate::cliques::{extend_to_maximal, maximal_cliques};
+use crate::bitset::{words_for, Bitset, Ones};
+use crate::cliques::maximal_cliques;
 use crate::UndirectedGraph;
 
 /// Returns the trivial cover with one two-node clique per edge.
@@ -39,19 +51,48 @@ pub fn per_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
 /// Every returned clique is maximal in `g`. The cover size is at most the
 /// number of edges and usually far smaller.
 pub fn greedy_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    let stride = words_for(n);
     let mut cover: Vec<Vec<usize>> = Vec::new();
-    let mut covered = UndirectedGraph::new(g.node_count());
-    for (a, b) in g.edges() {
-        if covered.has_edge(a, b) {
-            continue;
-        }
-        let clique = extend_to_maximal(g, &[a, b]);
-        for (i, &u) in clique.iter().enumerate() {
-            for &v in &clique[i + 1..] {
-                covered.add_edge(u, v);
+    // Packed covered-adjacency matrix: bit b of row a ⇔ edge {a,b} covered.
+    let mut covered = vec![0u64; n * stride];
+    let mut cand = Bitset::new(n);
+    let mut clique: Vec<usize> = Vec::with_capacity(n);
+    for a in 0..n {
+        // Uncovered incident edges {a, b} with b > a, straight off the rows.
+        loop {
+            let row = g.neighbors_mask(a);
+            let cov = &covered[a * stride..(a + 1) * stride];
+            let b = match Ones::new(row).find(|&b| b > a && cov[b / 64] & (1 << (b % 64)) == 0) {
+                Some(b) => b,
+                None => break,
+            };
+            // Grow {a, b} to a maximal clique: candidates are the common
+            // neighbourhood, shrunk word-parallel as members join.
+            clique.clear();
+            clique.push(a);
+            clique.push(b);
+            cand.copy_from_words(g.neighbors_mask(a));
+            cand.intersect_words(g.neighbors_mask(b));
+            while let Some(v) = cand.take_first() {
+                clique.push(v);
+                cand.intersect_words(g.neighbors_mask(v));
             }
+            clique.sort_unstable();
+            // Mark all clique-internal edges covered: OR the clique's node
+            // mask into every member's covered row.
+            cand.clear();
+            for &u in &clique {
+                cand.insert(u);
+            }
+            for &u in &clique {
+                let row = &mut covered[u * stride..(u + 1) * stride];
+                for (cw, &mw) in row.iter_mut().zip(cand.words()) {
+                    *cw |= mw;
+                }
+            }
+            cover.push(clique.clone());
         }
-        cover.push(clique);
     }
     cover
 }
@@ -62,7 +103,9 @@ pub fn greedy_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
 /// An optimal cover always exists that uses only maximal cliques (any
 /// non-maximal clique in a cover can be extended without uncovering
 /// anything), so the search branches on which maximal clique covers the
-/// first yet-uncovered edge.
+/// first yet-uncovered edge. Covered-edge state is a packed bit mask over
+/// edge indices; each candidate clique carries a precomputed edge mask, so
+/// branching updates are word-parallel and undo is a masked AND.
 ///
 /// Worst-case exponential; fine for the conflict graphs of real instruction
 /// sets (≤ a few dozen RT classes). For larger graphs use
@@ -72,57 +115,127 @@ pub fn minimum_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
     if edges.is_empty() {
         return Vec::new();
     }
+    let n = g.node_count();
+    // Edge index lookup: edge_idx[a * n + b] for both orientations.
+    let mut edge_idx = vec![usize::MAX; n * n];
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        edge_idx[a * n + b] = i;
+        edge_idx[b * n + a] = i;
+    }
     let cliques = maximal_cliques(g);
-    // Precompute, per edge, which maximal cliques cover it.
-    let covers_edge = |c: &[usize], e: (usize, usize)| c.contains(&e.0) && c.contains(&e.1);
-    let mut best: Vec<Vec<usize>> = greedy_edge_clique_cover(g);
-    let mut chosen: Vec<usize> = Vec::new();
+    // Per-clique packed edge mask.
+    let clique_edges: Vec<Bitset> = cliques
+        .iter()
+        .map(|c| {
+            let mut mask = Bitset::new(edges.len());
+            for (i, &u) in c.iter().enumerate() {
+                for &v in &c[i + 1..] {
+                    mask.insert(edge_idx[u * n + v]);
+                }
+            }
+            mask
+        })
+        .collect();
+    // Per-edge candidate cliques (those whose mask contains the edge).
+    let candidates: Vec<Vec<usize>> = (0..edges.len())
+        .map(|e| {
+            (0..cliques.len())
+                .filter(|&ci| clique_edges[ci].contains(e))
+                .collect()
+        })
+        .collect();
 
+    let mut best: Vec<Vec<usize>> = greedy_edge_clique_cover(g);
+    let mut covered = Bitset::new(edges.len());
+    let mut chosen: Vec<usize> = Vec::new();
+    // Per-depth undo masks ("edges this clique newly covered"), allocated
+    // once per depth instead of once per search node.
+    let mut undo_pool: Vec<Vec<u64>> = Vec::new();
+    let total = edges.len();
+
+    #[allow(clippy::too_many_arguments)]
     fn search(
-        edges: &[(usize, usize)],
         cliques: &[Vec<usize>],
-        covers_edge: &dyn Fn(&[usize], (usize, usize)) -> bool,
-        covered: &mut Vec<bool>,
+        clique_edges: &[Bitset],
+        candidates: &[Vec<usize>],
+        covered: &mut Bitset,
+        covered_count: usize,
+        total: usize,
         chosen: &mut Vec<usize>,
+        undo_pool: &mut Vec<Vec<u64>>,
         best: &mut Vec<Vec<usize>>,
     ) {
+        if covered_count == total {
+            if chosen.len() < best.len() {
+                *best = chosen.iter().map(|&i| cliques[i].clone()).collect();
+            }
+            return;
+        }
+        // Completing from an incomplete state takes at least one more
+        // clique; prune only then (checking completeness first, or a cover
+        // exactly one clique smaller than the incumbent would be pruned
+        // instead of recorded).
         if chosen.len() + 1 >= best.len() {
             return; // cannot improve
         }
-        let first_uncovered = match covered.iter().position(|&c| !c) {
-            None => {
-                *best = chosen.iter().map(|&i| cliques[i].clone()).collect();
-                return;
+        // First uncovered edge: first zero bit of the covered mask.
+        let first_uncovered = covered
+            .words()
+            .iter()
+            .enumerate()
+            .find_map(|(w, &word)| {
+                let free = !word;
+                let bit = w * 64 + free.trailing_zeros() as usize;
+                (free != 0 && bit < total).then_some(bit)
+            })
+            .expect("covered_count < total implies an uncovered edge");
+        let depth = chosen.len();
+        if undo_pool.len() <= depth {
+            undo_pool.push(vec![0u64; covered.words().len()]);
+        }
+        for &ci in &candidates[first_uncovered] {
+            // newly = clique edges not yet covered (word-parallel AND-NOT),
+            // into this depth's reusable undo mask.
+            let mask = &clique_edges[ci];
+            let mut newly = 0usize;
+            for ((u, &m), &c) in undo_pool[depth]
+                .iter_mut()
+                .zip(mask.words())
+                .zip(covered.words())
+            {
+                *u = m & !c;
+                newly += u.count_ones() as usize;
             }
-            Some(i) => i,
-        };
-        let e = edges[first_uncovered];
-        for (ci, clique) in cliques.iter().enumerate() {
-            if !covers_edge(clique, e) {
-                continue;
-            }
-            let newly: Vec<usize> = (0..edges.len())
-                .filter(|&i| !covered[i] && covers_edge(clique, edges[i]))
-                .collect();
-            for &i in &newly {
-                covered[i] = true;
-            }
+            covered.union_with(mask);
             chosen.push(ci);
-            search(edges, cliques, covers_edge, covered, chosen, best);
+            search(
+                cliques,
+                clique_edges,
+                candidates,
+                covered,
+                covered_count + newly,
+                total,
+                chosen,
+                undo_pool,
+                best,
+            );
             chosen.pop();
-            for &i in &newly {
-                covered[i] = false;
+            // Undo: clear exactly the bits this clique newly covered.
+            for (c, &w) in covered.words_mut().iter_mut().zip(&undo_pool[depth]) {
+                *c &= !w;
             }
         }
     }
 
-    let mut covered = vec![false; edges.len()];
     search(
-        &edges,
         &cliques,
-        &covers_edge,
+        &clique_edges,
+        &candidates,
         &mut covered,
+        0,
+        total,
         &mut chosen,
+        &mut undo_pool,
         &mut best,
     );
     best
@@ -226,6 +339,19 @@ mod tests {
     }
 
     #[test]
+    fn greedy_cover_cliques_are_maximal() {
+        let g = paper_conflict_graph();
+        for c in greedy_edge_clique_cover(&g) {
+            assert!(g.is_clique(&c));
+            for v in 0..g.node_count() {
+                if !c.contains(&v) {
+                    assert!(!c.iter().all(|&u| g.has_edge(u, v)));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn paper_cover_size_is_six() {
         // The paper lists a cover of size 6:
         // {S,X},{S,Y},{T,U,Y},{T,V,X},{U,X},{V,Y}. The minimum cover should
@@ -298,10 +424,61 @@ mod tests {
     }
 
     #[test]
+    fn minimum_cover_not_pruned_at_incumbent_minus_one() {
+        // Regression: a complete cover exactly one clique smaller than the
+        // greedy incumbent used to be pruned by the cannot-improve check
+        // before the completeness check ran. On this graph greedy finds 6
+        // cliques but the true minimum is 5 (verified by brute force over
+        // maximal-clique subsets).
+        let g = graph(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (1, 6),
+                (2, 3),
+                (2, 6),
+                (3, 5),
+                (3, 6),
+                (4, 5),
+                (4, 6),
+                (5, 6),
+            ],
+        );
+        assert_eq!(greedy_edge_clique_cover(&g).len(), 6);
+        let min = minimum_edge_clique_cover(&g);
+        validate_cover(&g, &min).unwrap();
+        assert_eq!(min.len(), 5, "exact minimum must beat greedy here: {min:?}");
+    }
+
+    #[test]
     fn minimum_cover_of_two_triangles_sharing_a_vertex() {
         let g = graph(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
         let min = minimum_edge_clique_cover(&g);
         validate_cover(&g, &min).unwrap();
         assert_eq!(min.len(), 2);
+    }
+
+    #[test]
+    fn greedy_covers_multiword_graph() {
+        // 100 nodes: a chain plus a K6 spanning a word boundary (60..66).
+        let mut g = UndirectedGraph::new(100);
+        for i in 0..99 {
+            g.add_edge(i, i + 1);
+        }
+        for a in 60..66 {
+            for b in (a + 1)..66 {
+                g.add_edge(a, b);
+            }
+        }
+        let cover = greedy_edge_clique_cover(&g);
+        validate_cover(&g, &cover).unwrap();
+        assert!(cover.iter().any(|c| c.len() == 6), "K6 found as one clique");
     }
 }

@@ -40,7 +40,11 @@ pub struct CycleError {
 
 impl std::fmt::Display for CycleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph contains a cycle through nodes {:?}", self.stuck_nodes)
+        write!(
+            f,
+            "graph contains a cycle through nodes {:?}",
+            self.stuck_nodes
+        )
     }
 }
 
@@ -107,8 +111,7 @@ impl Dag {
     /// nodes that could not be ordered.
     pub fn topological_order(&self) -> Result<Vec<usize>, CycleError> {
         let mut indeg: Vec<usize> = (0..self.n).map(|v| self.pred[v].len()).collect();
-        let mut queue: VecDeque<usize> =
-            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(self.n);
         while let Some(v) = queue.pop_front() {
             order.push(v);

@@ -3,9 +3,14 @@
 //! This crate provides the graph machinery that the rest of the compiler is
 //! built on:
 //!
+//! * [`Bitset`] — word-packed sets; the shared representation behind all
+//!   hot combinatorial kernels (64 membership tests per AND + popcount).
 //! * [`UndirectedGraph`] — a small dense undirected graph used for the
-//!   *conflict graphs* of instruction-set modelling (paper section 6.3).
-//! * [`cliques`] — Bron–Kerbosch enumeration of maximal cliques.
+//!   *conflict graphs* of instruction-set modelling (paper section 6.3),
+//!   backed by packed adjacency rows.
+//! * [`cliques`] — Bron–Kerbosch enumeration of maximal cliques over
+//!   bitsets with a preallocated scratch pool (no per-recursion
+//!   allocation), plus branch-and-bound maximum clique.
 //! * [`cover`] — *edge clique covers*: sets of cliques such that every edge
 //!   of the graph is covered. The paper installs one artificial scheduler
 //!   resource per clique, so cover quality directly controls scheduler
@@ -17,6 +22,8 @@
 //! * [`dag`] — directed acyclic graph utilities (topological order, longest
 //!   paths, ASAP/ALAP times) used by the dependence analysis of the
 //!   scheduler.
+//! * [`naive`] — the retained pre-bitset reference implementations, used
+//!   by property tests and benchmarks as the comparison baseline.
 //!
 //! # Example
 //!
@@ -39,10 +46,13 @@
 //! }
 //! ```
 
+mod bitset;
 pub mod cliques;
 pub mod cover;
 pub mod dag;
 pub mod matching;
+pub mod naive;
 mod undirected;
 
+pub use bitset::{Bitset, Ones};
 pub use undirected::UndirectedGraph;

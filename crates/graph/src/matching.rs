@@ -159,12 +159,7 @@ pub fn maximum_matching_kuhn(g: &BipartiteGraph) -> usize {
     const NIL: usize = usize::MAX;
     let mut match_r = vec![NIL; g.right_count()];
 
-    fn try_kuhn(
-        l: usize,
-        g: &BipartiteGraph,
-        visited: &mut [bool],
-        match_r: &mut [usize],
-    ) -> bool {
+    fn try_kuhn(l: usize, g: &BipartiteGraph, visited: &mut [bool], match_r: &mut [usize]) -> bool {
         for &r in g.neighbors(l) {
             if visited[r] {
                 continue;
@@ -261,7 +256,8 @@ mod tests {
 
     #[test]
     fn hopcroft_karp_matches_kuhn_on_fixed_cases() {
-        let cases: Vec<(usize, usize, Vec<(usize, usize)>)> = vec![
+        type Case = (usize, usize, Vec<(usize, usize)>);
+        let cases: Vec<Case> = vec![
             (3, 3, vec![(0, 0), (1, 0), (2, 0)]),
             (3, 4, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)]),
             (5, 2, vec![(0, 0), (1, 1), (2, 0), (3, 1), (4, 0)]),

@@ -1,0 +1,155 @@
+//! Retained pre-bitset reference implementations.
+//!
+//! These are the original `Vec<usize>`-churning kernels that the
+//! word-packed bitset implementations in [`crate::cliques`] and
+//! [`crate::cover`] replaced. They are kept for two reasons:
+//!
+//! 1. **Property testing** — `tests/prop_graph.rs` checks the bitset
+//!    kernels against these on random graphs (same maximal-clique sets,
+//!    valid covers, same maximum-clique cardinality).
+//! 2. **Benchmarking** — `dspcc-bench`'s `clique_cover` bench measures the
+//!    bitset speedup against this baseline (the E8-style runtime
+//!    comparison; see DESIGN.md).
+//!
+//! Do not use these on hot paths.
+
+use crate::UndirectedGraph;
+
+/// Reference Bron–Kerbosch with pivoting, carrying P/X as `Vec<usize>` and
+/// allocating fresh candidate vectors at every recursion step.
+pub fn naive_maximal_cliques(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut r = Vec::new();
+    let p: Vec<usize> = (0..g.node_count()).collect();
+    let x = Vec::new();
+    bron_kerbosch(g, &mut r, p, x, &mut out);
+    out
+}
+
+/// Reference maximum clique: materializes *all* maximal cliques and takes
+/// the largest — the behaviour `cliques::maximum_clique` had before the
+/// branch-and-bound rewrite.
+pub fn naive_maximum_clique(g: &UndirectedGraph) -> Vec<usize> {
+    naive_maximal_cliques(g)
+        .into_iter()
+        .max_by_key(|c| c.len())
+        .unwrap_or_default()
+}
+
+/// Reference greedy maximal extension by per-pair `has_edge` scans.
+///
+/// # Panics
+///
+/// Panics if `clique` is not a clique of `g`.
+pub fn naive_extend_to_maximal(g: &UndirectedGraph, clique: &[usize]) -> Vec<usize> {
+    assert!(g.is_clique(clique), "input must be a clique");
+    let mut result: Vec<usize> = clique.to_vec();
+    for v in 0..g.node_count() {
+        if result.contains(&v) {
+            continue;
+        }
+        if result.iter().all(|&u| g.has_edge(u, v)) {
+            result.push(v);
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Reference greedy edge clique cover: tracks covered edges in a second
+/// graph and extends each uncovered edge with [`naive_extend_to_maximal`].
+pub fn naive_greedy_edge_clique_cover(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let mut cover: Vec<Vec<usize>> = Vec::new();
+    let mut covered = UndirectedGraph::new(g.node_count());
+    for (a, b) in g.edges() {
+        if covered.has_edge(a, b) {
+            continue;
+        }
+        let clique = naive_extend_to_maximal(g, &[a, b]);
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                covered.add_edge(u, v);
+            }
+        }
+        cover.push(clique);
+    }
+    cover
+}
+
+fn bron_kerbosch(
+    g: &UndirectedGraph,
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    x: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        if !r.is_empty() {
+            let mut clique = r.clone();
+            clique.sort_unstable();
+            out.push(clique);
+        }
+        return;
+    }
+    // Pivot on the vertex of P ∪ X with the most neighbours in P; only
+    // vertices outside its neighbourhood need to be branched on.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| g.has_edge(u, v)).count())
+        .expect("p or x nonempty");
+    let candidates: Vec<usize> = p
+        .iter()
+        .copied()
+        .filter(|&v| !g.has_edge(pivot, v))
+        .collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        r.push(v);
+        let p_next: Vec<usize> = p.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
+        let x_next: Vec<usize> = x.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
+        bron_kerbosch(g, r, p_next, x_next, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::validate_cover;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    #[test]
+    fn naive_cliques_on_triangle_plus_edge() {
+        let g = graph(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut cliques = naive_maximal_cliques(&g);
+        cliques.sort();
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
+        assert_eq!(naive_maximum_clique(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn naive_greedy_cover_is_valid() {
+        let g = graph(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let cover = naive_greedy_edge_clique_cover(&g);
+        validate_cover(&g, &cover).unwrap();
+    }
+
+    #[test]
+    fn naive_extend_grows_edge() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert_eq!(naive_extend_to_maximal(&g, &[0, 1]), vec![0, 1, 2]);
+        assert_eq!(naive_extend_to_maximal(&g, &[3]), vec![2, 3]);
+    }
+}

@@ -2,17 +2,24 @@
 //!
 //! Conflict graphs in instruction-set modelling have one node per *RT class*
 //! (paper section 6.3); real instruction sets have tens of classes, so a
-//! dense adjacency-matrix representation is both the simplest and the
-//! fastest choice.
+//! dense representation is both the simplest and the fastest choice. Since
+//! the bitset rewrite, adjacency is stored as **word-packed rows**: row `a`
+//! is a bitset over `0..n` whose bit `b` is set iff `{a, b}` is an edge.
+//! The clique and cover kernels intersect these rows word-parallel
+//! (64 adjacency tests per AND), which is what makes Bron–Kerbosch and the
+//! greedy cover fast on graphs with hundreds of nodes.
 
 use std::fmt;
+
+use crate::bitset::{words_for, Ones};
 
 /// An undirected graph on nodes `0..n` without self loops or parallel edges.
 ///
 /// Nodes are plain `usize` indices; callers that need labelled nodes (such
-/// as RT classes) keep their own side table. The representation is a dense
-/// adjacency matrix plus adjacency lists, so edge queries are O(1) and
-/// neighbourhood iteration is O(degree).
+/// as RT classes) keep their own side table. The representation is packed
+/// adjacency rows plus cached adjacency lists, so edge queries are O(1),
+/// neighbourhood iteration is O(degree), and whole-neighbourhood
+/// intersection ([`UndirectedGraph::neighbors_mask`]) is O(n/64).
 ///
 /// # Example
 ///
@@ -28,7 +35,11 @@ use std::fmt;
 #[derive(Clone)]
 pub struct UndirectedGraph {
     n: usize,
-    adj_matrix: Vec<bool>,
+    /// Words per adjacency row.
+    stride: usize,
+    /// `n * stride` words; bit `b` of row `a` set iff edge `{a, b}`.
+    adj: Vec<u64>,
+    /// Cached neighbour lists in insertion order (the `neighbors()` API).
     adj_lists: Vec<Vec<usize>>,
     edge_count: usize,
 }
@@ -36,9 +47,11 @@ pub struct UndirectedGraph {
 impl UndirectedGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
+        let stride = words_for(n);
         UndirectedGraph {
             n,
-            adj_matrix: vec![false; n * n],
+            stride,
+            adj: vec![0; n * stride],
             adj_lists: vec![Vec::new(); n],
             edge_count: 0,
         }
@@ -54,6 +67,38 @@ impl UndirectedGraph {
         self.edge_count
     }
 
+    /// Number of `u64` words per packed adjacency row.
+    pub fn words_per_row(&self) -> usize {
+        self.stride
+    }
+
+    /// The packed adjacency row of node `a`: bit `b` is set iff `{a, b}` is
+    /// an edge. Suitable for word-parallel intersection with
+    /// [`crate::Bitset`] values over the same node universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn neighbors_mask(&self, a: usize) -> &[u64] {
+        assert!(a < self.n, "node index out of range");
+        &self.adj[a * self.stride..(a + 1) * self.stride]
+    }
+
+    #[inline]
+    fn bit(&self, a: usize, b: usize) -> bool {
+        self.adj[a * self.stride + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, a: usize, b: usize) {
+        self.adj[a * self.stride + b / 64] |= 1 << (b % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, a: usize, b: usize) {
+        self.adj[a * self.stride + b / 64] &= !(1 << (b % 64));
+    }
+
     /// Adds the undirected edge `{a, b}`. Returns `true` if the edge was new.
     ///
     /// Self loops are ignored (an RT class never conflicts with itself: two
@@ -65,11 +110,11 @@ impl UndirectedGraph {
     /// Panics if `a` or `b` is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
         assert!(a < self.n && b < self.n, "node index out of range");
-        if a == b || self.adj_matrix[a * self.n + b] {
+        if a == b || self.bit(a, b) {
             return false;
         }
-        self.adj_matrix[a * self.n + b] = true;
-        self.adj_matrix[b * self.n + a] = true;
+        self.set_bit(a, b);
+        self.set_bit(b, a);
         self.adj_lists[a].push(b);
         self.adj_lists[b].push(a);
         self.edge_count += 1;
@@ -79,11 +124,11 @@ impl UndirectedGraph {
     /// Removes the undirected edge `{a, b}` if present; returns whether it
     /// was present.
     pub fn remove_edge(&mut self, a: usize, b: usize) -> bool {
-        if a >= self.n || b >= self.n || a == b || !self.adj_matrix[a * self.n + b] {
+        if a >= self.n || b >= self.n || a == b || !self.bit(a, b) {
             return false;
         }
-        self.adj_matrix[a * self.n + b] = false;
-        self.adj_matrix[b * self.n + a] = false;
+        self.clear_bit(a, b);
+        self.clear_bit(b, a);
         self.adj_lists[a].retain(|&x| x != b);
         self.adj_lists[b].retain(|&x| x != a);
         self.edge_count -= 1;
@@ -92,7 +137,7 @@ impl UndirectedGraph {
 
     /// Returns whether the edge `{a, b}` exists.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
-        a < self.n && b < self.n && self.adj_matrix[a * self.n + b]
+        a < self.n && b < self.n && self.bit(a, b)
     }
 
     /// Degree of node `a`.
@@ -113,12 +158,11 @@ impl UndirectedGraph {
         &self.adj_lists[a]
     }
 
-    /// Iterates over all edges as `(low, high)` pairs with `low < high`.
+    /// Iterates over all edges as `(low, high)` pairs with `low < high`,
+    /// ascending by `low` then `high` (packed-row bit order).
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |a| {
-            self.adj_lists[a]
-                .iter()
-                .copied()
+            Ones::new(self.neighbors_mask(a))
                 .filter(move |&b| a < b)
                 .map(move |b| (a, b))
         })
@@ -145,12 +189,20 @@ impl UndirectedGraph {
     pub fn complement(&self) -> UndirectedGraph {
         let mut g = UndirectedGraph::new(self.n);
         for a in 0..self.n {
-            for b in (a + 1)..self.n {
-                if !self.has_edge(a, b) {
-                    g.add_edge(a, b);
-                }
+            // Complement the row word-parallel, clear the diagonal bit,
+            // then rebuild the derived state from the set bits.
+            let (row, src) = (a * self.stride, a * self.stride);
+            for w in 0..self.stride {
+                g.adj[row + w] = !self.adj[src + w];
             }
+            let tail = self.n % 64;
+            if tail != 0 {
+                g.adj[row + self.stride - 1] &= (1u64 << tail) - 1;
+            }
+            g.adj[row + a / 64] &= !(1 << (a % 64));
+            g.adj_lists[a] = Ones::new(&g.adj[row..row + self.stride]).collect();
         }
+        g.edge_count = self.n * self.n.saturating_sub(1) / 2 - self.edge_count;
         g
     }
 }
@@ -159,7 +211,7 @@ impl PartialEq for UndirectedGraph {
     /// Two graphs are equal when they have the same node count and edge
     /// set; adjacency-list insertion order is irrelevant.
     fn eq(&self, other: &Self) -> bool {
-        self.n == other.n && self.adj_matrix == other.adj_matrix
+        self.n == other.n && self.adj == other.adj
     }
 }
 
@@ -273,6 +325,33 @@ mod tests {
         g.add_edge(3, 1);
         let cc = g.complement().complement();
         assert_eq!(cc, g);
+    }
+
+    #[test]
+    fn complement_rebuilds_lists_and_degrees() {
+        let mut g = UndirectedGraph::new(66);
+        g.add_edge(0, 65);
+        let c = g.complement();
+        assert_eq!(c.degree(0), 64);
+        assert!(!c.neighbors(0).contains(&65));
+        assert!(!c.neighbors(0).contains(&0));
+        assert_eq!(c.edge_count(), 66 * 65 / 2 - 1);
+    }
+
+    #[test]
+    fn mask_matches_has_edge_across_words() {
+        let mut g = UndirectedGraph::new(130);
+        g.add_edge(0, 64);
+        g.add_edge(0, 129);
+        g.add_edge(128, 129);
+        for a in [0usize, 64, 128, 129] {
+            let mask = g.neighbors_mask(a);
+            for b in 0..130 {
+                let in_mask = mask[b / 64] & (1 << (b % 64)) != 0;
+                assert_eq!(in_mask, g.has_edge(a, b), "row {a} bit {b}");
+            }
+        }
+        assert_eq!(g.words_per_row(), 3);
     }
 
     #[test]

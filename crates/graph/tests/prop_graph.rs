@@ -6,22 +6,24 @@ use dspcc_graph::cover::{
 };
 use dspcc_graph::dag::Dag;
 use dspcc_graph::matching::{maximum_matching_kuhn, BipartiteGraph};
-use dspcc_graph::UndirectedGraph;
+use dspcc_graph::naive::{
+    naive_greedy_edge_clique_cover, naive_maximal_cliques, naive_maximum_clique,
+};
+use dspcc_graph::{Bitset, UndirectedGraph};
 use proptest::prelude::*;
 
 /// Strategy: a random undirected graph on up to `max_n` nodes.
 fn arb_graph(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
     (2..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..(n * n))
-            .prop_map(move |pairs| {
-                let mut g = UndirectedGraph::new(n);
-                for (a, b) in pairs {
-                    if a != b {
-                        g.add_edge(a, b);
-                    }
+        proptest::collection::vec((0..n, 0..n), 0..(n * n)).prop_map(move |pairs| {
+            let mut g = UndirectedGraph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(a, b);
                 }
-                g
-            })
+            }
+            g
+        })
     })
 }
 
@@ -139,6 +141,100 @@ proptest! {
                 prop_assert!(asap[s] >= asap[v] + w);
             }
         }
+    }
+
+    /// The bitset Bron–Kerbosch finds exactly the same maximal cliques as
+    /// the retained naive reference.
+    #[test]
+    fn bitset_bk_matches_naive_reference(g in arb_graph(12)) {
+        let mut fast = maximal_cliques(&g);
+        let mut slow = naive_maximal_cliques(&g);
+        fast.sort();
+        slow.sort();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The bitset greedy cover is valid, all-maximal, and the naive
+    /// reference cover stays valid too (differential sanity).
+    #[test]
+    fn bitset_greedy_cover_matches_naive_reference(g in arb_graph(12)) {
+        let fast = greedy_edge_clique_cover(&g);
+        validate_cover(&g, &fast).unwrap();
+        for c in &fast {
+            // Every clique the greedy cover emits is maximal in g.
+            for v in 0..g.node_count() {
+                if !c.contains(&v) {
+                    prop_assert!(!c.iter().all(|&u| g.has_edge(u, v)));
+                }
+            }
+        }
+        let slow = naive_greedy_edge_clique_cover(&g);
+        validate_cover(&g, &slow).unwrap();
+    }
+
+    /// Branch-and-bound maximum clique agrees in cardinality with the
+    /// enumerate-everything reference and returns a real maximal clique.
+    #[test]
+    fn maximum_clique_matches_naive_reference(g in arb_graph(11)) {
+        let fast = maximum_clique(&g);
+        prop_assert!(g.is_clique(&fast));
+        prop_assert_eq!(fast.len(), naive_maximum_clique(&g).len());
+        for v in 0..g.node_count() {
+            if !fast.is_empty() && !fast.contains(&v) {
+                prop_assert!(!fast.iter().all(|&u| g.has_edge(u, v)));
+            }
+        }
+    }
+
+    /// Packed adjacency rows stay consistent with has_edge/degree under
+    /// arbitrary interleavings of add_edge and remove_edge.
+    #[test]
+    fn bitset_rows_consistent_under_add_remove(
+        (n, ops) in (2usize..70).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec((0..n, 0..n, any::<bool>()), 0..(3 * n)))
+        }),
+    ) {
+        let mut g = UndirectedGraph::new(n);
+        for (a, b, add) in ops {
+            if add { g.add_edge(a, b); } else { g.remove_edge(a, b); }
+        }
+        let mut edges = 0usize;
+        for a in 0..n {
+            let mask = g.neighbors_mask(a);
+            let row_degree: usize =
+                mask.iter().map(|w| w.count_ones() as usize).sum();
+            prop_assert_eq!(row_degree, g.degree(a));
+            for b in 0..n {
+                let in_mask = mask[b / 64] & (1 << (b % 64)) != 0;
+                prop_assert_eq!(in_mask, g.has_edge(a, b), "row {} bit {}", a, b);
+                prop_assert_eq!(in_mask, g.neighbors(a).contains(&b));
+                if in_mask && a < b {
+                    edges += 1;
+                }
+            }
+        }
+        prop_assert_eq!(edges, g.edge_count());
+    }
+
+    /// Bitset behaves like a BTreeSet model under insert/remove.
+    #[test]
+    fn bitset_matches_set_model(
+        (cap, ops) in (1usize..200).prop_flat_map(|cap| {
+            (Just(cap), proptest::collection::vec((0..cap, any::<bool>()), 0..64))
+        }),
+    ) {
+        let mut bs = Bitset::new(cap);
+        let mut model = std::collections::BTreeSet::new();
+        for (v, add) in ops {
+            if add {
+                prop_assert_eq!(bs.insert(v), model.insert(v));
+            } else {
+                prop_assert_eq!(bs.remove(v), model.remove(&v));
+            }
+        }
+        prop_assert_eq!(bs.count(), model.len());
+        prop_assert_eq!(bs.to_vec(), model.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(bs.first(), model.first().copied());
     }
 
     #[test]

@@ -179,7 +179,10 @@ mod tests {
             Usage::apply("add", ["a", "b"]),
             Usage::apply("add", ["a", "c"])
         );
-        assert_ne!(Usage::token("add"), Usage::apply("add", Vec::<String>::new()));
+        assert_ne!(
+            Usage::token("add"),
+            Usage::apply("add", Vec::<String>::new())
+        );
     }
 
     #[test]

@@ -215,7 +215,10 @@ impl Rt {
 
     /// If the RTs conflict, returns the first shared resource with
     /// differing usages, for diagnostics.
-    pub fn conflict_with<'a>(&'a self, other: &'a Rt) -> Option<(&'a Resource, &'a Usage, &'a Usage)> {
+    pub fn conflict_with<'a>(
+        &'a self,
+        other: &'a Rt,
+    ) -> Option<(&'a Resource, &'a Usage, &'a Usage)> {
         // Iterate over the smaller usage map for speed.
         let (small, big) = if self.usage.len() <= other.usage.len() {
             (self, other)
@@ -261,12 +264,7 @@ impl fmt::Display for Rt {
             write!(f, "(no operands)")?;
         }
         writeln!(f)?;
-        let width = self
-            .usage
-            .keys()
-            .map(|r| r.name().len())
-            .max()
-            .unwrap_or(0);
+        let width = self.usage.keys().map(|r| r.name().len()).max().unwrap_or(0);
         for (i, (r, u)) in self.usage.iter().enumerate() {
             let lead = if i == 0 { '\\' } else { ' ' };
             let sep = if i + 1 == self.usage.len() { ';' } else { ',' };

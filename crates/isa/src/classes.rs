@@ -64,7 +64,13 @@ impl RtClass {
 impl fmt::Display for RtClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let usages: Vec<&str> = self.usages().collect();
-        write!(f, "{}: ({}, {{{}}})", self.name, self.opu, usages.join(", "))
+        write!(
+            f,
+            "{}: ({}, {{{}}})",
+            self.name,
+            self.opu,
+            usages.join(", ")
+        )
     }
 }
 
@@ -256,7 +262,11 @@ mod tests {
     fn small_dp() -> Datapath {
         DatapathBuilder::new()
             .register_file("rf_a", 2)
-            .opu(OpuKind::Acu, "acu_1", &[("add", 1), ("addmod", 1), ("inca", 1)])
+            .opu(
+                OpuKind::Acu,
+                "acu_1",
+                &[("add", 1), ("addmod", 1), ("inca", 1)],
+            )
             .inputs("acu_1", &["rf_a"])
             .output("acu_1", "bus_acu")
             .opu(OpuKind::Ram, "ram_1", &[("read", 1), ("write", 1)])

@@ -11,6 +11,13 @@
 //! Any clique cover yields a *valid* schedule; larger (maximal) cliques
 //! merely reduce the number of artificial resources and hence scheduler
 //! run-time — which is exactly what experiment E8 measures.
+//!
+//! The whole chain here runs on the word-packed bitset path: the conflict
+//! graph arrives with packed adjacency rows
+//! ([`InstructionSet::conflict_graph`] accumulates "appears together"
+//! bitsets over the types), and all three cover strategies enumerate and
+//! grow cliques by word-parallel neighbourhood intersection (see
+//! [`dspcc_graph::cliques`] / [`dspcc_graph::cover`]).
 
 use std::fmt;
 
@@ -212,7 +219,11 @@ mod tests {
             &paper_classification(),
             CoverStrategy::ExactMinimum,
         );
-        assert!(ars.len() <= 6, "paper's cover has 6 cliques, got {}", ars.len());
+        assert!(
+            ars.len() <= 6,
+            "paper's cover has 6 cliques, got {}",
+            ars.len()
+        );
     }
 
     #[test]
@@ -224,7 +235,8 @@ mod tests {
         );
         // The maximal clique {T,U,Y} must appear with name "TUY".
         assert!(
-            ars.iter().any(|ar| ar.name() == "TUY" || ar.name() == "TVX"),
+            ars.iter()
+                .any(|ar| ar.name() == "TUY" || ar.name() == "TVX"),
             "expected a paper-style maximal clique name, got {:?}",
             ars.iter().map(ArtificialResource::name).collect::<Vec<_>>()
         );
@@ -253,8 +265,7 @@ mod tests {
     fn compatible_classes_stay_compatible_after_apply() {
         let classification = paper_classification();
         let iset = paper_iset();
-        let ars =
-            artificial_resources(&iset, &classification, CoverStrategy::GreedyMaximal);
+        let ars = artificial_resources(&iset, &classification, CoverStrategy::GreedyMaximal);
         let mut program = Program::new();
         let s = program.add_rt(rt_of_class("opu_s"));
         let u = program.add_rt(rt_of_class("opu_u"));
@@ -279,12 +290,14 @@ mod tests {
             let ars = artificial_resources(&iset, &classification, strategy);
             let opus = ["opu_s", "opu_t", "opu_u", "opu_v", "opu_x", "opu_y"];
             let mut program = Program::new();
-            let ids: Vec<_> = opus.iter().map(|o| program.add_rt(rt_of_class(o))).collect();
+            let ids: Vec<_> = opus
+                .iter()
+                .map(|o| program.add_rt(rt_of_class(o)))
+                .collect();
             apply_artificial_resources(&mut program, &classification, &ars);
             for a in 0..6 {
                 for b in (a + 1)..6 {
-                    let compatible =
-                        program.rt(ids[a]).compatible_with(program.rt(ids[b]));
+                    let compatible = program.rt(ids[a]).compatible_with(program.rt(ids[b]));
                     assert_eq!(
                         compatible,
                         !g.has_edge(a, b),
@@ -298,11 +311,8 @@ mod tests {
     #[test]
     fn unclassified_rts_untouched() {
         let classification = paper_classification();
-        let ars = artificial_resources(
-            &paper_iset(),
-            &classification,
-            CoverStrategy::GreedyMaximal,
-        );
+        let ars =
+            artificial_resources(&paper_iset(), &classification, CoverStrategy::GreedyMaximal);
         let mut program = Program::new();
         let mut rt = Rt::new("other");
         rt.add_usage("unrelated_opu", Usage::token("op"));

@@ -2,12 +2,12 @@
 //! rules, the closure, and the artificial-resource machinery on random
 //! instruction sets.
 
+use dspcc_ir::{Program, Rt, Usage};
 use dspcc_isa::classes::RtClass;
 use dspcc_isa::{
     apply_artificial_resources, artificial_resources, ClassId, Classification, CoverStrategy,
     InstructionSet,
 };
-use dspcc_ir::{Program, Rt, Usage};
 use proptest::prelude::*;
 
 fn arb_desired(class_count: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {

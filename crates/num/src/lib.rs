@@ -100,7 +100,12 @@ impl Sample {
     }
 
     /// Wrapping addition (plain hardware adder).
+    ///
+    /// Named after the hardware operation, like `add_clip`/`mult`, rather
+    /// than implementing `std::ops::Add` (which could not also carry the
+    /// format-mismatch panic semantics documented here).
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Sample) -> Sample {
         Sample::new(self.format, self.format.add(self.value, rhs.value))
     }

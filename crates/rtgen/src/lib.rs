@@ -21,7 +21,5 @@
 pub mod lower;
 pub mod modify;
 
-pub use lower::{
-    lower, Immediate, LowerError, LowerOptions, Lowering, RamLayout, VIRTUAL_BASE,
-};
+pub use lower::{lower, Immediate, LowerError, LowerOptions, Lowering, RamLayout, VIRTUAL_BASE};
 pub use modify::{apply_instruction_set, apply_merge_plan, ModifyError};

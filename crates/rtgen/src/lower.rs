@@ -27,7 +27,6 @@ use dspcc_arch::{Datapath, OpuKind};
 use dspcc_dfg::{Dfg, DfgOp, NodeId};
 use dspcc_ir::{Program, RegRef, Rt, RtId, Usage, ValueId};
 
-
 /// Virtual register indices start here; smaller indices are pre-colored
 /// physical registers (the frame pointer). Register allocation (in
 /// `dspcc-encode`) maps virtual indices to physical ones after scheduling.
@@ -139,7 +138,10 @@ impl fmt::Display for LowerError {
                  (no bus path, and no pass-through found)"
             ),
             LowerError::RamOverflow { needed, available } => {
-                write!(f, "delay lines need {needed} RAM words, only {available} available")
+                write!(
+                    f,
+                    "delay lines need {needed} RAM words, only {available} available"
+                )
             }
         }
     }
@@ -212,10 +214,7 @@ struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     fn new(dfg: &'a Dfg, dp: &'a Datapath, opts: &'a LowerOptions) -> Result<Self, LowerError> {
-        let needs_ram = dfg
-            .signals()
-            .iter()
-            .any(|s| s.max_tap_depth > 0);
+        let needs_ram = dfg.signals().iter().any(|s| s.max_tap_depth > 0);
         let (acu, ram, fp_rf, off_rf, layout) = if needs_ram {
             let acu = dp
                 .opus()
@@ -474,7 +473,7 @@ impl<'a> Ctx<'a> {
             .dp
             .register_file(rf)
             .unwrap_or_else(|| panic!("rf `{rf}` exists in validated datapath"));
-        spec.write_buses().iter().any(|b| *b == bus)
+        spec.write_buses().contains(&bus)
     }
 
     /// Whether `value` is already demanded into `rf` (a free re-read).
@@ -505,12 +504,7 @@ impl<'a> Ctx<'a> {
 
     /// Routes `value` into `rf`, inserting a single pass-through RT when
     /// there is no direct bus path.
-    fn route_or_pass(
-        &mut self,
-        value: ValueId,
-        rf: &str,
-        op: &str,
-    ) -> Result<ValueId, LowerError> {
+    fn route_or_pass(&mut self, value: ValueId, rf: &str, op: &str) -> Result<ValueId, LowerError> {
         if self.route(value, rf, op).is_ok() {
             return Ok(value);
         }
@@ -530,7 +524,7 @@ impl<'a> Ctx<'a> {
                 Some(b) => b,
                 None => continue,
             };
-            if in_spec.write_buses().iter().any(|b| *b == bus)
+            if in_spec.write_buses().contains(&bus)
                 && target.write_buses().iter().any(|b| b == out_bus)
             {
                 // value → (pass) → bridged.
@@ -569,7 +563,10 @@ impl<'a> Ctx<'a> {
     fn constant(&mut self, imm: Immediate, name: &str) -> Result<ValueId, LowerError> {
         let (kind, cache_key): (OpuKind, Option<u64>) = match imm {
             Immediate::Raw(v) => (OpuKind::ProgConst, Some(v as u64)),
-            Immediate::Fixed(v) => (OpuKind::ProgConst, Some(v.to_bits() ^ 0x8000_0000_0000_0000)),
+            Immediate::Fixed(v) => (
+                OpuKind::ProgConst,
+                Some(v.to_bits() ^ 0x8000_0000_0000_0000),
+            ),
             Immediate::RomAddr(_) => (OpuKind::Rom, None),
         };
         if self.opts.cse_constants {
@@ -634,14 +631,9 @@ impl<'a> Ctx<'a> {
         debug_assert_ne!(base, u32::MAX, "untapped signal has no RAM region");
         let v = base as i64 + depth as i64;
         let sig_name = self.dfg.signals()[signal].name.clone();
-        let off = self.constant(
-            Immediate::Raw(v),
-            &format!("addr_{sig_name}_{depth}"),
-        )?;
+        let off = self.constant(Immediate::Raw(v), &format!("addr_{sig_name}_{depth}"))?;
         self.route(off, &self.off_rf.clone(), "addmod")?;
-        let addr = self
-            .program
-            .add_value(&format!("a_{sig_name}_{depth}"));
+        let addr = self.program.add_value(&format!("a_{sig_name}_{depth}"));
         let acu_bus = self
             .dp
             .opu(&self.acu)
@@ -834,11 +826,7 @@ impl<'a> Ctx<'a> {
         Ok(())
     }
 
-    fn compute_node(
-        &mut self,
-        id: NodeId,
-        node: &dspcc_dfg::DfgNode,
-    ) -> Result<(), LowerError> {
+    fn compute_node(&mut self, id: NodeId, node: &dspcc_dfg::DfgNode) -> Result<(), LowerError> {
         let op = match node.op {
             DfgOp::Mlt => "mult",
             DfgOp::Add => "add",
@@ -902,8 +890,7 @@ impl<'a> Ctx<'a> {
                         break;
                     }
                     if !self.already_routed(v, rf) {
-                        cost = cost
-                            .max(self.wp_load.get(rf.as_str()).copied().unwrap_or(0) + 1);
+                        cost = cost.max(self.wp_load.get(rf.as_str()).copied().unwrap_or(0) + 1);
                     }
                 }
                 if routable && best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
@@ -1028,15 +1015,9 @@ impl<'a> Ctx<'a> {
         let spec = self.dp.register_file(rf).expect("validated rf");
         if spec.has_mux() {
             let bus = bus.expect("mux write implies a bus");
-            rt.add_usage(
-                Datapath::mux_name(rf).as_str(),
-                Usage::apply("pass", [bus]),
-            );
+            rt.add_usage(Datapath::mux_name(rf).as_str(), Usage::apply("pass", [bus]));
         }
-        rt.add_usage(
-            Datapath::wp_name(rf).as_str(),
-            Usage::apply("write", [tag]),
-        );
+        rt.add_usage(Datapath::wp_name(rf).as_str(), Usage::apply("write", [tag]));
     }
 }
 
@@ -1099,7 +1080,10 @@ mod tests {
             .write_port("rf_ram_data", &["bus_alu", "bus_ipb"])
             .write_port("rf_mult_c", &["bus_rom", "bus_prgc"])
             .write_port("rf_mult_x", &["bus_ram", "bus_ipb", "bus_alu"])
-            .write_port("rf_alu_a", &["bus_mult", "bus_ram", "bus_ipb", "bus_prgc", "bus_alu"])
+            .write_port(
+                "rf_alu_a",
+                &["bus_mult", "bus_ram", "bus_ipb", "bus_prgc", "bus_alu"],
+            )
             .write_port("rf_alu_b", &["bus_alu", "bus_mult", "bus_ram"])
             .write_port("rf_opb_1", &["bus_alu"])
             .write_port("rf_opb_2", &["bus_alu"])
@@ -1145,7 +1129,7 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("addmod_u")), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("st_u")), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("ld_u@1")), "{names:?}");
-        assert!(names.iter().any(|n| *n == "fp_update"), "{names:?}");
+        assert!(names.contains(&"fp_update"), "{names:?}");
         l.program.validate().unwrap();
     }
 
@@ -1310,9 +1294,10 @@ mod tests {
         });
         assert!(has, "{:?}", l.loop_edges);
         // fp update → every fp reader at distance 1.
-        assert!(l.loop_edges.iter().any(|&(from, _, d)| {
-            d == 1 && l.program.rt(from).name() == "fp_update"
-        }));
+        assert!(l
+            .loop_edges
+            .iter()
+            .any(|&(from, _, d)| { d == 1 && l.program.rt(from).name() == "fp_update" }));
     }
 
     #[test]
@@ -1357,7 +1342,16 @@ mod tests {
         let src = "input u; signal v; output y; v = pass(u@60); y = v@33;";
         let dfg = Dfg::build(&parse(src).unwrap()).unwrap();
         let err = lower(&dfg, &test_core(), &LowerOptions::default()).unwrap_err();
-        assert!(matches!(err, LowerError::RamOverflow { needed: 128, available: 64 }), "{err}");
+        assert!(
+            matches!(
+                err,
+                LowerError::RamOverflow {
+                    needed: 128,
+                    available: 64
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1380,10 +1374,7 @@ mod tests {
         // And without outputs hardware:
         let dfg2 = Dfg::build(&parse("input u; output y; y = pass(u);").unwrap()).unwrap();
         let err2 = lower(&dfg2, &tiny, &LowerOptions::default()).unwrap_err();
-        assert_eq!(
-            err2,
-            LowerError::MissingUnit("output port (OPB)")
-        );
+        assert_eq!(err2, LowerError::MissingUnit("output port (OPB)"));
     }
 
     #[test]
@@ -1423,6 +1414,8 @@ mod tests {
             rf: "rf_x".into(),
         };
         assert!(e.to_string().contains("cannot be routed"));
-        assert!(LowerError::NoOpuFor("fft".into()).to_string().contains("fft"));
+        assert!(LowerError::NoOpuFor("fft".into())
+            .to_string()
+            .contains("fft"));
     }
 }

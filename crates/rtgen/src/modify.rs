@@ -11,8 +11,8 @@ use std::fmt;
 
 use dspcc_arch::merge::{MergeError, MergePlan};
 use dspcc_arch::Datapath;
-use dspcc_isa::{ArtificialResource, Classification};
 use dspcc_ir::{Program, Resource, Usage};
+use dspcc_isa::{ArtificialResource, Classification};
 
 use crate::lower::Lowering;
 
@@ -81,19 +81,16 @@ pub fn apply_merge_plan(
 
     for id in lowering.program.rt_ids().collect::<Vec<_>>() {
         let rt = lowering.program.rt_mut(id);
-        rt.rename_resources(rename).map_err(|resource| {
-            ModifyError::SelfConflict {
+        rt.rename_resources(rename)
+            .map_err(|resource| ModifyError::SelfConflict {
                 rt: String::new(),
                 resource: resource.name().to_owned(),
-            }
-        })?;
+            })?;
         // Rewrite bus names inside usage arguments (mux `pass(bus)`).
         let rewrites: Vec<(String, Usage)> = rt
             .usages()
             .filter_map(|(res, usage)| match usage {
-                Usage::Apply { op, args }
-                    if args.iter().any(|a| map.contains_key(a.as_str())) =>
-                {
+                Usage::Apply { op, args } if args.iter().any(|a| map.contains_key(a.as_str())) => {
                     let new_args: Vec<String> = args
                         .iter()
                         .map(|a| map.get(a.as_str()).cloned().unwrap_or_else(|| a.clone()))
@@ -187,10 +184,8 @@ mod tests {
 
     fn lowered() -> (Lowering, Datapath) {
         let dp = unmerged_core();
-        let dfg = Dfg::build(
-            &parse("input u; output y; y = add(add(u, u), pass(u));").unwrap(),
-        )
-        .unwrap();
+        let dfg =
+            Dfg::build(&parse("input u; output y; y = add(add(u, u), pass(u));").unwrap()).unwrap();
         let l = lower(&dfg, &dp, &LowerOptions::default()).unwrap();
         (l, dp)
     }
@@ -255,10 +250,9 @@ mod tests {
 
         let (l_before, dp) = lowered();
         let deps_before =
-            DependenceGraph::build_with_edges(&l_before.program, &l_before.sequence_edges)
-                .unwrap();
-        let before = list_schedule(&l_before.program, &deps_before, &ListConfig::default())
-            .unwrap();
+            DependenceGraph::build_with_edges(&l_before.program, &l_before.sequence_edges).unwrap();
+        let before =
+            list_schedule(&l_before.program, &deps_before, &ListConfig::default()).unwrap();
         before.verify(&l_before.program, &deps_before).unwrap();
 
         let (mut l_after, _) = lowered();
@@ -266,10 +260,8 @@ mod tests {
         plan.merge_buses(&["bus_alu_1", "bus_alu_2"], "bus_alu");
         apply_merge_plan(&mut l_after, &dp, &plan).unwrap();
         let deps_after =
-            DependenceGraph::build_with_edges(&l_after.program, &l_after.sequence_edges)
-                .unwrap();
-        let after =
-            list_schedule(&l_after.program, &deps_after, &ListConfig::default()).unwrap();
+            DependenceGraph::build_with_edges(&l_after.program, &l_after.sequence_edges).unwrap();
+        let after = list_schedule(&l_after.program, &deps_after, &ListConfig::default()).unwrap();
         after.verify(&l_after.program, &deps_after).unwrap();
         assert!(
             after.length() >= before.length(),

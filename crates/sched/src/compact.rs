@@ -99,8 +99,9 @@ pub fn left_justify_seeded(
     // A perturbed order may not respect dependences; fall back to a
     // dependence-respecting sweep over the ordered list.
     let mut new_issue: Vec<Option<u32>> = vec![None; n];
-    let mut remaining: Vec<usize> =
-        (0..n).map(|i| deps.predecessors(RtId(i as u32)).count()).collect();
+    let mut remaining: Vec<usize> = (0..n)
+        .map(|i| deps.predecessors(RtId(i as u32)).count())
+        .collect();
     let mut cycles: Vec<Vec<RtId>> = Vec::new();
     let mut pending: Vec<usize> = order;
     while !pending.is_empty() {

@@ -67,9 +67,7 @@ impl DependenceGraph {
         program: &Program,
         sequence_edges: &[(RtId, RtId, u32)],
     ) -> Result<Self, DepError> {
-        program
-            .validate()
-            .map_err(DepError::MalformedProgram)?;
+        program.validate().map_err(DepError::MalformedProgram)?;
         let n = program.rt_count();
         let mut dag = Dag::new(n);
         // producer_of is O(n) per value; index once instead.
@@ -299,11 +297,9 @@ mod tests {
         let mut p = Program::new();
         p.add_rt(Rt::new("a"));
         p.add_rt(Rt::new("b"));
-        let err = DependenceGraph::build_with_edges(
-            &p,
-            &[(RtId(0), RtId(1), 1), (RtId(1), RtId(0), 1)],
-        )
-        .unwrap_err();
+        let err =
+            DependenceGraph::build_with_edges(&p, &[(RtId(0), RtId(1), 1), (RtId(1), RtId(0), 1)])
+                .unwrap_err();
         assert!(matches!(err, DepError::CyclicDependences(_)));
     }
 

@@ -135,7 +135,7 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
-    fn solve(&mut self, lo: &mut Vec<u32>, hi: &mut Vec<u32>) -> bool {
+    fn solve(&mut self, lo: &mut [u32], hi: &mut [u32]) -> bool {
         if self.nodes >= self.max_nodes {
             self.hit_limit = true;
             return false;
@@ -156,8 +156,8 @@ impl Search<'_> {
             self.nodes += 1;
             self.issue[rt] = Some(t);
             // Propagate the placement into neighbours' intervals.
-            let mut new_lo = lo.clone();
-            let mut new_hi = hi.clone();
+            let mut new_lo = lo.to_vec();
+            let mut new_hi = hi.to_vec();
             new_lo[rt] = t;
             new_hi[rt] = t;
             if self.propagate(&mut new_lo, &mut new_hi)
@@ -176,9 +176,10 @@ impl Search<'_> {
 
     /// Whether issuing `rt` at `t` conflicts with already-placed RTs.
     fn placement_compatible(&self, rt: RtId, t: u32) -> bool {
-        self.issue.iter().enumerate().all(|(j, &tj)| {
-            tj != Some(t) || !self.matrix.conflicts(rt, RtId(j as u32))
-        })
+        self.issue
+            .iter()
+            .enumerate()
+            .all(|(j, &tj)| tj != Some(t) || !self.matrix.conflicts(rt, RtId(j as u32)))
     }
 
     /// Tightens intervals along dependence edges to a fixpoint. Returns

@@ -320,6 +320,7 @@ fn ims_schedule(
         last_try[i] = t;
         // Evict anything conflicting at this phase.
         let phase = t % ii;
+        #[allow(clippy::needless_range_loop)] // j is also an RT id, not just an index
         for j in 0..n {
             if j != i
                 && issue[j].map(|tj| tj % ii == phase).unwrap_or(false)
@@ -351,17 +352,20 @@ fn ims_schedule(
             }
         }
     }
-    Some(issue.into_iter().map(|t| t.expect("queue drained")).collect())
+    Some(
+        issue
+            .into_iter()
+            .map(|t| t.expect("queue drained"))
+            .collect(),
+    )
 }
 
 /// Kahn topological order choosing the minimum-key ready node each step.
-fn priority_topo_order(
-    deps: &DependenceGraph,
-    key: &dyn Fn(usize) -> (i64, i64),
-) -> Vec<RtId> {
+fn priority_topo_order(deps: &DependenceGraph, key: &dyn Fn(usize) -> (i64, i64)) -> Vec<RtId> {
     let n = deps.rt_count();
-    let mut remaining: Vec<usize> =
-        (0..n).map(|i| deps.predecessors(RtId(i as u32)).count()).collect();
+    let mut remaining: Vec<usize> = (0..n)
+        .map(|i| deps.predecessors(RtId(i as u32)).count())
+        .collect();
     let mut ready: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while !ready.is_empty() {
@@ -580,7 +584,13 @@ mod tests {
         let p = chains(4);
         let deps = DependenceGraph::build(&p).unwrap();
         let err = fold_schedule(&p, &deps, &[], 3).unwrap_err();
-        assert_eq!(err, FoldError::NoIiFound { min_ii: 4, max_ii: 3 });
+        assert_eq!(
+            err,
+            FoldError::NoIiFound {
+                min_ii: 4,
+                max_ii: 3
+            }
+        );
         assert!(err.to_string().contains("no modulo schedule"));
     }
 

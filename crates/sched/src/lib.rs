@@ -58,4 +58,4 @@ pub mod list;
 pub mod report;
 mod schedule;
 
-pub use schedule::{ConflictMatrix, Schedule, SchedError, VerifyError};
+pub use schedule::{ConflictMatrix, SchedError, Schedule, VerifyError};

@@ -5,6 +5,18 @@
 //! RT-modification step, "ready and pairwise compatible" is the *complete*
 //! legality condition — datapath and instruction set are both encoded in
 //! the usage maps.
+//!
+//! # Performance notes
+//!
+//! The innermost operation — "does RT r fit the instruction under
+//! construction?" — is answered by ANDing r's packed conflict row against a
+//! per-cycle **occupancy bitset** ([`ConflictMatrix::fits_mask`]): one
+//! word-parallel pass instead of a loop over the cycle's RTs. The
+//! per-schedule priority data (ASAP/ALAP/depth/sink deadlines) is computed
+//! once in a [`ScheduleContext`] and shared across all restarts of
+//! [`best_effort_schedule`], which also reuses one [`SchedScratch`] buffer
+//! set for every attempt, so restarts allocate nothing but the winning
+//! schedule.
 
 use dspcc_ir::{Program, RtId};
 
@@ -57,9 +69,93 @@ impl ListConfig {
     }
 }
 
+/// Priority data shared by every restart of a scheduling run: ASAP/ALAP
+/// windows, critical-path depths, and lane (sink) deadlines, all computed
+/// **once** per `(program, deps, budget)` instead of per attempt.
+#[derive(Debug, Clone)]
+pub struct ScheduleContext {
+    asap: Vec<u32>,
+    alap: Vec<u32>,
+    depth: Vec<u32>,
+    sink: Vec<u32>,
+    horizon: u32,
+}
+
+impl ScheduleContext {
+    /// Computes the context for scheduling `program` under `budget`.
+    pub fn build(program: &Program, deps: &DependenceGraph, budget: Option<u32>) -> Self {
+        let asap = deps.asap();
+        let horizon = budget.unwrap_or_else(|| serial_upper_bound(program, deps));
+        // Deadlines for the *priority* functions are computed against a
+        // tight target — the best conceivable schedule — regardless of the
+        // actual budget; loose deadlines make every priority meaningless.
+        let target = priority_target(program, deps, budget);
+        let alap = deps.alap(target);
+        let depth = successor_depths(deps);
+        let sink = sink_alaps(deps, &alap);
+        ScheduleContext {
+            asap,
+            alap,
+            depth,
+            sink,
+            horizon,
+        }
+    }
+}
+
+/// Reusable buffers for the scheduler inner loops. One instance serves any
+/// number of attempts (sizes are re-established per attempt); restarts in
+/// [`best_effort_schedule`] share a single scratch.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    /// Priority key per RT for the current attempt.
+    keys: Vec<(i64, i64, i64, i64)>,
+    /// Issue cycle per RT (`None` = unplaced).
+    issue: Vec<Option<u32>>,
+    /// Unscheduled-predecessor counts.
+    remaining_preds: Vec<usize>,
+    /// Earliest feasible cycle per RT (ASAP ∨ pred issue + latency).
+    earliest: Vec<u32>,
+    /// Ready worklist.
+    ready: Vec<usize>,
+    /// Per-cycle occupancy bitsets, `words_per_row` words per cycle
+    /// (insertion scheduling).
+    cycle_occ: Vec<u64>,
+    /// Single-cycle occupancy bitset (list scheduling).
+    occ: Vec<u64>,
+}
+
+impl SchedScratch {
+    /// Fills `keys` for this attempt's priority function and jitter seed.
+    fn compute_keys(&mut self, ctx: &ScheduleContext, config: &ListConfig) {
+        let n = ctx.asap.len();
+        self.keys.clear();
+        self.keys.reserve(n);
+        for rt in 0..n {
+            let tie = if config.jitter_seed == 0 {
+                rt as i64
+            } else {
+                (jitter(rt, config.jitter_seed) & 0xFFFF) as i64
+            };
+            let (asap, alap) = (ctx.asap[rt] as i64, ctx.alap[rt] as i64);
+            let depth = ctx.depth[rt] as i64;
+            self.keys.push(match config.priority {
+                Priority::Slack => (alap - asap, -depth, tie, 0),
+                Priority::Alap => (alap, -depth, tie, 0),
+                Priority::SinkAlap => (ctx.sink[rt] as i64, alap, -depth, tie),
+                Priority::CriticalPath => (-depth, alap, tie, 0),
+                Priority::SourceOrder => (rt as i64, 0, 0, 0),
+            });
+        }
+    }
+}
+
 /// Runs list scheduling over several priorities and jitter seeds, keeping
 /// the shortest verified schedule. `restarts` counts jittered attempts
 /// per priority (beyond the unjittered one).
+///
+/// The conflict matrix, dependence contexts (forward and time-mirrored),
+/// and scratch buffers are built once and shared by every attempt.
 ///
 /// # Errors
 ///
@@ -72,26 +168,60 @@ pub fn best_effort_schedule(
     restarts: u32,
 ) -> Result<Schedule, SchedError> {
     let matrix = ConflictMatrix::build(program);
+    let ctx = ScheduleContext::build(program, deps, budget);
+    let reversed = deps.reversed();
+    let ctx_rev = ScheduleContext::build(program, &reversed, budget);
+    let mut scratch = SchedScratch::default();
     let mut best: Option<Schedule> = None;
     let mut last_err = None;
     let mut consider = |result: Result<Schedule, SchedError>| match result {
         Ok(s) => {
-            if best.as_ref().map(|b| s.length() < b.length()).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|b| s.length() < b.length())
+                .unwrap_or(true)
+            {
                 best = Some(s);
             }
         }
         Err(e) => last_err = Some(e),
     };
-    for priority in [Priority::SinkAlap, Priority::Slack, Priority::Alap, Priority::CriticalPath] {
+    for priority in [
+        Priority::SinkAlap,
+        Priority::Slack,
+        Priority::Alap,
+        Priority::CriticalPath,
+    ] {
         for seed in 0..=restarts as u64 {
             let config = ListConfig {
                 budget,
                 priority,
                 jitter_seed: seed,
             };
-            consider(insertion_schedule(program, deps, &matrix, &config));
-            consider(backward_insertion_schedule(program, deps, &matrix, &config));
-            consider(list_schedule_with_matrix(program, deps, &matrix, &config));
+            consider(insertion_schedule_in(
+                program,
+                deps,
+                &matrix,
+                &config,
+                &ctx,
+                &mut scratch,
+            ));
+            consider(backward_insertion_schedule_in(
+                program,
+                &reversed,
+                &matrix,
+                &config,
+                &ctx_rev,
+                &mut scratch,
+            ));
+            consider(list_schedule_in(
+                program,
+                deps,
+                &matrix,
+                &config,
+                &ctx,
+                &mut scratch,
+            ));
         }
     }
     match best {
@@ -119,68 +249,75 @@ pub fn insertion_schedule(
     matrix: &ConflictMatrix,
     config: &ListConfig,
 ) -> Result<Schedule, SchedError> {
+    let ctx = ScheduleContext::build(program, deps, config.budget);
+    insertion_schedule_in(
+        program,
+        deps,
+        matrix,
+        config,
+        &ctx,
+        &mut SchedScratch::default(),
+    )
+}
+
+/// As [`insertion_schedule`], with caller-provided context and scratch
+/// (the restart-loop entry point: no per-attempt recomputation of
+/// ASAP/ALAP and no per-attempt allocation).
+pub fn insertion_schedule_in(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    config: &ListConfig,
+    ctx: &ScheduleContext,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, SchedError> {
     let n = program.rt_count();
     if n == 0 {
         return Ok(Schedule::new());
     }
-    let asap = deps.asap();
-    let horizon = config
-        .budget
-        .unwrap_or_else(|| serial_upper_bound(program, deps));
-    let target = priority_target(program, deps, config.budget);
-    let alap = deps.alap(target);
-    let depth = successor_depths(deps);
-    let sink = sink_alaps(deps, &alap);
-    let key = |rt: usize| -> (i64, i64, i64, i64) {
-        let tie = if config.jitter_seed == 0 {
-            rt as i64
-        } else {
-            (jitter(rt, config.jitter_seed) & 0xFFFF) as i64
-        };
-        match config.priority {
-            Priority::Slack => (
-                alap[rt] as i64 - asap[rt] as i64,
-                -(depth[rt] as i64),
-                tie,
-                0,
-            ),
-            Priority::Alap => (alap[rt] as i64, -(depth[rt] as i64), tie, 0),
-            Priority::SinkAlap => {
-                (sink[rt] as i64, alap[rt] as i64, -(depth[rt] as i64), tie)
-            }
-            Priority::CriticalPath => (-(depth[rt] as i64), alap[rt] as i64, tie, 0),
-            Priority::SourceOrder => (rt as i64, 0, 0, 0),
-        }
-    };
+    let words = matrix.words_per_row();
+    scratch.compute_keys(ctx, config);
+    scratch.issue.clear();
+    scratch.issue.resize(n, None);
+    scratch.remaining_preds.clear();
+    scratch
+        .remaining_preds
+        .extend((0..n).map(|i| deps.predecessors(RtId(i as u32)).count()));
+    scratch.ready.clear();
+    scratch
+        .ready
+        .extend((0..n).filter(|&i| scratch.remaining_preds[i] == 0));
+    scratch.cycle_occ.clear();
 
-    let mut issue: Vec<Option<u32>> = vec![None; n];
-    let mut remaining_preds: Vec<usize> =
-        (0..n).map(|i| deps.predecessors(RtId(i as u32)).count()).collect();
-    let mut cycle_contents: Vec<Vec<RtId>> = Vec::new();
-    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let limit = config
+        .budget
+        .unwrap_or(u32::MAX)
+        .min(ctx.horizon + n as u32);
     let mut unplaced = n;
     while unplaced > 0 {
         // Most urgent ready RT.
-        let (pos, &rt) = ready
+        let (pos, &rt) = scratch
+            .ready
             .iter()
             .enumerate()
-            .min_by_key(|&(_, &i)| key(i))
+            .min_by_key(|&(_, &i)| scratch.keys[i])
             .expect("acyclic graph always has a ready RT");
-        ready.swap_remove(pos);
+        scratch.ready.swap_remove(pos);
         let id = RtId(rt as u32);
-        let mut earliest = asap[rt];
+        let mut earliest = ctx.asap[rt];
         for (pred, lat) in deps.predecessors(id) {
-            earliest = earliest.max(issue[pred.0 as usize].expect("topo order") + lat);
+            earliest = earliest.max(scratch.issue[pred.0 as usize].expect("topo order") + lat);
         }
-        let limit = config.budget.unwrap_or(u32::MAX).min(horizon + n as u32);
         let mut placed = false;
         for t in earliest..limit {
-            while cycle_contents.len() <= t as usize {
-                cycle_contents.push(Vec::new());
+            let base = t as usize * words;
+            if scratch.cycle_occ.len() < base + words {
+                scratch.cycle_occ.resize(base + words, 0);
             }
-            if matrix.fits(id, &cycle_contents[t as usize]) {
-                cycle_contents[t as usize].push(id);
-                issue[rt] = Some(t);
+            let occ = &mut scratch.cycle_occ[base..base + words];
+            if matrix.fits_mask(id, occ) {
+                occ[rt / 64] |= 1 << (rt % 64);
+                scratch.issue[rt] = Some(t);
                 placed = true;
                 break;
             }
@@ -194,14 +331,14 @@ pub fn insertion_schedule(
         unplaced -= 1;
         for (succ, _) in deps.successors(id) {
             let s = succ.0 as usize;
-            remaining_preds[s] -= 1;
-            if remaining_preds[s] == 0 {
-                ready.push(s);
+            scratch.remaining_preds[s] -= 1;
+            if scratch.remaining_preds[s] == 0 {
+                scratch.ready.push(s);
             }
         }
     }
     let mut schedule = Schedule::new();
-    for (i, t) in issue.iter().enumerate() {
+    for (i, t) in scratch.issue.iter().enumerate() {
         schedule.place(RtId(i as u32), t.expect("all placed"));
     }
     Ok(schedule)
@@ -238,54 +375,48 @@ pub fn list_schedule_with_matrix(
     matrix: &ConflictMatrix,
     config: &ListConfig,
 ) -> Result<Schedule, SchedError> {
+    let ctx = ScheduleContext::build(program, deps, config.budget);
+    list_schedule_in(
+        program,
+        deps,
+        matrix,
+        config,
+        &ctx,
+        &mut SchedScratch::default(),
+    )
+}
+
+/// As [`list_schedule_with_matrix`], with caller-provided context and
+/// scratch (the restart-loop entry point).
+pub fn list_schedule_in(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    config: &ListConfig,
+    ctx: &ScheduleContext,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, SchedError> {
     let n = program.rt_count();
     if n == 0 {
         return Ok(Schedule::new());
     }
-    let asap = deps.asap();
-    let horizon = config
-        .budget
-        .unwrap_or_else(|| serial_upper_bound(program, deps));
-    // Deadlines for the *priority* functions are computed against a tight
-    // target — the best conceivable schedule — regardless of the actual
-    // budget; loose deadlines make every priority meaningless.
-    let target = priority_target(program, deps, config.budget);
-    let alap = deps.alap(target);
-    let depth = successor_depths(deps);
-
-    // Priority key: smaller is more urgent.
-    let sink = sink_alaps(deps, &alap);
-    let key = |rt: usize| -> (i64, i64, i64, i64) {
-        let tie = if config.jitter_seed == 0 {
-            rt as i64
-        } else {
-            (jitter(rt, config.jitter_seed) & 0xFFFF) as i64
-        };
-        match config.priority {
-            Priority::Slack => (
-                alap[rt] as i64 - asap[rt] as i64,
-                -(depth[rt] as i64),
-                tie,
-                0,
-            ),
-            Priority::Alap => (alap[rt] as i64, -(depth[rt] as i64), tie, 0),
-            Priority::SinkAlap => {
-                (sink[rt] as i64, alap[rt] as i64, -(depth[rt] as i64), tie)
-            }
-            Priority::CriticalPath => (-(depth[rt] as i64), alap[rt] as i64, tie, 0),
-            Priority::SourceOrder => (rt as i64, 0, 0, 0),
-        }
-    };
-
-    let mut issue: Vec<Option<u32>> = vec![None; n];
-    let mut unscheduled = n;
-    let mut remaining_preds: Vec<usize> =
-        (0..n).map(|i| deps.predecessors(RtId(i as u32)).count()).collect();
+    let words = matrix.words_per_row();
+    scratch.compute_keys(ctx, config);
+    scratch.issue.clear();
+    scratch.issue.resize(n, None);
+    scratch.remaining_preds.clear();
+    scratch
+        .remaining_preds
+        .extend((0..n).map(|i| deps.predecessors(RtId(i as u32)).count()));
     // earliest[rt]: max over scheduled preds of issue+latency, and asap.
-    let mut earliest: Vec<u32> = asap.clone();
+    scratch.earliest.clear();
+    scratch.earliest.extend_from_slice(&ctx.asap);
+    scratch.occ.clear();
+    scratch.occ.resize(words, 0);
+
+    let mut unscheduled = n;
     let mut schedule = Schedule::new();
     let mut t: u32 = 0;
-
     while unscheduled > 0 {
         if let Some(budget) = config.budget {
             if t >= budget {
@@ -296,30 +427,34 @@ pub fn list_schedule_with_matrix(
             }
         }
         // Ready at t: all preds scheduled and latencies satisfied.
-        let mut ready: Vec<usize> = (0..n)
-            .filter(|&i| issue[i].is_none() && remaining_preds[i] == 0 && earliest[i] <= t)
-            .collect();
-        ready.sort_by_key(|&i| key(i));
-        let mut instr: Vec<RtId> = Vec::new();
-        for i in ready {
+        scratch.ready.clear();
+        scratch.ready.extend((0..n).filter(|&i| {
+            scratch.issue[i].is_none()
+                && scratch.remaining_preds[i] == 0
+                && scratch.earliest[i] <= t
+        }));
+        scratch.ready.sort_by_key(|&i| scratch.keys[i]);
+        // Pack the instruction: occupancy bitset makes each fit check one
+        // row-AND.
+        scratch.occ.fill(0);
+        for idx in 0..scratch.ready.len() {
+            let i = scratch.ready[idx];
             let rt = RtId(i as u32);
-            if matrix.fits(rt, &instr) {
-                instr.push(rt);
-                issue[i] = Some(t);
+            if matrix.fits_mask(rt, &scratch.occ) {
+                scratch.occ[i / 64] |= 1 << (i % 64);
+                scratch.issue[i] = Some(t);
+                schedule.place(rt, t);
                 unscheduled -= 1;
                 for (succ, lat) in deps.successors(rt) {
                     let s = succ.0 as usize;
-                    remaining_preds[s] -= 1;
-                    earliest[s] = earliest[s].max(t + lat);
+                    scratch.remaining_preds[s] -= 1;
+                    scratch.earliest[s] = scratch.earliest[s].max(t + lat);
                 }
             }
         }
-        for &rt in &instr {
-            schedule.place(rt, t);
-        }
         t += 1;
         // Safety valve: without a budget the loop must still terminate.
-        if t > horizon + n as u32 + 8 {
+        if t > ctx.horizon + n as u32 + 8 {
             return Err(SchedError::Dependences(
                 "scheduler failed to make progress".to_owned(),
             ));
@@ -345,7 +480,29 @@ pub fn backward_insertion_schedule(
     config: &ListConfig,
 ) -> Result<Schedule, SchedError> {
     let reversed = deps.reversed();
-    let mirrored = insertion_schedule(program, &reversed, matrix, config)?;
+    let ctx_rev = ScheduleContext::build(program, &reversed, config.budget);
+    backward_insertion_schedule_in(
+        program,
+        &reversed,
+        matrix,
+        config,
+        &ctx_rev,
+        &mut SchedScratch::default(),
+    )
+}
+
+/// As [`backward_insertion_schedule`], with the *reversed* dependence
+/// graph, its context, and scratch provided by the caller so the mirror is
+/// built once per run instead of once per restart.
+pub fn backward_insertion_schedule_in(
+    program: &Program,
+    reversed_deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    config: &ListConfig,
+    ctx_rev: &ScheduleContext,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, SchedError> {
+    let mirrored = insertion_schedule_in(program, reversed_deps, matrix, config, ctx_rev, scratch)?;
     let len = mirrored.length();
     let mut flipped = Schedule::new();
     for (t, instr) in mirrored.instructions() {
@@ -488,7 +645,10 @@ mod tests {
         let deps = DependenceGraph::build(&p).unwrap();
         let err = list_schedule(&p, &deps, &ListConfig::with_budget(3)).unwrap_err();
         match err {
-            SchedError::BudgetExceeded { budget: 3, unplaced } => assert!(unplaced >= 1),
+            SchedError::BudgetExceeded {
+                budget: 3,
+                unplaced,
+            } => assert!(unplaced >= 1),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -496,7 +656,11 @@ mod tests {
     #[test]
     fn all_priorities_produce_valid_schedules() {
         let p = two_chain_program();
-        for priority in [Priority::Slack, Priority::CriticalPath, Priority::SourceOrder] {
+        for priority in [
+            Priority::Slack,
+            Priority::CriticalPath,
+            Priority::SourceOrder,
+        ] {
             let s = schedule_ok(
                 &p,
                 &ListConfig {
@@ -570,5 +734,39 @@ mod tests {
         p.add_rt(consumer);
         let s = schedule_ok(&p, &ListConfig::default());
         assert_eq!(s.length(), 4); // issue at 0, consumer at 3
+    }
+
+    #[test]
+    fn scratch_reuse_across_attempts_matches_fresh_runs() {
+        // The same (program, config) must produce identical schedules
+        // whether scratch/context are fresh or reused from another attempt.
+        let p = two_chain_program();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let matrix = ConflictMatrix::build(&p);
+        let ctx = ScheduleContext::build(&p, &deps, None);
+        let mut scratch = SchedScratch::default();
+        let config = ListConfig::default();
+        let first = list_schedule_in(&p, &deps, &matrix, &config, &ctx, &mut scratch).unwrap();
+        // Dirty the scratch with a different attempt, then repeat.
+        let other = ListConfig {
+            budget: None,
+            priority: Priority::CriticalPath,
+            jitter_seed: 3,
+        };
+        let _ = insertion_schedule_in(&p, &deps, &matrix, &other, &ctx, &mut scratch);
+        let second = list_schedule_in(&p, &deps, &matrix, &config, &ctx, &mut scratch).unwrap();
+        assert_eq!(first, second);
+        let fresh = list_schedule(&p, &deps, &config).unwrap();
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn best_effort_beats_or_matches_single_pass() {
+        let p = two_chain_program();
+        let deps = DependenceGraph::build(&p).unwrap();
+        let best = best_effort_schedule(&p, &deps, None, 2).unwrap();
+        best.verify(&p, &deps).unwrap();
+        let single = list_schedule(&p, &deps, &ListConfig::default()).unwrap();
+        assert!(best.length() <= single.length());
     }
 }

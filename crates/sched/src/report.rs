@@ -169,8 +169,7 @@ mod tests {
     #[test]
     fn occupation_percentages() {
         let (p, s) = program_and_schedule();
-        let report =
-            OccupationReport::compute(&p, &s, &[("MULT", "mult"), ("ALU", "alu")]);
+        let report = OccupationReport::compute(&p, &s, &[("MULT", "mult"), ("ALU", "alu")]);
         assert_eq!(report.length(), 4);
         assert_eq!(report.row("MULT").unwrap().percent(), 100);
         assert_eq!(report.row("MULT").unwrap().busy_cycles(), 4);
@@ -182,14 +181,16 @@ mod tests {
     fn busy_pattern_matches_schedule() {
         let (p, s) = program_and_schedule();
         let report = OccupationReport::compute(&p, &s, &[("ALU", "alu")]);
-        assert_eq!(report.row("ALU").unwrap().busy, vec![false, false, true, false]);
+        assert_eq!(
+            report.row("ALU").unwrap().busy,
+            vec![false, false, true, false]
+        );
     }
 
     #[test]
     fn chart_has_percent_rows_and_axis() {
         let (p, s) = program_and_schedule();
-        let report =
-            OccupationReport::compute(&p, &s, &[("MULT", "mult"), ("ALU", "alu")]);
+        let report = OccupationReport::compute(&p, &s, &[("MULT", "mult"), ("ALU", "alu")]);
         let chart = report.chart();
         assert!(chart.contains("100%  MULT"), "{chart}");
         assert!(chart.contains(" 25%  ALU"), "{chart}");

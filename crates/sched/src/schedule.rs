@@ -20,7 +20,7 @@ impl ConflictMatrix {
     /// Builds the matrix from the (already modified) RTs of `program`.
     pub fn build(program: &Program) -> Self {
         let n = program.rt_count();
-        let words = (n + 63) / 64;
+        let words = n.div_ceil(64);
         let mut bits = vec![0u64; n * words];
         for i in 0..n {
             for j in (i + 1)..n {
@@ -41,9 +41,24 @@ impl ConflictMatrix {
         self.n
     }
 
+    /// Number of `u64` words per conflict row (`⌈rt_count/64⌉`).
+    pub fn words_per_row(&self) -> usize {
+        self.n.div_ceil(64)
+    }
+
+    /// The packed conflict row of `rt`: bit `j` set iff `rt` conflicts with
+    /// RT `j`. ANDing this against a cycle's occupancy bitset answers "does
+    /// `rt` fit this instruction" in one word-parallel pass — the
+    /// scheduler's innermost operation.
+    pub fn row(&self, rt: RtId) -> &[u64] {
+        let words = self.words_per_row();
+        let i = rt.0 as usize;
+        &self.bits[i * words..(i + 1) * words]
+    }
+
     /// Whether RTs `a` and `b` conflict (cannot share an instruction).
     pub fn conflicts(&self, a: RtId, b: RtId) -> bool {
-        let words = (self.n + 63) / 64;
+        let words = self.words_per_row();
         let (i, j) = (a.0 as usize, b.0 as usize);
         self.bits[i * words + j / 64] & (1 << (j % 64)) != 0
     }
@@ -51,6 +66,16 @@ impl ConflictMatrix {
     /// Whether `rt` is compatible with every RT in `instruction`.
     pub fn fits(&self, rt: RtId, instruction: &[RtId]) -> bool {
         instruction.iter().all(|&other| !self.conflicts(rt, other))
+    }
+
+    /// Whether `rt` is compatible with every RT in the packed `occupancy`
+    /// bitset (one bit per issued RT id): a single row-AND instead of a
+    /// per-RT loop.
+    pub fn fits_mask(&self, rt: RtId, occupancy: &[u64]) -> bool {
+        self.row(rt)
+            .iter()
+            .zip(occupancy)
+            .all(|(&c, &o)| c & o == 0)
     }
 }
 
@@ -224,11 +249,7 @@ impl Schedule {
     /// # Errors
     ///
     /// Returns the first violation found.
-    pub fn verify(
-        &self,
-        program: &Program,
-        deps: &DependenceGraph,
-    ) -> Result<(), VerifyError> {
+    pub fn verify(&self, program: &Program, deps: &DependenceGraph) -> Result<(), VerifyError> {
         let mut seen = vec![0u32; program.rt_count()];
         for (_, instr) in self.instructions() {
             for &rt in instr {
@@ -309,6 +330,19 @@ mod tests {
         assert!(!m.fits(RtId(0), &[RtId(1)]));
         assert!(m.fits(RtId(0), &[]));
         assert_eq!(m.rt_count(), 2);
+    }
+
+    #[test]
+    fn fits_mask_agrees_with_fits() {
+        let p = two_conflicting_rts();
+        let m = ConflictMatrix::build(&p);
+        assert_eq!(m.words_per_row(), 1);
+        // Occupancy with RT 1 issued: RT 0 must not fit, matching fits().
+        let occ = vec![1u64 << 1];
+        assert!(!m.fits_mask(RtId(0), &occ));
+        assert!(m.fits_mask(RtId(0), &[0u64]));
+        assert_eq!(m.row(RtId(0)), &[1u64 << 1]);
+        assert_eq!(m.row(RtId(1)), &[1u64 << 0]);
     }
 
     #[test]
@@ -412,9 +446,16 @@ mod tests {
 
     #[test]
     fn error_displays() {
-        let e = SchedError::BudgetExceeded { budget: 64, unplaced: 3 };
+        let e = SchedError::BudgetExceeded {
+            budget: 64,
+            unplaced: 3,
+        };
         assert!(e.to_string().contains("64"));
-        let e = VerifyError::ResourceConflict { a: RtId(0), b: RtId(1), cycle: 7 };
+        let e = VerifyError::ResourceConflict {
+            a: RtId(0),
+            b: RtId(1),
+            cycle: 7,
+        };
         assert!(e.to_string().contains("cycle 7"));
     }
 }

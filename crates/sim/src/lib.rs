@@ -246,11 +246,13 @@ impl CoreSim {
             let mut ram_writes: Vec<(String, i64, i64)> = Vec::new();
             let mut rf_writes: Vec<(u64, String, u32, i64)> = Vec::new();
             for action in &instr.actions {
-                let info = self.opus.get(&action.opu).cloned().ok_or_else(|| {
-                    SimError::Unsupported {
-                        opu: action.opu.clone(),
-                    }
-                })?;
+                let info =
+                    self.opus
+                        .get(&action.opu)
+                        .cloned()
+                        .ok_or_else(|| SimError::Unsupported {
+                            opu: action.opu.clone(),
+                        })?;
                 let operand = |port: usize| -> i64 {
                     let rf_name = &info.inputs[port];
                     let reg = action.operand_regs[port] as usize;
@@ -386,19 +388,18 @@ impl CoreSim {
     pub fn run(&mut self, input_frames: &[Vec<i64>]) -> Result<Vec<Vec<i64>>, SimError> {
         input_frames.iter().map(|f| self.step_frame(f)).collect()
     }
-
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dspcc_arch::DatapathBuilder;
     use dspcc_dfg::{parse, Dfg, Interpreter};
     use dspcc_encode::{allocate_registers, encode, FieldLayout, Microcode};
     use dspcc_num::WordFormat;
     use dspcc_rtgen::{lower, LowerOptions};
     use dspcc_sched::deps::DependenceGraph;
     use dspcc_sched::list::{list_schedule, ListConfig};
-    use dspcc_arch::DatapathBuilder;
 
     /// The same small audio-style core as rtgen's tests.
     fn test_core() -> Datapath {
@@ -453,7 +454,10 @@ mod tests {
             .write_port("rf_ram_data", &["bus_alu", "bus_ipb"])
             .write_port("rf_mult_c", &["bus_rom", "bus_prgc"])
             .write_port("rf_mult_x", &["bus_ram", "bus_ipb", "bus_alu"])
-            .write_port("rf_alu_a", &["bus_mult", "bus_ram", "bus_ipb", "bus_prgc", "bus_alu"])
+            .write_port(
+                "rf_alu_a",
+                &["bus_mult", "bus_ram", "bus_ipb", "bus_prgc", "bus_alu"],
+            )
             .write_port("rf_alu_b", &["bus_alu", "bus_mult", "bus_ram"])
             .write_port("rf_opb_1", &["bus_alu"])
             .write_port("rf_opb_2", &["bus_alu"])
@@ -467,15 +471,12 @@ mod tests {
         let dfg = Dfg::build(&parse(src).unwrap()).unwrap();
         let lowering = lower(&dfg, &dp, &LowerOptions::default()).unwrap();
         let deps =
-            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
-                .unwrap();
-        let schedule =
-            list_schedule(&lowering.program, &deps, &ListConfig::default()).unwrap();
+            DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges).unwrap();
+        let schedule = list_schedule(&lowering.program, &deps, &ListConfig::default()).unwrap();
         schedule.verify(&lowering.program, &deps).unwrap();
         let format = WordFormat::q15();
         let pinned = vec![lowering.fp_reg.clone()];
-        let assignment =
-            allocate_registers(&lowering.program, &schedule, &dp, &pinned).unwrap();
+        let assignment = allocate_registers(&lowering.program, &schedule, &dp, &pinned).unwrap();
         let layout = FieldLayout::derive(&dp, format);
         let words = encode(
             &assignment.program,
@@ -488,7 +489,11 @@ mod tests {
         let microcode = Microcode {
             words,
             layout,
-            rom_image: lowering.rom_image.iter().map(|&v| format.from_f64(v)).collect(),
+            rom_image: lowering
+                .rom_image
+                .iter()
+                .map(|&v| format.from_f64(v))
+                .collect(),
             region_size: lowering.ram_layout.region_size,
             output_order: lowering.output_order.clone(),
             input_order: lowering.input_order.clone(),
@@ -547,7 +552,9 @@ mod tests {
             "input u; signal s; coeff a = 0.5; coeff b = 0.5; output y;
              s = add(mlt(a, u), mlt(b, s@1));
              y = pass_clip(s);",
-            &(0..12).map(|i| vec![(i % 5) * 1000 - 2000]).collect::<Vec<_>>(),
+            &(0..12)
+                .map(|i| vec![(i % 5) * 1000 - 2000])
+                .collect::<Vec<_>>(),
         );
     }
 
@@ -590,7 +597,9 @@ mod tests {
         differential(
             "input u; signal s; coeff h = 0.5; output y;
              s = add(mlt(h, s@1), mlt(h, u)); y = s;",
-            &(0..32).map(|i| vec![(i * 37 % 101) * 10]).collect::<Vec<_>>(),
+            &(0..32)
+                .map(|i| vec![(i * 37 % 101) * 10])
+                .collect::<Vec<_>>(),
         );
     }
 
@@ -599,7 +608,13 @@ mod tests {
         let (dp, _, microcode) = compile("input u; output y; y = pass(u);");
         let mut sim = CoreSim::new(&dp, &microcode).unwrap();
         let err = sim.step_frame(&[1, 2]).unwrap_err();
-        assert!(matches!(err, SimError::InputCount { got: 2, expected: 1 }));
+        assert!(matches!(
+            err,
+            SimError::InputCount {
+                got: 2,
+                expected: 1
+            }
+        ));
         assert!(err.to_string().contains("expected 1"));
     }
 

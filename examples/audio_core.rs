@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("compiling the figure-7 stereo audio application…");
     let compiled = Compiler::new(&core).restarts(6).compile(&source)?;
 
-    println!("  RTs                 : {}", compiled.lowering.program.rt_count());
+    println!(
+        "  RTs                 : {}",
+        compiled.lowering.program.rt_count()
+    );
     println!("  artificial resources: {:?}", compiled.artificial_names);
     println!("  flat schedule       : {} cycles", compiled.cycles());
     let folded = compiled.fold(2, 16)?;

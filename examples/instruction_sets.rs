@@ -9,9 +9,7 @@ use dspcc::graph::cover::greedy_edge_clique_cover;
 use dspcc::ir::{Program, Rt, Usage};
 use dspcc::isa::classes::RtClass;
 use dspcc::isa::iset::InstructionSet;
-use dspcc::isa::{
-    apply_artificial_resources, artificial_resources, Classification, CoverStrategy,
-};
+use dspcc::isa::{apply_artificial_resources, artificial_resources, Classification, CoverStrategy};
 
 const NAMES: [&str; 6] = ["S", "T", "U", "V", "X", "Y"];
 
@@ -27,7 +25,10 @@ fn main() {
     println!("rule 3: subsets of valid types are valid      -> included");
     println!("rule 4: pairwise-compatible => jointly valid  -> included\n");
 
-    println!("the closed instruction set I ({} types):", iset.types().len());
+    println!(
+        "the closed instruction set I ({} types):",
+        iset.types().len()
+    );
     for t in iset.types() {
         if t.is_empty() {
             print!("NOP ");

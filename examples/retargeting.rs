@@ -70,7 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("architecture modification on the 2-ALU intermediate core (add tree):");
     println!("  dedicated buses : {:>3} cycles", fast.length());
-    println!("  merged bus      : {:>3} cycles (cheaper silicon, less parallelism)",
-        slow.length());
+    println!(
+        "  merged bus      : {:>3} cycles (cheaper silicon, less parallelism)",
+        slow.length()
+    );
     Ok(())
 }

@@ -1,0 +1,340 @@
+//! The [`Strategy`] trait and the value sources used by this workspace.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values (no shrinking in the shim).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from
+    /// it — the dependent-generation combinator.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.map)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy, for [`any`].
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategy from a `[class]{min,max}` pattern — the subset of regex
+/// syntax this workspace's tests use.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[chars]{min,max}` into (alphabet, min, max). Supports `a-z`
+/// ranges and `\n`, `\t`, `\\`, `\]`, `\-` escapes.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = find_unescaped(rest, ']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = match class[i] {
+            '\\' => {
+                i += 1;
+                match *class.get(i)? {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                }
+            }
+            other => other,
+        };
+        // `a-z` range (the `-` must not be first or last in the class).
+        if i + 2 < class.len() && class[i + 1] == '-' && class[i + 2] != ']' {
+            let hi = class[i + 2];
+            for x in c..=hi {
+                alphabet.push(x);
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    if alphabet.is_empty() || min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+fn find_unescaped(s: &str, target: char) -> Option<usize> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '\\' {
+            i += 2;
+            continue;
+        }
+        if chars[i] == target {
+            // Byte offset for slicing (the class patterns here are ASCII).
+            return Some(s.char_indices().nth(i)?.0);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(99)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let v = (-5i64..=5).generate(&mut r);
+            assert!((-5..=5).contains(&v));
+            let v = (-0.5f64..0.5).generate(&mut r);
+            assert!((-0.5..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..5).prop_flat_map(|n| (Just(n), 0..n));
+        for _ in 0..200 {
+            let (n, k) = s.generate(&mut r);
+            assert!(k < n);
+        }
+        let doubled = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn collection_vec_sizes() {
+        let mut r = rng();
+        let s = crate::collection::vec(0u8..4, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+        let exact = crate::collection::vec(0u8..4, 3usize);
+        assert_eq!(exact.generate(&mut r).len(), 3);
+    }
+
+    #[test]
+    fn btree_set_respects_bounds() {
+        let mut r = rng();
+        let s = crate::collection::btree_set(0usize..6, 1..=5usize);
+        for _ in 0..100 {
+            let set = s.generate(&mut r);
+            assert!(!set.is_empty() && set.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn string_pattern_class() {
+        let mut r = rng();
+        let s = "[ -~\n]{0,120}";
+        for _ in 0..50 {
+            let text = Strategy::generate(&s, &mut r);
+            assert!(text.chars().count() <= 120);
+            for c in text.chars() {
+                assert!(c == '\n' || (' '..='~').contains(&c), "bad char {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn string_pattern_exact_count() {
+        let mut r = rng();
+        let s = "[a-c]{4,4}";
+        let text = Strategy::generate(&s, &mut r);
+        assert_eq!(text.len(), 4);
+        assert!(text.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}

@@ -1,0 +1,6 @@
+//! `dspcc-suite` — the workspace-level test-and-example package.
+//!
+//! This crate intentionally has no code of its own. It exists so that the
+//! repository-root `tests/` (end-to-end pipeline tests) and `examples/`
+//! (user-facing walkthroughs) are built and run by `cargo test` against the
+//! [`dspcc`] facade crate. See `crates/core` for the compiler itself.

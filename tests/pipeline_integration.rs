@@ -73,7 +73,10 @@ fn encoding_round_trips_the_schedule() {
         // (identical RTs share one field).
         for &rt_id in instr {
             let rt = compiled.assignment.program.rt(rt_id);
-            let opu = decoded.actions.iter().find(|a| rt.usage_of(&a.opu).is_some());
+            let opu = decoded
+                .actions
+                .iter()
+                .find(|a| rt.usage_of(&a.opu).is_some());
             assert!(
                 opu.is_some(),
                 "cycle {cycle}: RT `{}` has no decoded action",
@@ -141,7 +144,10 @@ fn exact_and_heuristic_schedules_agree_functionally() {
     let mut sim_h = heuristic.simulator().unwrap();
     let mut sim_e = exact.simulator().unwrap();
     for x in [123i64, -456, 7890] {
-        assert_eq!(sim_h.step_frame(&[x]).unwrap(), sim_e.step_frame(&[x]).unwrap());
+        assert_eq!(
+            sim_h.step_frame(&[x]).unwrap(),
+            sim_e.step_frame(&[x]).unwrap()
+        );
     }
 }
 
@@ -184,7 +190,8 @@ fn feasibility_feedback_paths() {
         Err(e) => assert!(
             matches!(
                 e,
-                CompileError::Schedule(_) | CompileError::ProgramTooLong { .. }
+                CompileError::Schedule(_)
+                    | CompileError::ProgramTooLong { .. }
                     | CompileError::Lower(_)
             ),
             "unexpected error {e}"
