@@ -4,10 +4,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dspcc::dfg::{parse, Dfg};
 use dspcc::rtgen::{lower, LowerOptions, Lowering};
+use dspcc::sched::bounds::length_lower_bound;
 use dspcc::sched::compact::schedule_and_compact;
 use dspcc::sched::deps::DependenceGraph;
 use dspcc::sched::folding::fold_schedule;
-use dspcc::sched::list::{insertion_schedule, list_schedule, ListConfig};
+use dspcc::sched::list::{
+    best_effort_schedule_threaded, insertion_schedule, list_schedule, ListConfig,
+};
 use dspcc::sched::ConflictMatrix;
 use dspcc::{apps, cores};
 
@@ -55,5 +58,26 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+/// The bound-aware restart engine: how much the provable lower bound
+/// costs to compute, and what the full restart roster costs serially vs
+/// on worker threads (bit-identical output either way).
+fn bench_bound_cutoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound_cutoff");
+    for taps in [16usize, 32] {
+        let (lowering, deps) = lowered_fir(taps);
+        let matrix = ConflictMatrix::build(&lowering.program);
+        group.bench_with_input(BenchmarkId::new("bound_compute", taps), &taps, |b, _| {
+            b.iter(|| length_lower_bound(&lowering.program, &deps, &matrix))
+        });
+        group.bench_with_input(BenchmarkId::new("restarts_serial", taps), &taps, |b, _| {
+            b.iter(|| best_effort_schedule_threaded(&lowering.program, &deps, None, 4, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("restarts_auto", taps), &taps, |b, _| {
+            b.iter(|| best_effort_schedule_threaded(&lowering.program, &deps, None, 4, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_bound_cutoff);
 criterion_main!(benches);

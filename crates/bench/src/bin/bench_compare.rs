@@ -1,0 +1,87 @@
+//! Regression gate: diffs a fresh bench run against `BENCH_baseline.json`.
+//!
+//! ```text
+//! BENCH_JSON=/tmp/fresh.json cargo bench -p dspcc-bench
+//! cargo run -p dspcc-bench --bin bench_compare -- /tmp/fresh.json
+//! ```
+//!
+//! Accepts both the baseline map format and the criterion shim's
+//! `BENCH_JSON` line format on either side. Exits non-zero when any
+//! benchmark present in both files is more than the threshold slower
+//! (default 25%). Missing baseline entries are reported but don't fail —
+//! refresh the baseline (see DESIGN.md) when benchmarks are added or
+//! renamed.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use dspcc_bench::compare::{find_regressions, parse_results};
+
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench results `{path}`: {e}"));
+    let results = parse_results(&text);
+    assert!(
+        !results.is_empty(),
+        "no benchmark results found in `{path}`"
+    );
+    results
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut fresh_path = None;
+    let mut baseline_path = "BENCH_baseline.json".to_owned();
+    let mut threshold = 25.0f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a percentage");
+            }
+            "--baseline" => {
+                baseline_path = args.next().expect("--baseline needs a path");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_compare <fresh.json> [--baseline BENCH_baseline.json] \
+                     [--threshold 25]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            path if fresh_path.is_none() => fresh_path = Some(path.to_owned()),
+            other => panic!("unexpected argument `{other}`"),
+        }
+    }
+    let fresh_path = fresh_path.expect("usage: bench_compare <fresh.json> (see --help)");
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let cmp = find_regressions(&baseline, &fresh, threshold);
+    for name in &cmp.missing {
+        println!("missing: `{name}` is in the baseline but not in the fresh run");
+    }
+    for name in &cmp.ungated {
+        println!("ungated: `{name}` is not in the baseline — refresh it to gate this benchmark");
+    }
+    let compared = baseline.len() - cmp.missing.len();
+    if cmp.regressions.is_empty() {
+        println!("ok: {compared} benchmarks within {threshold}% of baseline");
+        return ExitCode::SUCCESS;
+    }
+    for r in &cmp.regressions {
+        println!(
+            "REGRESSION {:<48} {:>12.1} ns -> {:>12.1} ns  (+{:.1}%)",
+            r.name,
+            r.baseline_ns,
+            r.fresh_ns,
+            r.slowdown_pct()
+        );
+    }
+    println!(
+        "{} of {compared} benchmarks regressed more than {threshold}%",
+        cmp.regressions.len()
+    );
+    ExitCode::FAILURE
+}

@@ -21,14 +21,15 @@ use dspcc_encode::{allocate_registers, encode, FieldLayout, Microcode, RegAssign
 use dspcc_isa::{artificial_resources, Classification, CoverStrategy, InstructionSet};
 use dspcc_num::WordFormat;
 use dspcc_rtgen::{apply_instruction_set, lower, LowerOptions, Lowering};
-use dspcc_sched::compact::schedule_and_compact;
+use dspcc_sched::bounds::length_lower_bound;
+use dspcc_sched::compact::schedule_and_compact_in;
 use dspcc_sched::deps::DependenceGraph;
 use dspcc_sched::exact::{exact_schedule, ExactConfig};
 use dspcc_sched::folding::LoopEdge;
 use dspcc_sched::folding::{fold_schedule_with_restarts, FoldError, FoldedSchedule};
-use dspcc_sched::list::{list_schedule, ListConfig, Priority};
+use dspcc_sched::list::{list_schedule_with_matrix, ListConfig, Priority};
 use dspcc_sched::report::OccupationReport;
-use dspcc_sched::Schedule;
+use dspcc_sched::{ConflictMatrix, Schedule};
 use dspcc_sim::CoreSim;
 
 /// An in-house core: datapath + controller + instruction set (+ word
@@ -114,6 +115,7 @@ pub struct Compiler<'c> {
     exact_max_nodes: u64,
     restarts: u32,
     compaction: bool,
+    sched_threads: usize,
 }
 
 impl<'c> Compiler<'c> {
@@ -131,6 +133,7 @@ impl<'c> Compiler<'c> {
             exact_max_nodes: 2_000_000,
             restarts: 6,
             compaction: true,
+            sched_threads: 0,
         }
     }
 
@@ -163,6 +166,16 @@ impl<'c> Compiler<'c> {
     /// Restart count for the randomised scheduling search.
     pub fn restarts(&mut self, n: u32) -> &mut Self {
         self.restarts = n;
+        self
+    }
+
+    /// Worker threads for the scheduling restarts: `0` (the default) uses
+    /// one per available core, `1` runs inline. The schedule is
+    /// **bit-identical for every setting** — the parallel engine reduces
+    /// attempts by a deterministic `(length, attempt index)` rule — so
+    /// this knob trades latency only, never output.
+    pub fn sched_threads(&mut self, n: usize) -> &mut Self {
+        self.sched_threads = n;
         self
     }
 
@@ -213,16 +226,19 @@ impl<'c> Compiler<'c> {
             }
             _ => core.classification.clone(),
         };
-        // Step 3: scheduling.
+        // Step 3: scheduling. The conflict matrix and the provable length
+        // lower bound are computed once and shared: the matrix feeds the
+        // scheduler, the bound its stopping rules and the quality report.
         let deps = DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
             .map_err(|e| CompileError::Deps(e.to_string()))?;
+        let matrix = ConflictMatrix::build(&lowering.program);
         let hard_cap = core.controller.program_depth();
         let budget = self.budget.map(|b| b.min(hard_cap)).unwrap_or(hard_cap);
-        let schedule = if self.exact {
+        let (schedule, schedule_bound) = if self.exact {
             let mut config = ExactConfig::new(budget);
             config.max_nodes = self.exact_max_nodes;
             let result = exact_schedule(&lowering.program, &deps, &config);
-            match result.schedule {
+            let schedule = match result.schedule {
                 Some(s) => s,
                 None => {
                     return Err(CompileError::Schedule(
@@ -232,17 +248,29 @@ impl<'c> Compiler<'c> {
                         },
                     ))
                 }
-            }
+            };
+            let bound = length_lower_bound(&lowering.program, &deps, &matrix);
+            (schedule, bound)
         } else if self.compaction {
-            schedule_and_compact(&lowering.program, &deps, Some(budget), self.restarts)
-                .map_err(CompileError::Schedule)?
+            schedule_and_compact_in(
+                &lowering.program,
+                &deps,
+                &matrix,
+                Some(budget),
+                self.restarts,
+                self.sched_threads,
+            )
+            .map_err(CompileError::Schedule)?
         } else {
             let config = ListConfig {
                 budget: Some(budget),
                 priority: self.priority,
                 jitter_seed: 0,
             };
-            list_schedule(&lowering.program, &deps, &config).map_err(CompileError::Schedule)?
+            let schedule = list_schedule_with_matrix(&lowering.program, &deps, &matrix, &config)
+                .map_err(CompileError::Schedule)?;
+            let bound = length_lower_bound(&lowering.program, &deps, &matrix);
+            (schedule, bound)
         };
         if schedule.length() > hard_cap {
             return Err(CompileError::ProgramTooLong {
@@ -282,6 +310,7 @@ impl<'c> Compiler<'c> {
             lowering,
             deps,
             schedule,
+            schedule_bound,
             assignment,
             microcode,
             artificial_names,
@@ -304,6 +333,9 @@ pub struct Compiled {
     pub deps: DependenceGraph,
     /// The schedule (one instruction per cycle).
     pub schedule: Schedule,
+    /// Provable lower bound on the schedule length
+    /// (`dspcc_sched::bounds`), computed during compilation.
+    pub schedule_bound: u32,
     /// Physical register assignment.
     pub assignment: RegAssignment,
     /// Executable microcode.
@@ -329,9 +361,19 @@ impl Compiled {
             .collect()
     }
 
-    /// The figure-9 occupation report for the audio-core resource rows.
+    /// The provable lower bound on the time-loop's cycle count
+    /// (`dspcc_sched::bounds`), captured at compile time:
+    /// `cycles() == schedule_lower_bound()` proves the schedule optimal.
+    pub fn schedule_lower_bound(&self) -> u32 {
+        self.schedule_bound
+    }
+
+    /// The figure-9 occupation report for the audio-core resource rows,
+    /// annotated with the schedule-length lower bound — the occupation
+    /// percentages *suggest* quality, the bound *proves* it.
     pub fn occupation(&self, rows: &[(&str, &str)]) -> OccupationReport {
         OccupationReport::compute(&self.lowering.program, &self.schedule, rows)
+            .with_lower_bound(self.schedule_lower_bound())
     }
 
     /// Folds the time-loop by modulo scheduling (the paper's future work):

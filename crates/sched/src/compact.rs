@@ -16,12 +16,19 @@
 
 use dspcc_ir::{Program, RtId};
 
+use crate::bounds::length_lower_bound;
 use crate::deps::DependenceGraph;
-use crate::list::best_effort_schedule;
+use crate::list::best_effort_bounded;
 use crate::schedule::{ConflictMatrix, SchedError, Schedule};
 
 /// One right-justification pass: every RT moves to its latest feasible
 /// cycle < `deadline`, processed in decreasing issue order.
+///
+/// Feasibility is answered on per-cycle occupancy bitsets
+/// ([`ConflictMatrix::fits_mask`]) — one row-AND per probed cycle, the
+/// same inner loop as insertion scheduling. Justification runs dozens of
+/// times per compaction, so this pass being cheap is what makes the
+/// iterated local search affordable.
 pub fn right_justify(
     program: &Program,
     deps: &DependenceGraph,
@@ -30,11 +37,12 @@ pub fn right_justify(
     deadline: u32,
 ) -> Schedule {
     let n = program.rt_count();
+    let words = matrix.words_per_row();
     let issue = schedule.issue_cycles(n);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(issue[i].expect("complete schedule")));
     let mut new_issue: Vec<Option<u32>> = vec![None; n];
-    let mut cycles: Vec<Vec<RtId>> = vec![Vec::new(); deadline as usize];
+    let mut occ = vec![0u64; deadline as usize * words];
     for &i in &order {
         let id = RtId(i as u32);
         // Latest start bounded by already-placed successors.
@@ -45,8 +53,9 @@ pub fn right_justify(
         }
         let mut t = latest;
         loop {
-            if matrix.fits(id, &cycles[t as usize]) {
-                cycles[t as usize].push(id);
+            let base = t as usize * words;
+            if matrix.fits_mask(id, &occ[base..base + words]) {
+                occ[base + i / 64] |= 1 << (i % 64);
                 new_issue[i] = Some(t);
                 break;
             }
@@ -98,11 +107,12 @@ pub fn left_justify_seeded(
     });
     // A perturbed order may not respect dependences; fall back to a
     // dependence-respecting sweep over the ordered list.
+    let words = matrix.words_per_row();
     let mut new_issue: Vec<Option<u32>> = vec![None; n];
     let mut remaining: Vec<usize> = (0..n)
         .map(|i| deps.predecessors(RtId(i as u32)).count())
         .collect();
-    let mut cycles: Vec<Vec<RtId>> = Vec::new();
+    let mut occ: Vec<u64> = Vec::new();
     let mut pending: Vec<usize> = order;
     while !pending.is_empty() {
         let pos = pending
@@ -120,11 +130,12 @@ pub fn left_justify_seeded(
         }
         let mut t = earliest;
         loop {
-            while cycles.len() <= t as usize {
-                cycles.push(Vec::new());
+            let base = t as usize * words;
+            if occ.len() < base + words {
+                occ.resize(base + words, 0);
             }
-            if matrix.fits(id, &cycles[t as usize]) {
-                cycles[t as usize].push(id);
+            if matrix.fits_mask(id, &occ[base..base + words]) {
+                occ[base + i / 64] |= 1 << (i % 64);
                 new_issue[i] = Some(t);
                 break;
             }
@@ -153,10 +164,24 @@ pub fn compact(
     schedule: Schedule,
     max_rounds: u32,
 ) -> Schedule {
+    compact_to_bound(program, deps, matrix, schedule, max_rounds, 0)
+}
+
+/// As [`compact`], stopping as soon as the schedule reaches `bound`
+/// cycles (a provable lower bound — see [`crate::bounds`] — below which
+/// further justification rounds cannot improve anything).
+pub fn compact_to_bound(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    schedule: Schedule,
+    max_rounds: u32,
+    bound: u32,
+) -> Schedule {
     let mut best = schedule;
     for _ in 0..max_rounds {
         let len = best.length();
-        if len == 0 {
+        if len == 0 || len <= bound {
             break;
         }
         let right = right_justify(program, deps, matrix, &best, len);
@@ -187,21 +212,77 @@ pub fn schedule_and_compact(
     budget: Option<u32>,
     restarts: u32,
 ) -> Result<Schedule, SchedError> {
+    schedule_and_compact_threaded(program, deps, budget, restarts, 1)
+}
+
+/// As [`schedule_and_compact`], running the construction restarts on
+/// `threads` worker threads (`0` = auto, `1` = inline; output is
+/// bit-identical for every thread count — see
+/// [`best_effort_schedule_with`]).
+///
+/// Both the construction restarts and the iterated local search stop the
+/// moment the schedule meets the provable length lower bound
+/// ([`length_lower_bound`]): at the bound the schedule is optimal and the
+/// remaining perturbation rounds are pure waste.
+///
+/// # Errors
+///
+/// Returns [`SchedError::BudgetExceeded`] when even the compacted
+/// schedule misses the budget.
+pub fn schedule_and_compact_threaded(
+    program: &Program,
+    deps: &DependenceGraph,
+    budget: Option<u32>,
+    restarts: u32,
+    threads: usize,
+) -> Result<Schedule, SchedError> {
     let matrix = ConflictMatrix::build(program);
+    schedule_and_compact_in(program, deps, &matrix, budget, restarts, threads).map(|(s, _)| s)
+}
+
+/// As [`schedule_and_compact_threaded`], with a caller-provided conflict
+/// matrix. Returns the schedule together with the provable length lower
+/// bound the cutoffs used (`schedule.length() == bound` proves the
+/// schedule optimal) — computed exactly once for the whole run.
+///
+/// # Errors
+///
+/// Returns [`SchedError::BudgetExceeded`] when even the compacted
+/// schedule misses the budget.
+pub fn schedule_and_compact_in(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    budget: Option<u32>,
+    restarts: u32,
+    threads: usize,
+) -> Result<(Schedule, u32), SchedError> {
+    let bound = length_lower_bound(program, deps, matrix);
     // Construct without a hard budget so a too-tight target cannot wedge
     // the greedy pass, then compact and check the budget at the end.
-    let initial = best_effort_schedule(program, deps, None, restarts)?;
-    let mut best = compact(program, deps, &matrix, initial, 32);
-    // Iterated local search: perturbed left-justification escapes the
-    // justification fixpoint; each round re-compacts and keeps the best.
-    for seed in 1..=(restarts as u64 * 4).max(8) {
-        if budget.map(|b| best.length() <= b).unwrap_or(false) {
-            break; // good enough for the caller's budget
-        }
-        let perturbed = left_justify_seeded(program, deps, &matrix, &best, seed);
-        let candidate = compact(program, deps, &matrix, perturbed, 8);
-        if candidate.length() < best.length() {
-            best = candidate;
+    let initial = best_effort_bounded(program, deps, matrix, None, restarts, threads, bound)?;
+    let mut best = compact_to_bound(program, deps, matrix, initial, 32, bound);
+    let good_enough =
+        |s: &Schedule| s.length() <= bound || budget.map(|b| s.length() <= b).unwrap_or(false);
+    if !good_enough(&best) {
+        // Iterated local search: perturbed left-justification escapes the
+        // justification fixpoint; each round re-compacts and keeps the
+        // best. The seed range is offset past the construction jitter
+        // seeds (`0..=restarts`) so one `restarts` setting never feeds the
+        // same seed value to both loops (the two perturb different things;
+        // the offset is bookkeeping hygiene, not deduplicated work — the
+        // round count matches the old `1..=(restarts·4).max(8)` loop).
+        let first_seed = restarts as u64 + 1;
+        let last_seed = restarts as u64 + (restarts as u64 * 4).max(8);
+        for seed in first_seed..=last_seed {
+            let perturbed = left_justify_seeded(program, deps, matrix, &best, seed);
+            let candidate = compact_to_bound(program, deps, matrix, perturbed, 8, bound);
+            if candidate.length() < best.length() {
+                best = candidate;
+            }
+            if good_enough(&best) {
+                break;
+            }
         }
     }
     match budget {
@@ -209,7 +290,7 @@ pub fn schedule_and_compact(
             budget: b,
             unplaced: 0,
         }),
-        _ => Ok(best),
+        _ => Ok((best, bound)),
     }
 }
 

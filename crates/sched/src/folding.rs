@@ -164,7 +164,10 @@ pub fn fold_schedule_with_restarts(
     max_stages: u32,
 ) -> Result<FoldedSchedule, FoldError> {
     let matrix = ConflictMatrix::build(program);
-    let min_ii = min_initiation_interval(program, deps, loop_edges).max(1);
+    // Candidate IIs ascend from the provable bound, so the first feasible
+    // II found is optimal and the search stops there — the folding
+    // counterpart of the list scheduler's bound cutoff.
+    let min_ii = min_ii_with(program, deps, loop_edges, &matrix).max(1);
     let n = program.rt_count();
     let alap = deps.alap(deps.critical_path() + 1);
     let depth = {
@@ -394,15 +397,29 @@ fn splitmix(x: u64, seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Lower bound on II: resource pressure (distinct-usage occupancy of the
-/// busiest resource) and recurrence bound (latency/distance over
-/// loop-carried cycles, approximated per edge).
+/// Lower bound on II: resource pressure (distinct usages of the busiest
+/// resource and the conflict-clique bound — a clique needs pairwise
+/// distinct kernel phases, so II is at least its size) and recurrence
+/// bound (latency/distance over loop-carried cycles, approximated per
+/// edge).
 pub fn min_initiation_interval(
     program: &Program,
     deps: &DependenceGraph,
     loop_edges: &[LoopEdge],
 ) -> u32 {
-    let res_mii = crate::list::resource_lower_bound(program);
+    let matrix = ConflictMatrix::build(program);
+    min_ii_with(program, deps, loop_edges, &matrix)
+}
+
+/// As [`min_initiation_interval`], with a caller-provided conflict matrix.
+fn min_ii_with(
+    program: &Program,
+    deps: &DependenceGraph,
+    loop_edges: &[LoopEdge],
+    matrix: &ConflictMatrix,
+) -> u32 {
+    let res_mii = crate::bounds::distinct_usage_bound(program)
+        .max(crate::bounds::conflict_clique_bound(matrix));
     // Per-edge recurrence bound: a chain from `to …→ from` of length L plus
     // the back edge needs II ≥ (L + latency) / distance. Approximate L with
     // the ASAP distance.

@@ -11,6 +11,9 @@
 //! scheduler*: two RTs may share a cycle iff they are pairwise compatible
 //! ([`dspcc_ir::Rt::compatible_with`]).
 //!
+//! * [`bounds`] — provable lower bounds on schedule length (critical
+//!   path, distinct-usage pressure, conflict cliques); the stopping rules
+//!   of every restart loop.
 //! * [`deps`] — dependence-graph construction (flow dependences with
 //!   pipeline latencies) and ASAP/ALAP windows.
 //! * [`list`] — priority-based list scheduling under a cycle budget; the
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod baseline;
+pub mod bounds;
 pub mod compact;
 pub mod deps;
 pub mod exact;

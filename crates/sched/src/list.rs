@@ -18,8 +18,11 @@
 //! set for every attempt, so restarts allocate nothing but the winning
 //! schedule.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
 use dspcc_ir::{Program, RtId};
 
+use crate::bounds::distinct_usage_bound;
 use crate::deps::DependenceGraph;
 use crate::schedule::{ConflictMatrix, SchedError, Schedule};
 
@@ -103,21 +106,32 @@ impl ScheduleContext {
     }
 }
 
+/// A priority key: one tuple comparison orders two RTs completely.
+type Key = (i64, i64, i64, i64);
+
 /// Reusable buffers for the scheduler inner loops. One instance serves any
 /// number of attempts (sizes are re-established per attempt); restarts in
 /// [`best_effort_schedule`] share a single scratch.
 #[derive(Debug, Default)]
 pub struct SchedScratch {
     /// Priority key per RT for the current attempt.
-    keys: Vec<(i64, i64, i64, i64)>,
+    keys: Vec<Key>,
     /// Issue cycle per RT (`None` = unplaced).
     issue: Vec<Option<u32>>,
     /// Unscheduled-predecessor counts.
     remaining_preds: Vec<usize>,
     /// Earliest feasible cycle per RT (ASAP ∨ pred issue + latency).
     earliest: Vec<u32>,
-    /// Ready worklist.
-    ready: Vec<usize>,
+    /// Ready min-heap keyed by `(priority key, RT id)` (insertion
+    /// scheduling): popping the most urgent ready RT is `O(log ready)`
+    /// instead of a linear scan.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Key, usize)>>,
+    /// Sorted candidate pool `(priority key, RT id)` (list scheduling),
+    /// maintained incrementally across cycles instead of being re-filtered
+    /// and re-sorted from all RTs every cycle.
+    pool: Vec<(Key, usize)>,
+    /// RTs whose last predecessor issued this cycle (list scheduling).
+    arrivals: Vec<usize>,
     /// Per-cycle occupancy bitsets, `words_per_row` words per cycle
     /// (insertion scheduling).
     cycle_occ: Vec<u64>,
@@ -155,7 +169,10 @@ impl SchedScratch {
 /// per priority (beyond the unjittered one).
 ///
 /// The conflict matrix, dependence contexts (forward and time-mirrored),
-/// and scratch buffers are built once and shared by every attempt.
+/// and scratch buffers are built once and shared by every attempt, and
+/// the run stops the moment an attempt meets the provable length lower
+/// bound ([`crate::bounds::length_lower_bound`]) — the remaining restarts
+/// cannot beat it.
 ///
 /// # Errors
 ///
@@ -168,66 +185,384 @@ pub fn best_effort_schedule(
     restarts: u32,
 ) -> Result<Schedule, SchedError> {
     let matrix = ConflictMatrix::build(program);
+    best_effort_schedule_with(program, deps, &matrix, budget, restarts, 1)
+}
+
+/// As [`best_effort_schedule`], running independent restarts on `threads`
+/// worker threads (`0` = one per available core, capped at 8; `1` =
+/// inline). Output is **bit-identical for every thread count** — see
+/// [`best_effort_schedule_with`] for the reduction rule.
+///
+/// # Errors
+///
+/// See [`best_effort_schedule`].
+pub fn best_effort_schedule_threaded(
+    program: &Program,
+    deps: &DependenceGraph,
+    budget: Option<u32>,
+    restarts: u32,
+    threads: usize,
+) -> Result<Schedule, SchedError> {
+    let matrix = ConflictMatrix::build(program);
+    best_effort_schedule_with(program, deps, &matrix, budget, restarts, threads)
+}
+
+/// The three construction algorithms tried per `(priority, seed)` pair.
+#[derive(Debug, Clone, Copy)]
+enum Algo {
+    Insertion,
+    Backward,
+    List,
+}
+
+const ATTEMPT_PRIORITIES: [Priority; 4] = [
+    Priority::SinkAlap,
+    Priority::Slack,
+    Priority::Alap,
+    Priority::CriticalPath,
+];
+const ATTEMPT_ALGOS: [Algo; 3] = [Algo::Insertion, Algo::Backward, Algo::List];
+
+/// Everything one restart attempt needs, shared read-only by all workers.
+struct AttemptSet<'a> {
+    program: &'a Program,
+    deps: &'a DependenceGraph,
+    reversed: DependenceGraph,
+    matrix: &'a ConflictMatrix,
+    ctx: ScheduleContext,
+    ctx_rev: ScheduleContext,
+    budget: Option<u32>,
+}
+
+impl AttemptSet<'_> {
+    /// Runs one `(priority, jitter seed, algorithm)` attempt.
+    fn run(
+        &self,
+        &(priority, seed, algo): &(Priority, u64, Algo),
+        scratch: &mut SchedScratch,
+    ) -> Result<Schedule, SchedError> {
+        let config = ListConfig {
+            budget: self.budget,
+            priority,
+            jitter_seed: seed,
+        };
+        match algo {
+            Algo::Insertion => insertion_schedule_in(
+                self.program,
+                self.deps,
+                self.matrix,
+                &config,
+                &self.ctx,
+                scratch,
+            ),
+            Algo::Backward => backward_insertion_schedule_in(
+                self.program,
+                &self.reversed,
+                self.matrix,
+                &config,
+                &self.ctx_rev,
+                scratch,
+            ),
+            Algo::List => list_schedule_in(
+                self.program,
+                self.deps,
+                self.matrix,
+                &config,
+                &self.ctx,
+                scratch,
+            ),
+        }
+    }
+}
+
+/// Deterministic reduction state over attempt outcomes.
+///
+/// The winner is chosen *by rule*, not by arrival order, which is what
+/// makes the parallel engine bit-identical to the serial one: if any
+/// attempt meets the lower bound, the winner is the bound-meeting attempt
+/// with the smallest enumeration index (the one serial evaluation would
+/// have stopped at); otherwise all attempts were evaluated and the winner
+/// is the minimum of `(length, index)`.
+#[derive(Default)]
+struct BestOutcome {
+    /// Minimum `(length, index)` over evaluated successful attempts.
+    any: Option<(u32, u32, Schedule)>,
+    /// Minimum index among attempts with `length ≤ bound`.
+    at_bound: Option<(u32, Schedule)>,
+    /// Maximum-index error (what serial evaluation reports last).
+    err: Option<(u32, SchedError)>,
+}
+
+impl BestOutcome {
+    fn note(&mut self, idx: u32, result: Result<Schedule, SchedError>, bound: u32) {
+        match result {
+            Ok(s) => {
+                let len = s.length();
+                if len <= bound
+                    && self
+                        .at_bound
+                        .as_ref()
+                        .map(|&(i, _)| idx < i)
+                        .unwrap_or(true)
+                {
+                    self.at_bound = Some((idx, s.clone()));
+                }
+                if self
+                    .any
+                    .as_ref()
+                    .map(|&(l, i, _)| (len, idx) < (l, i))
+                    .unwrap_or(true)
+                {
+                    self.any = Some((len, idx, s));
+                }
+            }
+            Err(e) => {
+                if self.err.as_ref().map(|&(i, _)| idx > i).unwrap_or(true) {
+                    self.err = Some((idx, e));
+                }
+            }
+        }
+    }
+
+    fn bound_met(&self) -> bool {
+        self.at_bound.is_some()
+    }
+
+    /// Length of the best schedule so far (`u32::MAX` if none).
+    fn best_len(&self) -> u32 {
+        self.any.as_ref().map(|&(l, _, _)| l).unwrap_or(u32::MAX)
+    }
+
+    fn merge(mut self, other: BestOutcome) -> BestOutcome {
+        if let Some((idx, s)) = other.at_bound {
+            if self
+                .at_bound
+                .as_ref()
+                .map(|&(i, _)| idx < i)
+                .unwrap_or(true)
+            {
+                self.at_bound = Some((idx, s));
+            }
+        }
+        if let Some((len, idx, s)) = other.any {
+            if self
+                .any
+                .as_ref()
+                .map(|&(l, i, _)| (len, idx) < (l, i))
+                .unwrap_or(true)
+            {
+                self.any = Some((len, idx, s));
+            }
+        }
+        if let Some((idx, e)) = other.err {
+            if self.err.as_ref().map(|&(i, _)| idx > i).unwrap_or(true) {
+                self.err = Some((idx, e));
+            }
+        }
+        self
+    }
+
+    fn winner(self) -> Result<Schedule, SchedError> {
+        if let Some((_, s)) = self.at_bound {
+            return Ok(s);
+        }
+        if let Some((_, _, s)) = self.any {
+            return Ok(s);
+        }
+        Err(self.err.expect("at least one attempt ran").1)
+    }
+}
+
+/// Resolves a thread-count knob: `0` = one per available core (capped at
+/// 8 — attempts are short, oversubscription only adds latency), clamped
+/// to the number of attempts.
+fn resolve_threads(threads: usize, total: u32) -> usize {
+    let resolved = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        threads
+    };
+    resolved.clamp(1, total.max(1) as usize)
+}
+
+/// As [`best_effort_schedule_threaded`], with a caller-provided conflict
+/// matrix (reused across the compaction pipeline).
+///
+/// The restart engine. Attempts form a fixed enumeration of
+/// `(priority, jitter seed, algorithm)` triples, grouped into **rounds**:
+/// round 0 holds the 12 unjittered attempts (4 priorities × 3
+/// algorithms), every later round holds the 3 algorithm attempts of one
+/// `(priority, jittered seed)` pair. Two stopping rules bound the work:
+///
+/// * **Bound cutoff** — the moment an attempt meets the provable length
+///   lower bound ([`crate::bounds`]) the engine returns it: nothing can
+///   beat it.
+/// * **Stagnation** — once at least one schedule exists, any jittered
+///   round that fails to improve the best length abandons the remaining
+///   rounds: the unjittered roster already ran, and one fruitless jitter
+///   round is the evidence that tie-break noise is not what this program
+///   needs. (This is the stopping rule the old "always burn every seed"
+///   loop lacked. While every attempt still fails a tight budget, all
+///   rounds run — a later seed may be the first feasible one.)
+///
+/// Rounds are evaluated one after another; *within* a round, attempts run
+/// on the worker threads. The reduction is by rule, not arrival order —
+/// winner = bound-meeting attempt with the smallest enumeration index if
+/// any, else minimum `(length, index)` — and stop decisions sit at round
+/// barriers, so the result is **bit-identical for every thread count**.
+///
+/// # Errors
+///
+/// See [`best_effort_schedule`].
+pub fn best_effort_schedule_with(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    budget: Option<u32>,
+    restarts: u32,
+    threads: usize,
+) -> Result<Schedule, SchedError> {
+    // The stopping rule: computed once per run (not per single-pass entry
+    // point — the single-pass schedulers have no restart loop to stop).
+    let bound = crate::bounds::length_lower_bound(program, deps, matrix);
+    best_effort_bounded(program, deps, matrix, budget, restarts, threads, bound)
+}
+
+/// The restart engine behind [`best_effort_schedule_with`], taking the
+/// already-computed length lower bound so callers that need the bound
+/// themselves (the compaction pipeline) don't pay for it twice.
+pub(crate) fn best_effort_bounded(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    budget: Option<u32>,
+    restarts: u32,
+    threads: usize,
+    bound: u32,
+) -> Result<Schedule, SchedError> {
     let ctx = ScheduleContext::build(program, deps, budget);
     let reversed = deps.reversed();
     let ctx_rev = ScheduleContext::build(program, &reversed, budget);
+    let set = AttemptSet {
+        program,
+        deps,
+        reversed,
+        matrix,
+        ctx,
+        ctx_rev,
+        budget,
+    };
+    // Fixed enumeration: round 0 = all priorities × algorithms at seed 0,
+    // then one (priority, seed) round of 3 algorithms per jittered seed.
+    let mut attempts: Vec<(Priority, u64, Algo)> = Vec::new();
+    let mut rounds: Vec<std::ops::Range<usize>> = Vec::new();
+    for priority in ATTEMPT_PRIORITIES {
+        for algo in ATTEMPT_ALGOS {
+            attempts.push((priority, 0, algo));
+        }
+    }
+    rounds.push(0..attempts.len());
+    for seed in 1..=restarts as u64 {
+        for priority in ATTEMPT_PRIORITIES {
+            let start = attempts.len();
+            for algo in ATTEMPT_ALGOS {
+                attempts.push((priority, seed, algo));
+            }
+            rounds.push(start..attempts.len());
+        }
+    }
+    let threads = resolve_threads(threads, rounds[0].len() as u32);
+    let mut outcome = BestOutcome::default();
     let mut scratch = SchedScratch::default();
-    let mut best: Option<Schedule> = None;
-    let mut last_err = None;
-    let mut consider = |result: Result<Schedule, SchedError>| match result {
-        Ok(s) => {
-            if best
-                .as_ref()
-                .map(|b| s.length() < b.length())
-                .unwrap_or(true)
-            {
-                best = Some(s);
+    for (r, range) in rounds.iter().enumerate() {
+        let before = outcome.best_len();
+        // Jittered rounds hold only 3 short attempts — too little work to
+        // amortise a thread spawn — so only round 0 fans out.
+        if threads <= 1 || range.len() < 6 {
+            for idx in range.clone() {
+                outcome.note(idx as u32, set.run(&attempts[idx], &mut scratch), bound);
+                if outcome.bound_met() {
+                    return outcome.winner();
+                }
+            }
+        } else {
+            outcome = parallel_round(&set, &attempts, range.clone(), bound, threads, outcome);
+            if outcome.bound_met() {
+                return outcome.winner();
             }
         }
-        Err(e) => last_err = Some(e),
-    };
-    for priority in [
-        Priority::SinkAlap,
-        Priority::Slack,
-        Priority::Alap,
-        Priority::CriticalPath,
-    ] {
-        for seed in 0..=restarts as u64 {
-            let config = ListConfig {
-                budget,
-                priority,
-                jitter_seed: seed,
-            };
-            consider(insertion_schedule_in(
-                program,
-                deps,
-                &matrix,
-                &config,
-                &ctx,
-                &mut scratch,
-            ));
-            consider(backward_insertion_schedule_in(
-                program,
-                &reversed,
-                &matrix,
-                &config,
-                &ctx_rev,
-                &mut scratch,
-            ));
-            consider(list_schedule_in(
-                program,
-                deps,
-                &matrix,
-                &config,
-                &ctx,
-                &mut scratch,
-            ));
+        // Stagnation: a jittered round that improved nothing ends the run
+        // — but never before *some* schedule exists, else a budgeted call
+        // would forfeit restarts that could still find a feasible one.
+        if r >= 1 && outcome.any.is_some() && outcome.best_len() >= before {
+            break;
         }
     }
-    match best {
-        Some(s) => Ok(s),
-        None => Err(last_err.expect("at least one attempt ran")),
-    }
+    outcome.winner()
+}
+
+/// Evaluates one round's attempts on `threads` workers, merging into
+/// `outcome`. Work-stealing over the round's index range; a worker skips
+/// index `k` only when a bound-meeting attempt with index `< k` is
+/// already recorded (which beats `k` under the reduction rule whatever
+/// `k` would produce), so the rule-chosen winner is always evaluated.
+fn parallel_round(
+    set: &AttemptSet<'_>,
+    attempts: &[(Priority, u64, Algo)],
+    range: std::ops::Range<usize>,
+    bound: u32,
+    threads: usize,
+    outcome: BestOutcome,
+) -> BestOutcome {
+    let next = AtomicU32::new(range.start as u32);
+    let end = range.end as u32;
+    // Best known `(length << 32 | index)` with length ≤ bound, for the
+    // skip rule; `u64::MAX` = none yet.
+    let best_packed = AtomicU64::new(u64::MAX);
+    let workers = threads.min(range.len());
+    let locals = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = BestOutcome::default();
+                    let mut scratch = SchedScratch::default();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= end {
+                            break;
+                        }
+                        let packed = best_packed.load(Ordering::Acquire);
+                        if packed != u64::MAX && (packed as u32) < idx {
+                            // A bound-meeting attempt with a smaller index
+                            // exists; it also beats every later index this
+                            // worker would pull.
+                            break;
+                        }
+                        let result = set.run(&attempts[idx as usize], &mut scratch);
+                        if let Ok(s) = &result {
+                            let len = s.length();
+                            if len <= bound {
+                                best_packed.fetch_min(
+                                    (u64::from(len) << 32) | u64::from(idx),
+                                    Ordering::AcqRel,
+                                );
+                            }
+                        }
+                        local.note(idx, result, bound);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheduler worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    locals.into_iter().fold(outcome, BestOutcome::merge)
 }
 
 /// Insertion scheduling: RTs are placed one at a time, each into the
@@ -283,10 +618,12 @@ pub fn insertion_schedule_in(
     scratch
         .remaining_preds
         .extend((0..n).map(|i| deps.predecessors(RtId(i as u32)).count()));
-    scratch.ready.clear();
-    scratch
-        .ready
-        .extend((0..n).filter(|&i| scratch.remaining_preds[i] == 0));
+    scratch.heap.clear();
+    for i in 0..n {
+        if scratch.remaining_preds[i] == 0 {
+            scratch.heap.push(std::cmp::Reverse((scratch.keys[i], i)));
+        }
+    }
     scratch.cycle_occ.clear();
 
     let limit = config
@@ -295,14 +632,11 @@ pub fn insertion_schedule_in(
         .min(ctx.horizon + n as u32);
     let mut unplaced = n;
     while unplaced > 0 {
-        // Most urgent ready RT.
-        let (pos, &rt) = scratch
-            .ready
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &i)| scratch.keys[i])
+        // Most urgent ready RT (ties by RT id).
+        let std::cmp::Reverse((_, rt)) = scratch
+            .heap
+            .pop()
             .expect("acyclic graph always has a ready RT");
-        scratch.ready.swap_remove(pos);
         let id = RtId(rt as u32);
         let mut earliest = ctx.asap[rt];
         for (pred, lat) in deps.predecessors(id) {
@@ -333,7 +667,7 @@ pub fn insertion_schedule_in(
             let s = succ.0 as usize;
             scratch.remaining_preds[s] -= 1;
             if scratch.remaining_preds[s] == 0 {
-                scratch.ready.push(s);
+                scratch.heap.push(std::cmp::Reverse((scratch.keys[s], s)));
             }
         }
     }
@@ -413,6 +747,17 @@ pub fn list_schedule_in(
     scratch.earliest.extend_from_slice(&ctx.asap);
     scratch.occ.clear();
     scratch.occ.resize(words, 0);
+    // Candidate pool: RTs whose predecessors have all issued, sorted by
+    // `(priority key, RT id)` and maintained incrementally — the per-cycle
+    // work is proportional to the pool, not to the whole program.
+    scratch.pool.clear();
+    for i in 0..n {
+        if scratch.remaining_preds[i] == 0 {
+            scratch.pool.push((scratch.keys[i], i));
+        }
+    }
+    scratch.pool.sort_unstable();
+    scratch.arrivals.clear();
 
     let mut unscheduled = n;
     let mut schedule = Schedule::new();
@@ -426,32 +771,47 @@ pub fn list_schedule_in(
                 });
             }
         }
-        // Ready at t: all preds scheduled and latencies satisfied.
-        scratch.ready.clear();
-        scratch.ready.extend((0..n).filter(|&i| {
-            scratch.issue[i].is_none()
-                && scratch.remaining_preds[i] == 0
-                && scratch.earliest[i] <= t
-        }));
-        scratch.ready.sort_by_key(|&i| scratch.keys[i]);
-        // Pack the instruction: occupancy bitset makes each fit check one
-        // row-AND.
+        // Pack the instruction, most urgent candidate first (candidates
+        // whose latency window is still open wait in the pool): occupancy
+        // bitset makes each fit check one row-AND.
         scratch.occ.fill(0);
-        for idx in 0..scratch.ready.len() {
-            let i = scratch.ready[idx];
+        let mut placed_any = false;
+        for pi in 0..scratch.pool.len() {
+            let (_, i) = scratch.pool[pi];
+            if scratch.earliest[i] > t {
+                continue;
+            }
             let rt = RtId(i as u32);
             if matrix.fits_mask(rt, &scratch.occ) {
                 scratch.occ[i / 64] |= 1 << (i % 64);
                 scratch.issue[i] = Some(t);
                 schedule.place(rt, t);
+                placed_any = true;
                 unscheduled -= 1;
                 for (succ, lat) in deps.successors(rt) {
                     let s = succ.0 as usize;
                     scratch.remaining_preds[s] -= 1;
                     scratch.earliest[s] = scratch.earliest[s].max(t + lat);
+                    if scratch.remaining_preds[s] == 0 {
+                        scratch.arrivals.push(s);
+                    }
                 }
             }
         }
+        if placed_any {
+            let issue = &scratch.issue;
+            scratch.pool.retain(|&(_, i)| issue[i].is_none());
+        }
+        // RTs released this cycle join the pool for the *next* cycle (a
+        // zero-separation successor still cannot issue in the cycle that
+        // freed it, exactly as with the per-cycle ready re-scan).
+        for k in 0..scratch.arrivals.len() {
+            let s = scratch.arrivals[k];
+            let entry = (scratch.keys[s], s);
+            let pos = scratch.pool.partition_point(|&e| e < entry);
+            scratch.pool.insert(pos, entry);
+        }
+        scratch.arrivals.clear();
         t += 1;
         // Safety valve: without a budget the loop must still terminate.
         if t > ctx.horizon + n as u32 + 8 {
@@ -530,12 +890,14 @@ fn sink_alaps(deps: &DependenceGraph, alap: &[u32]) -> Vec<u32> {
 }
 
 /// The deadline target used for priority computation: the larger of the
-/// budget (if any), the critical path, and the resource lower bound.
+/// budget (if any), the critical path, and the distinct-usage resource
+/// pressure (the allocation-free bound from [`crate::bounds`] — this runs
+/// once per context build, i.e. on every scheduling call).
 fn priority_target(program: &Program, deps: &DependenceGraph, budget: Option<u32>) -> u32 {
     budget
         .unwrap_or(0)
         .max(deps.critical_path() + 1)
-        .max(resource_lower_bound(program))
+        .max(distinct_usage_bound(program))
 }
 
 /// Longest-chain depth of each RT (number of latency-weighted cycles of
@@ -558,8 +920,10 @@ fn serial_upper_bound(program: &Program, deps: &DependenceGraph) -> u32 {
     program.rt_count() as u32 + deps.critical_path() + 1
 }
 
-/// Lower bound from resource pressure: for each resource, RTs with
-/// distinct usages of it need distinct cycles.
+/// Resource-pressure estimate used as a *priority target* — for each
+/// resource, the number of usage occurrences. Identical usages may
+/// legally share a cycle, so this can exceed the true optimum; use
+/// [`crate::bounds`] for sound termination bounds.
 pub fn resource_lower_bound(program: &Program) -> u32 {
     use std::collections::BTreeMap;
     let mut demand: BTreeMap<&str, BTreeMap<String, usize>> = BTreeMap::new();
@@ -768,5 +1132,49 @@ mod tests {
         best.verify(&p, &deps).unwrap();
         let single = list_schedule(&p, &deps, &ListConfig::default()).unwrap();
         assert!(best.length() <= single.length());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_schedule() {
+        // The acceptance property of the parallel engine: identical
+        // schedules for identical inputs regardless of thread count.
+        let p = two_chain_program();
+        let deps = DependenceGraph::build(&p).unwrap();
+        for restarts in [0u32, 2, 5] {
+            let serial = best_effort_schedule_threaded(&p, &deps, None, restarts, 1).unwrap();
+            for threads in [0usize, 2, 3, 7, 16] {
+                let t = best_effort_schedule_threaded(&p, &deps, None, restarts, threads).unwrap();
+                assert_eq!(serial, t, "restarts {restarts}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_met_schedule_is_optimal_and_stops_early() {
+        // A single const→mult→add chain: the critical-path bound (3) is
+        // tight and the first insertion attempt meets it, so the engine
+        // returns a provably optimal schedule (and stops there).
+        let mut p = Program::new();
+        let vc = p.add_value("c");
+        let vm = p.add_value("m");
+        let mut c = Rt::new("const");
+        c.add_def(vc);
+        c.add_usage("rom", Usage::token("const"));
+        let mut m = Rt::new("mult");
+        m.add_use(vc);
+        m.add_def(vm);
+        m.add_usage("mult", Usage::token("mult"));
+        let mut a = Rt::new("add");
+        a.add_use(vm);
+        a.add_usage("alu", Usage::token("add"));
+        p.add_rt(c);
+        p.add_rt(m);
+        p.add_rt(a);
+        let deps = DependenceGraph::build(&p).unwrap();
+        let matrix = ConflictMatrix::build(&p);
+        let bound = crate::bounds::length_lower_bound(&p, &deps, &matrix);
+        assert_eq!(bound, 3);
+        let best = best_effort_schedule(&p, &deps, None, 4).unwrap();
+        assert_eq!(best.length(), bound);
     }
 }

@@ -16,6 +16,7 @@ use crate::schedule::Schedule;
 pub struct OccupationReport {
     length: u32,
     rows: Vec<OccupationRow>,
+    lower_bound: Option<u32>,
 }
 
 /// One resource's occupation.
@@ -73,7 +74,26 @@ impl OccupationReport {
                 }
             })
             .collect();
-        OccupationReport { length, rows }
+        OccupationReport {
+            length,
+            rows,
+            lower_bound: None,
+        }
+    }
+
+    /// Attaches the provable length lower bound
+    /// ([`crate::bounds::length_lower_bound`]) so the chart can state how
+    /// close the schedule is to optimal — the quality claim the paper made
+    /// through occupation percentages alone.
+    #[must_use]
+    pub fn with_lower_bound(mut self, bound: u32) -> Self {
+        self.lower_bound = Some(bound);
+        self
+    }
+
+    /// The attached length lower bound, if any.
+    pub fn lower_bound(&self) -> Option<u32> {
+        self.lower_bound
     }
 
     /// Schedule length in cycles.
@@ -137,6 +157,14 @@ impl OccupationReport {
         let indent = " ".repeat(label_width + 7);
         let _ = writeln!(out, "{}-{axis}", "-".repeat(label_width + 6));
         let _ = writeln!(out, "{indent}{labels}");
+        if let Some(bound) = self.lower_bound {
+            let verdict = if self.length <= bound {
+                " (provably optimal)"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "{} cycles, lower bound {bound}{verdict}", self.length);
+        }
         out
     }
 }
@@ -215,6 +243,20 @@ mod tests {
         assert_eq!(report.row("ALU").unwrap().percent(), 0);
         // Chart should not panic on empty schedules.
         let _ = report.chart();
+    }
+
+    #[test]
+    fn chart_states_bound_and_optimality() {
+        let (p, s) = program_and_schedule();
+        let report = OccupationReport::compute(&p, &s, &[("MULT", "mult")]).with_lower_bound(4);
+        assert_eq!(report.lower_bound(), Some(4));
+        let chart = report.chart();
+        assert!(
+            chart.contains("4 cycles, lower bound 4 (provably optimal)"),
+            "{chart}"
+        );
+        let loose = OccupationReport::compute(&p, &s, &[("MULT", "mult")]).with_lower_bound(3);
+        assert!(loose.chart().contains("4 cycles, lower bound 3\n"));
     }
 
     #[test]

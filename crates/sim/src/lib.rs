@@ -11,12 +11,29 @@
 //! running the generated code against the bit-exact reference interpreter
 //! (`dspcc_dfg::Interpreter`) is the verification the original flow
 //! lacked, and it is the backbone of this reproduction's test suite.
+//!
+//! # Performance notes
+//!
+//! The verifier runs once per compiled frame in every differential test
+//! and design-space sweep, so its inner loop is a hot path of the whole
+//! flow. [`CoreSim`] therefore **pre-decodes** the microcode at
+//! construction into a dense [`MicroOp`] table: every OPU, operation,
+//! operand register, destination register, immediate, and latency is
+//! resolved to a flat index or value exactly once. Per cycle the executor
+//! walks a `&[MicroOp]` slice, reads operands out of one flat `Vec<i64>`
+//! register array, and retires pending writebacks from a fixed-capacity
+//! ring indexed by `cycle % (max_latency + 1)` — no string hashing, no
+//! `BTreeMap` walks, no per-cycle allocation. The original
+//! interpret-every-cycle implementation is retained in [`reference`] as
+//! the differential oracle; a property test pins the two bit-identical,
+//! cycle for cycle.
 
-use std::collections::{BTreeMap, VecDeque};
+pub mod reference;
+
 use std::fmt;
 
 use dspcc_arch::{Datapath, OpuKind};
-use dspcc_encode::{decode, DecodedInstruction, Microcode};
+use dspcc_encode::{decode, Microcode};
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,17 +96,55 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Per-OPU static info the executor needs.
-#[derive(Debug, Clone)]
-struct OpuInfo {
-    kind: OpuKind,
-    inputs: Vec<String>,
-    latency: BTreeMap<String, u32>,
+/// Fully resolved operation selector: the string `op` of the decoded
+/// action mapped to a branch the executor can match on directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    InputRead,
+    OutputWrite,
+    ProgConst,
+    RomConst,
+    AcuAddMod,
+    RamRead,
+    RamWrite,
+    Mult,
+    Add,
+    AddClip,
+    Sub,
+    Pass,
+    PassClip,
+    /// ASUs, unknown OPUs, unknown ALU ops: reported as
+    /// [`SimError::Unsupported`] when (and only when) executed, exactly
+    /// like the decode-per-cycle path.
+    Unsupported,
 }
 
-/// The core simulator. One instance holds the full architectural state:
-/// register files, data RAM, the input/output streams, and the cycle
-/// counter. State persists across frames (delay lines!).
+/// One pre-decoded OPU action: every name resolved to a flat index at
+/// construction.
+#[derive(Debug, Clone)]
+struct MicroOp {
+    op: Op,
+    /// Index into the OPU name table (errors, stream indexing).
+    opu: u32,
+    /// Flat register indices of the operand ports the operation reads.
+    /// Unused ports stay 0: the executor loads them unconditionally (the
+    /// branchless hot path) and ignores the value, which is why the flat
+    /// register array is never allocated empty.
+    src: [u32; 2],
+    /// RAM/ROM slot or input/output stream slot, depending on `op`.
+    mem: u32,
+    /// Decoded immediate (program constant or ROM address).
+    imm: i64,
+    /// Writeback delay in cycles (≥ 1).
+    latency: u32,
+    /// Range of flat destination registers in the dest arena.
+    dests: (u32, u32),
+}
+
+/// The core simulator. One instance holds the pre-decoded program tables
+/// and the full architectural state: register files, data RAM, the
+/// input/output streams, and the cycle counter. State persists across
+/// frames (delay lines!).
 ///
 /// # Example
 ///
@@ -99,62 +154,239 @@ struct OpuInfo {
 /// `dspcc_dfg::Interpreter::step` frame by frame.
 #[derive(Debug, Clone)]
 pub struct CoreSim {
-    program: Vec<DecodedInstruction>,
-    opus: BTreeMap<String, OpuInfo>,
-    rf: BTreeMap<String, Vec<i64>>,
-    ram: BTreeMap<String, Vec<i64>>,
-    rom: BTreeMap<String, Vec<i64>>,
-    region_mask: i64,
-    format: dspcc_num::WordFormat,
-    input_order: Vec<(String, usize)>,
-    output_order: Vec<(String, usize)>,
+    // Pre-decoded program: one range into `micro` per instruction word.
+    instr: Vec<(u32, u32)>,
+    micro: Vec<MicroOp>,
+    dest_regs: Vec<u32>,
+    // Name tables for errors and the debug accessors.
+    opu_names: Vec<String>,
+    rf_layout: Vec<(String, u32, u32)>,
+    ram_names: Vec<String>,
+    // Frame I/O plans: `(stream slot, DFG port)` in issue order.
+    input_plan: Vec<(u32, usize)>,
+    output_plan: Vec<(u32, usize)>,
     input_port_count: usize,
     output_port_count: usize,
-    /// Pending register writes: (due_cycle, rf, reg, value).
-    pending: VecDeque<(u64, String, u32, i64)>,
+    region_mask: i64,
+    format: dspcc_num::WordFormat,
+    // Architectural state.
+    regs: Vec<i64>,
+    ram: Vec<Vec<i64>>,
+    rom: Vec<Vec<i64>>,
+    /// Writeback ring: slot `due % ring.len()` holds the `(flat register,
+    /// value)` pairs landing at cycle `due`. The ring has
+    /// `max_latency + 1` slots, so a slot is always drained before any
+    /// write could wrap onto it.
+    ring: Vec<Vec<(u32, i64)>>,
+    // Per-frame stream scratch, reused across frames.
+    in_data: Vec<Vec<i64>>,
+    in_cursor: Vec<usize>,
+    out_data: Vec<Vec<i64>>,
+    out_cursor: Vec<usize>,
+    ram_writes: Vec<(u32, u32, i64)>,
+    /// Register writebacks `(ring slot, flat reg, value)` of the cycle in
+    /// flight: committed to `ring` only when the whole cycle executed —
+    /// a mid-cycle [`SimError`] discards them, exactly like the
+    /// reference's per-cycle write buffer.
+    rf_writes: Vec<(u32, u32, i64)>,
     cycle: u64,
     frames: u64,
 }
 
 impl CoreSim {
-    /// Builds a simulator for `microcode` on `dp`, with all state zeroed
-    /// (hardware reset).
+    /// Builds a simulator for `microcode` on `dp`, pre-decoding the whole
+    /// program, with all state zeroed (hardware reset).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (malformed actions become
+    /// [`SimError::Unsupported`] at execution, matching the
+    /// decode-per-cycle path); the `Result` keeps room for construction
+    /// diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microcode references registers outside the
+    /// datapath's register files — the same inputs panicked the
+    /// decode-per-cycle path at execution time.
     pub fn new(dp: &Datapath, microcode: &Microcode) -> Result<Self, SimError> {
         let format = microcode.word_format;
-        let program = microcode
-            .words
-            .iter()
-            .map(|w| decode(w, &microcode.layout, format))
-            .collect();
-        let mut opus = BTreeMap::new();
-        let mut ram = BTreeMap::new();
-        let mut rom = BTreeMap::new();
+        // Flat register-file layout: (name, base, size) in datapath order.
+        let mut rf_layout = Vec::new();
+        let mut total_regs = 0u32;
+        for r in dp.register_files() {
+            rf_layout.push((r.name().to_owned(), total_regs, r.size()));
+            total_regs += r.size();
+        }
+        let flat_reg = |rf: &str, reg: u32| -> u32 {
+            let &(_, base, size) = rf_layout
+                .iter()
+                .find(|(name, _, _)| name == rf)
+                .expect("known rf");
+            assert!(reg < size, "register {reg} out of range for `{rf}`");
+            base + reg
+        };
+        // OPU tables and memory slots.
+        let mut opu_names: Vec<String> = Vec::new();
+        let mut ram_names = Vec::new();
+        let mut ram = Vec::new();
+        let mut rom_slots = Vec::new();
+        let mut rom = Vec::new();
+        let mut in_slots: Vec<(String, u32)> = Vec::new();
+        let mut out_slots: Vec<(String, u32)> = Vec::new();
         for o in dp.opus() {
-            opus.insert(
-                o.name().to_owned(),
-                OpuInfo {
-                    kind: o.kind(),
-                    inputs: o.inputs().to_vec(),
-                    latency: o.ops().map(|(op, l)| (op.to_owned(), l)).collect(),
-                },
-            );
+            opu_names.push(o.name().to_owned());
             match o.kind() {
                 OpuKind::Ram => {
-                    ram.insert(o.name().to_owned(), vec![0; o.memory_size() as usize]);
+                    ram_names.push(o.name().to_owned());
+                    ram.push(vec![0i64; o.memory_size() as usize]);
                 }
                 OpuKind::Rom => {
                     let mut image = microcode.rom_image.clone();
                     image.resize(o.memory_size() as usize, 0);
-                    rom.insert(o.name().to_owned(), image);
+                    rom_slots.push(o.name().to_owned());
+                    rom.push(image);
+                }
+                OpuKind::Input => {
+                    in_slots.push((o.name().to_owned(), in_slots.len() as u32));
+                }
+                OpuKind::Output => {
+                    out_slots.push((o.name().to_owned(), out_slots.len() as u32));
                 }
                 _ => {}
             }
         }
-        let rf = dp
-            .register_files()
+        // Stream slots for I/O-order names that name no datapath unit:
+        // the sample is queued and never read (input) or read and never
+        // produced (output) — faithful to the name-keyed maps.
+        let slot_of = |slots: &mut Vec<(String, u32)>, name: &str| -> u32 {
+            if let Some(&(_, s)) = slots.iter().find(|(n, _)| n == name) {
+                return s;
+            }
+            let s = slots.len() as u32;
+            slots.push((name.to_owned(), s));
+            s
+        };
+        let input_plan: Vec<(u32, usize)> = microcode
+            .input_order
             .iter()
-            .map(|r| (r.name().to_owned(), vec![0i64; r.size() as usize]))
+            .map(|(opu, port)| (slot_of(&mut in_slots, opu), *port))
             .collect();
+        let output_plan: Vec<(u32, usize)> = microcode
+            .output_order
+            .iter()
+            .map(|(opu, port)| (slot_of(&mut out_slots, opu), *port))
+            .collect();
+        // Pre-decode every instruction word into the dense tables.
+        let mut instr = Vec::with_capacity(microcode.words.len());
+        let mut micro = Vec::new();
+        let mut dest_regs = Vec::new();
+        let mut max_latency = 1u32;
+        for word in &microcode.words {
+            let start = micro.len() as u32;
+            for action in decode(word, &microcode.layout, format).actions {
+                let spec = dp.opu(&action.opu);
+                let opu = match opu_names.iter().position(|n| n == &action.opu) {
+                    Some(i) => i as u32,
+                    None => {
+                        opu_names.push(action.opu.clone());
+                        opu_names.len() as u32 - 1
+                    }
+                };
+                let mut src = [0u32; 2];
+                let mut resolve_srcs = |ports: &[usize]| {
+                    let spec = spec.expect("resolved op implies known opu");
+                    for &p in ports {
+                        src[p] = flat_reg(&spec.inputs()[p], action.operand_regs[p]);
+                    }
+                };
+                let (op, mem, imm) = match spec.map(|s| s.kind()) {
+                    Some(OpuKind::Input) => {
+                        let slot = slot_of(&mut in_slots, &action.opu);
+                        (Op::InputRead, slot, 0)
+                    }
+                    Some(OpuKind::Output) => {
+                        resolve_srcs(&[0]);
+                        let slot = slot_of(&mut out_slots, &action.opu);
+                        (Op::OutputWrite, slot, 0)
+                    }
+                    Some(OpuKind::ProgConst) => {
+                        (Op::ProgConst, 0, action.imm.expect("prgc imm decoded"))
+                    }
+                    Some(OpuKind::Rom) => {
+                        let slot = rom_slots
+                            .iter()
+                            .position(|n| n == &action.opu)
+                            .expect("rom opu has an image")
+                            as u32;
+                        (Op::RomConst, slot, action.imm.expect("rom imm decoded"))
+                    }
+                    Some(OpuKind::Acu) => {
+                        resolve_srcs(&[0, 1]);
+                        (Op::AcuAddMod, 0, 0)
+                    }
+                    Some(OpuKind::Ram) => {
+                        let slot = ram_names
+                            .iter()
+                            .position(|n| n == &action.opu)
+                            .expect("ram opu has a memory")
+                            as u32;
+                        if action.op == "write" {
+                            resolve_srcs(&[0, 1]);
+                            (Op::RamWrite, slot, 0)
+                        } else {
+                            resolve_srcs(&[0]);
+                            (Op::RamRead, slot, 0)
+                        }
+                    }
+                    Some(OpuKind::Mult) => {
+                        resolve_srcs(&[0, 1]);
+                        (Op::Mult, 0, 0)
+                    }
+                    Some(OpuKind::Alu) => {
+                        let alu_op = match action.op.as_str() {
+                            "add" => Some(Op::Add),
+                            "add_clip" => Some(Op::AddClip),
+                            "sub" => Some(Op::Sub),
+                            "pass" => Some(Op::Pass),
+                            "pass_clip" => Some(Op::PassClip),
+                            _ => None,
+                        };
+                        match alu_op {
+                            Some(op) => {
+                                resolve_srcs(if matches!(op, Op::Pass | Op::PassClip) {
+                                    &[0]
+                                } else {
+                                    &[0, 1]
+                                });
+                                (op, 0, 0)
+                            }
+                            None => (Op::Unsupported, 0, 0),
+                        }
+                    }
+                    Some(OpuKind::Asu) | None => (Op::Unsupported, 0, 0),
+                };
+                let latency = spec
+                    .and_then(|s| s.latency_of(&action.op))
+                    .unwrap_or(1)
+                    .max(1);
+                max_latency = max_latency.max(latency);
+                let dest_start = dest_regs.len() as u32;
+                for (rf, reg) in &action.dests {
+                    dest_regs.push(flat_reg(rf, *reg));
+                }
+                micro.push(MicroOp {
+                    op,
+                    opu,
+                    src,
+                    mem,
+                    imm,
+                    latency,
+                    dests: (dest_start, dest_regs.len() as u32),
+                });
+            }
+            instr.push((start, micro.len() as u32));
+        }
         let input_port_count = microcode
             .input_order
             .iter()
@@ -168,18 +400,32 @@ impl CoreSim {
             .max()
             .unwrap_or(0);
         Ok(CoreSim {
-            program,
-            opus,
-            rf,
-            ram,
-            rom,
-            region_mask: microcode.region_size as i64 - 1,
-            format,
-            input_order: microcode.input_order.clone(),
-            output_order: microcode.output_order.clone(),
+            instr,
+            micro,
+            dest_regs,
+            opu_names,
+            ram_names,
+            input_plan,
+            output_plan,
             input_port_count,
             output_port_count,
-            pending: VecDeque::new(),
+            region_mask: microcode.region_size as i64 - 1,
+            format,
+            // At least one slot: the executor reads `src` ports
+            // unconditionally, and index 0 is the harmless default for
+            // ports an operation ignores (even on a register-file-less
+            // datapath).
+            regs: vec![0; (total_regs as usize).max(1)],
+            ram,
+            rom,
+            ring: vec![Vec::new(); max_latency as usize + 1],
+            in_data: vec![Vec::new(); in_slots.len()],
+            in_cursor: vec![0; in_slots.len()],
+            out_data: vec![Vec::new(); out_slots.len()],
+            out_cursor: vec![0; out_slots.len()],
+            ram_writes: Vec::new(),
+            rf_writes: Vec::new(),
+            rf_layout,
             cycle: 0,
             frames: 0,
         })
@@ -197,12 +443,18 @@ impl CoreSim {
 
     /// Current value of a register, for debugging.
     pub fn register(&self, rf: &str, index: u32) -> Option<i64> {
-        self.rf.get(rf).and_then(|v| v.get(index as usize)).copied()
+        let &(_, base, size) = self.rf_layout.iter().find(|(name, _, _)| name == rf)?;
+        if index < size {
+            Some(self.regs[(base + index) as usize])
+        } else {
+            None
+        }
     }
 
     /// Contents of a data RAM, for debugging.
     pub fn memory(&self, opu: &str) -> Option<&[i64]> {
-        self.ram.get(opu).map(|v| v.as_slice())
+        let i = self.ram_names.iter().position(|n| n == opu)?;
+        Some(&self.ram[i])
     }
 
     /// Executes one time-loop iteration (one sample frame).
@@ -221,137 +473,108 @@ impl CoreSim {
                 expected: self.input_port_count,
             });
         }
-        // Queue this frame's samples per input unit, in read order.
-        let mut in_fifo: BTreeMap<&str, VecDeque<i64>> = BTreeMap::new();
-        for (opu, port) in &self.input_order {
-            in_fifo
-                .entry(opu.as_str())
-                .or_default()
-                .push_back(inputs[*port]);
+        // Queue this frame's samples per input stream, in read order.
+        for q in &mut self.in_data {
+            q.clear();
         }
-        let mut out_events: BTreeMap<String, VecDeque<i64>> = BTreeMap::new();
-
-        let program_len = self.program.len();
-        for pc in 0..program_len {
-            // Writes due by now land before the cycle executes.
-            let cycle = self.cycle;
-            while let Some(&(due, _, _, _)) = self.pending.front() {
-                if due > cycle {
-                    break;
-                }
-                let (_, rf, reg, value) = self.pending.pop_front().expect("peeked");
-                self.rf.get_mut(&rf).expect("known rf")[reg as usize] = value;
+        for c in &mut self.in_cursor {
+            *c = 0;
+        }
+        for &(slot, port) in &self.input_plan {
+            self.in_data[slot as usize].push(inputs[port]);
+        }
+        for q in &mut self.out_data {
+            q.clear();
+        }
+        let ring_size = self.ring.len() as u64;
+        for &(start, end) in &self.instr {
+            // Writes due this cycle land before the cycle executes.
+            let slot = (self.cycle % ring_size) as usize;
+            for (reg, value) in self.ring[slot].drain(..) {
+                self.regs[reg as usize] = value;
             }
-            let instr = self.program[pc].clone();
-            let mut ram_writes: Vec<(String, i64, i64)> = Vec::new();
-            let mut rf_writes: Vec<(u64, String, u32, i64)> = Vec::new();
-            for action in &instr.actions {
-                let info =
-                    self.opus
-                        .get(&action.opu)
-                        .cloned()
-                        .ok_or_else(|| SimError::Unsupported {
-                            opu: action.opu.clone(),
-                        })?;
-                let operand = |port: usize| -> i64 {
-                    let rf_name = &info.inputs[port];
-                    let reg = action.operand_regs[port] as usize;
-                    self.rf[rf_name][reg]
-                };
-                let result: Option<i64> = match info.kind {
-                    OpuKind::Input => {
-                        let fifo = in_fifo.get_mut(action.opu.as_str());
-                        match fifo.and_then(|f| f.pop_front()) {
-                            Some(v) => Some(v),
-                            None => {
-                                return Err(SimError::InputUnderflow {
-                                    opu: action.opu.clone(),
-                                })
-                            }
+            self.ram_writes.clear();
+            self.rf_writes.clear();
+            for m in &self.micro[start as usize..end as usize] {
+                let a = self.regs[m.src[0] as usize];
+                let b = self.regs[m.src[1] as usize];
+                let result: Option<i64> = match m.op {
+                    Op::InputRead => {
+                        let q = &self.in_data[m.mem as usize];
+                        let c = &mut self.in_cursor[m.mem as usize];
+                        if *c < q.len() {
+                            *c += 1;
+                            Some(q[*c - 1])
+                        } else {
+                            return Err(SimError::InputUnderflow {
+                                opu: self.opu_names[m.opu as usize].clone(),
+                            });
                         }
                     }
-                    OpuKind::Output => {
-                        out_events
-                            .entry(action.opu.clone())
-                            .or_default()
-                            .push_back(operand(0));
+                    Op::OutputWrite => {
+                        self.out_data[m.mem as usize].push(a);
                         None
                     }
-                    OpuKind::ProgConst => Some(action.imm.expect("prgc imm decoded")),
-                    OpuKind::Rom => {
-                        let addr = action.imm.expect("rom imm decoded");
-                        let image = &self.rom[&action.opu];
-                        match image.get(addr as usize) {
+                    Op::ProgConst => Some(m.imm),
+                    Op::RomConst => {
+                        let image = &self.rom[m.mem as usize];
+                        match image.get(m.imm as usize) {
                             Some(&v) => Some(v),
                             None => {
                                 return Err(SimError::AddressOutOfRange {
-                                    opu: action.opu.clone(),
-                                    addr,
+                                    opu: self.opu_names[m.opu as usize].clone(),
+                                    addr: m.imm,
                                 })
                             }
                         }
                     }
-                    OpuKind::Acu => {
+                    Op::AcuAddMod => {
                         // addr = (V & !(M−1)) | ((fp + V) & (M−1))
-                        let base = operand(0);
-                        let v = operand(1);
-                        let m = self.region_mask;
-                        Some((v & !m) | ((base + v) & m))
+                        let mask = self.region_mask;
+                        Some((b & !mask) | ((a + b) & mask))
                     }
-                    OpuKind::Ram => {
-                        let addr = operand(0);
-                        let size = self.ram[&action.opu].len() as i64;
-                        if addr < 0 || addr >= size {
+                    Op::RamRead | Op::RamWrite => {
+                        let memory = &self.ram[m.mem as usize];
+                        if a < 0 || a >= memory.len() as i64 {
                             return Err(SimError::AddressOutOfRange {
-                                opu: action.opu.clone(),
-                                addr,
+                                opu: self.opu_names[m.opu as usize].clone(),
+                                addr: a,
                             });
                         }
-                        if action.op == "write" {
-                            let data = operand(1);
-                            ram_writes.push((action.opu.clone(), addr, data));
+                        if m.op == Op::RamWrite {
+                            self.ram_writes.push((m.mem, a as u32, b));
                             None
                         } else {
-                            Some(self.ram[&action.opu][addr as usize])
+                            Some(memory[a as usize])
                         }
                     }
-                    OpuKind::Mult => Some(self.format.mult(operand(0), operand(1))),
-                    OpuKind::Alu => Some(match action.op.as_str() {
-                        "add" => self.format.add(operand(0), operand(1)),
-                        "add_clip" => self.format.add_clip(operand(0), operand(1)),
-                        "sub" => self.format.sub(operand(0), operand(1)),
-                        "pass" => operand(0),
-                        "pass_clip" => self.format.saturate(operand(0)),
-                        _ => {
-                            return Err(SimError::Unsupported {
-                                opu: action.opu.clone(),
-                            })
-                        }
-                    }),
-                    OpuKind::Asu => {
+                    Op::Mult => Some(self.format.mult(a, b)),
+                    Op::Add => Some(self.format.add(a, b)),
+                    Op::AddClip => Some(self.format.add_clip(a, b)),
+                    Op::Sub => Some(self.format.sub(a, b)),
+                    Op::Pass => Some(a),
+                    Op::PassClip => Some(self.format.saturate(a)),
+                    Op::Unsupported => {
                         return Err(SimError::Unsupported {
-                            opu: action.opu.clone(),
+                            opu: self.opu_names[m.opu as usize].clone(),
                         })
                     }
                 };
                 if let Some(value) = result {
-                    let latency = info.latency.get(&action.op).copied().unwrap_or(1) as u64;
-                    for (rf, reg) in &action.dests {
-                        rf_writes.push((self.cycle + latency, rf.clone(), *reg, value));
+                    let due = ((self.cycle + m.latency as u64) % ring_size) as u32;
+                    for &reg in &self.dest_regs[m.dests.0 as usize..m.dests.1 as usize] {
+                        self.rf_writes.push((due, reg, value));
                     }
                 }
             }
-            // Memory and register updates land at end of cycle.
-            for (opu, addr, data) in ram_writes {
-                self.ram.get_mut(&opu).expect("known ram")[addr as usize] = data;
+            // Memory and register writes land at end of cycle (same-cycle
+            // reads see the old contents; a mid-cycle error above discards
+            // both buffers, matching the reference).
+            for &(mem, addr, data) in &self.ram_writes {
+                self.ram[mem as usize][addr as usize] = data;
             }
-            for w in rf_writes {
-                // Keep the queue sorted by due cycle.
-                let pos = self.pending.iter().position(|p| p.0 > w.0);
-                match pos {
-                    Some(i) => self.pending.insert(i, w),
-                    None => self.pending.push_back(w),
-                }
+            for &(slot, reg, value) in &self.rf_writes {
+                self.ring[slot as usize].push((reg, value));
             }
             self.cycle += 1;
         }
@@ -361,19 +584,22 @@ impl CoreSim {
         // register writes land naturally in the next frame's early cycles.
         // Collect outputs by port.
         let mut outputs = vec![0i64; self.output_port_count];
+        for c in &mut self.out_cursor {
+            *c = 0;
+        }
         let mut seen = 0usize;
-        for (opu, port) in &self.output_order {
-            match out_events.get_mut(opu).and_then(|q| q.pop_front()) {
-                Some(v) => {
-                    outputs[*port] = v;
-                    seen += 1;
-                }
-                None => {
-                    return Err(SimError::MissingOutputs {
-                        expected: self.output_order.len(),
-                        got: seen,
-                    })
-                }
+        for &(slot, port) in &self.output_plan {
+            let q = &self.out_data[slot as usize];
+            let c = &mut self.out_cursor[slot as usize];
+            if *c < q.len() {
+                outputs[port] = q[*c];
+                *c += 1;
+                seen += 1;
+            } else {
+                return Err(SimError::MissingOutputs {
+                    expected: self.output_plan.len(),
+                    got: seen,
+                });
             }
         }
         self.frames += 1;
@@ -639,5 +865,38 @@ mod tests {
         let fp = sim.register("rf_acu_base", 0).unwrap();
         assert_eq!(fp, microcode.region_size as i64 - 1);
         assert_eq!(sim.register("rf_ghost", 0), None);
+    }
+
+    #[test]
+    fn predecoded_matches_reference_cycle_for_cycle() {
+        // The fast path and the decode-per-cycle oracle agree on outputs,
+        // every register file, and every RAM word after every frame.
+        let (dp, _, microcode) = compile(
+            "input u; signal s; coeff a = 0.5; coeff b = 0.25; output y;
+             s = add(mlt(a, u), mlt(b, s@1));
+             y = pass_clip(s);",
+        );
+        let mut fast = CoreSim::new(&dp, &microcode).unwrap();
+        let mut oracle = reference::ReferenceSim::new(&dp, &microcode).unwrap();
+        for i in 0..24i64 {
+            let frame = vec![(i * 997) % 30000 - 15000];
+            assert_eq!(
+                fast.step_frame(&frame).unwrap(),
+                oracle.step_frame(&frame).unwrap(),
+                "outputs diverged at frame {i}"
+            );
+            assert_eq!(fast.cycles_run(), oracle.cycles_run());
+            for rf in dp.register_files() {
+                for r in 0..rf.size() {
+                    assert_eq!(
+                        fast.register(rf.name(), r),
+                        oracle.register(rf.name(), r),
+                        "register {}[{r}] diverged at frame {i}",
+                        rf.name()
+                    );
+                }
+            }
+            assert_eq!(fast.memory("ram"), oracle.memory("ram"));
+        }
     }
 }

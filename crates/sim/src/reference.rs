@@ -1,0 +1,321 @@
+//! The decode-per-cycle reference simulator.
+//!
+//! This is the original `CoreSim` implementation: every cycle re-reads the
+//! decoded instruction, looks execution state up in string-keyed
+//! `BTreeMap`s, and keeps pending register writebacks in a sorted
+//! `VecDeque`. It is retained — like `dspcc_graph::naive` — as the
+//! differential oracle for the pre-decoded fast path in the crate root
+//! (property-tested cycle-for-cycle equal) and as the baseline of the
+//! `sim_predecoded` benchmark group.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dspcc_arch::{Datapath, OpuKind};
+use dspcc_encode::{decode, DecodedInstruction, Microcode};
+
+use crate::SimError;
+
+/// Per-OPU static info the executor needs.
+#[derive(Debug, Clone)]
+struct OpuInfo {
+    kind: OpuKind,
+    inputs: Vec<String>,
+    latency: BTreeMap<String, u32>,
+}
+
+/// The reference simulator: architecturally identical to
+/// [`CoreSim`](crate::CoreSim), implemented with per-cycle instruction
+/// interpretation over name-keyed state.
+#[derive(Debug, Clone)]
+pub struct ReferenceSim {
+    program: Vec<DecodedInstruction>,
+    opus: BTreeMap<String, OpuInfo>,
+    rf: BTreeMap<String, Vec<i64>>,
+    ram: BTreeMap<String, Vec<i64>>,
+    rom: BTreeMap<String, Vec<i64>>,
+    region_mask: i64,
+    format: dspcc_num::WordFormat,
+    input_order: Vec<(String, usize)>,
+    output_order: Vec<(String, usize)>,
+    input_port_count: usize,
+    output_port_count: usize,
+    /// Pending register writes: (due_cycle, rf, reg, value).
+    pending: VecDeque<(u64, String, u32, i64)>,
+    cycle: u64,
+    frames: u64,
+}
+
+impl ReferenceSim {
+    /// Builds a simulator for `microcode` on `dp`, with all state zeroed
+    /// (hardware reset).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` mirrors [`crate::CoreSim::new`].
+    pub fn new(dp: &Datapath, microcode: &Microcode) -> Result<Self, SimError> {
+        let format = microcode.word_format;
+        let program = microcode
+            .words
+            .iter()
+            .map(|w| decode(w, &microcode.layout, format))
+            .collect();
+        let mut opus = BTreeMap::new();
+        let mut ram = BTreeMap::new();
+        let mut rom = BTreeMap::new();
+        for o in dp.opus() {
+            opus.insert(
+                o.name().to_owned(),
+                OpuInfo {
+                    kind: o.kind(),
+                    inputs: o.inputs().to_vec(),
+                    latency: o.ops().map(|(op, l)| (op.to_owned(), l)).collect(),
+                },
+            );
+            match o.kind() {
+                OpuKind::Ram => {
+                    ram.insert(o.name().to_owned(), vec![0; o.memory_size() as usize]);
+                }
+                OpuKind::Rom => {
+                    let mut image = microcode.rom_image.clone();
+                    image.resize(o.memory_size() as usize, 0);
+                    rom.insert(o.name().to_owned(), image);
+                }
+                _ => {}
+            }
+        }
+        let rf = dp
+            .register_files()
+            .iter()
+            .map(|r| (r.name().to_owned(), vec![0i64; r.size() as usize]))
+            .collect();
+        let input_port_count = microcode
+            .input_order
+            .iter()
+            .map(|&(_, p)| p + 1)
+            .max()
+            .unwrap_or(0);
+        let output_port_count = microcode
+            .output_order
+            .iter()
+            .map(|&(_, p)| p + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(ReferenceSim {
+            program,
+            opus,
+            rf,
+            ram,
+            rom,
+            region_mask: microcode.region_size as i64 - 1,
+            format,
+            input_order: microcode.input_order.clone(),
+            output_order: microcode.output_order.clone(),
+            input_port_count,
+            output_port_count,
+            pending: VecDeque::new(),
+            cycle: 0,
+            frames: 0,
+        })
+    }
+
+    /// Frames executed so far.
+    pub fn frames_run(&self) -> u64 {
+        self.frames
+    }
+
+    /// Total cycles executed so far.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current value of a register, for debugging.
+    pub fn register(&self, rf: &str, index: u32) -> Option<i64> {
+        self.rf.get(rf).and_then(|v| v.get(index as usize)).copied()
+    }
+
+    /// Contents of a data RAM, for debugging.
+    pub fn memory(&self, opu: &str) -> Option<&[i64]> {
+        self.ram.get(opu).map(|v| v.as_slice())
+    }
+
+    /// Executes one time-loop iteration (one sample frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on malformed input or microcode that walks out
+    /// of memory bounds.
+    pub fn step_frame(&mut self, inputs: &[i64]) -> Result<Vec<i64>, SimError> {
+        if inputs.len() != self.input_port_count {
+            return Err(SimError::InputCount {
+                got: inputs.len(),
+                expected: self.input_port_count,
+            });
+        }
+        // Queue this frame's samples per input unit, in read order.
+        let mut in_fifo: BTreeMap<&str, VecDeque<i64>> = BTreeMap::new();
+        for (opu, port) in &self.input_order {
+            in_fifo
+                .entry(opu.as_str())
+                .or_default()
+                .push_back(inputs[*port]);
+        }
+        let mut out_events: BTreeMap<String, VecDeque<i64>> = BTreeMap::new();
+
+        let program_len = self.program.len();
+        for pc in 0..program_len {
+            // Writes due by now land before the cycle executes.
+            let cycle = self.cycle;
+            while let Some(&(due, _, _, _)) = self.pending.front() {
+                if due > cycle {
+                    break;
+                }
+                let (_, rf, reg, value) = self.pending.pop_front().expect("peeked");
+                self.rf.get_mut(&rf).expect("known rf")[reg as usize] = value;
+            }
+            let instr = self.program[pc].clone();
+            let mut ram_writes: Vec<(String, i64, i64)> = Vec::new();
+            let mut rf_writes: Vec<(u64, String, u32, i64)> = Vec::new();
+            for action in &instr.actions {
+                let info =
+                    self.opus
+                        .get(&action.opu)
+                        .cloned()
+                        .ok_or_else(|| SimError::Unsupported {
+                            opu: action.opu.clone(),
+                        })?;
+                let operand = |port: usize| -> i64 {
+                    let rf_name = &info.inputs[port];
+                    let reg = action.operand_regs[port] as usize;
+                    self.rf[rf_name][reg]
+                };
+                let result: Option<i64> = match info.kind {
+                    OpuKind::Input => {
+                        let fifo = in_fifo.get_mut(action.opu.as_str());
+                        match fifo.and_then(|f| f.pop_front()) {
+                            Some(v) => Some(v),
+                            None => {
+                                return Err(SimError::InputUnderflow {
+                                    opu: action.opu.clone(),
+                                })
+                            }
+                        }
+                    }
+                    OpuKind::Output => {
+                        out_events
+                            .entry(action.opu.clone())
+                            .or_default()
+                            .push_back(operand(0));
+                        None
+                    }
+                    OpuKind::ProgConst => Some(action.imm.expect("prgc imm decoded")),
+                    OpuKind::Rom => {
+                        let addr = action.imm.expect("rom imm decoded");
+                        let image = &self.rom[&action.opu];
+                        match image.get(addr as usize) {
+                            Some(&v) => Some(v),
+                            None => {
+                                return Err(SimError::AddressOutOfRange {
+                                    opu: action.opu.clone(),
+                                    addr,
+                                })
+                            }
+                        }
+                    }
+                    OpuKind::Acu => {
+                        // addr = (V & !(M−1)) | ((fp + V) & (M−1))
+                        let base = operand(0);
+                        let v = operand(1);
+                        let m = self.region_mask;
+                        Some((v & !m) | ((base + v) & m))
+                    }
+                    OpuKind::Ram => {
+                        let addr = operand(0);
+                        let size = self.ram[&action.opu].len() as i64;
+                        if addr < 0 || addr >= size {
+                            return Err(SimError::AddressOutOfRange {
+                                opu: action.opu.clone(),
+                                addr,
+                            });
+                        }
+                        if action.op == "write" {
+                            let data = operand(1);
+                            ram_writes.push((action.opu.clone(), addr, data));
+                            None
+                        } else {
+                            Some(self.ram[&action.opu][addr as usize])
+                        }
+                    }
+                    OpuKind::Mult => Some(self.format.mult(operand(0), operand(1))),
+                    OpuKind::Alu => Some(match action.op.as_str() {
+                        "add" => self.format.add(operand(0), operand(1)),
+                        "add_clip" => self.format.add_clip(operand(0), operand(1)),
+                        "sub" => self.format.sub(operand(0), operand(1)),
+                        "pass" => operand(0),
+                        "pass_clip" => self.format.saturate(operand(0)),
+                        _ => {
+                            return Err(SimError::Unsupported {
+                                opu: action.opu.clone(),
+                            })
+                        }
+                    }),
+                    OpuKind::Asu => {
+                        return Err(SimError::Unsupported {
+                            opu: action.opu.clone(),
+                        })
+                    }
+                };
+                if let Some(value) = result {
+                    let latency = info.latency.get(&action.op).copied().unwrap_or(1) as u64;
+                    for (rf, reg) in &action.dests {
+                        rf_writes.push((self.cycle + latency, rf.clone(), *reg, value));
+                    }
+                }
+            }
+            // Memory and register updates land at end of cycle.
+            for (opu, addr, data) in ram_writes {
+                self.ram.get_mut(&opu).expect("known ram")[addr as usize] = data;
+            }
+            for w in rf_writes {
+                // Keep the queue sorted by due cycle.
+                let pos = self.pending.iter().position(|p| p.0 > w.0);
+                match pos {
+                    Some(i) => self.pending.insert(i, w),
+                    None => self.pending.push_back(w),
+                }
+            }
+            self.cycle += 1;
+        }
+        // Frame drain: let outstanding writes land before the next frame
+        // reuses the registers? No — the time-loop re-enters immediately;
+        // values crossing the frame boundary live in RAM, and in-flight
+        // register writes land naturally in the next frame's early cycles.
+        // Collect outputs by port.
+        let mut outputs = vec![0i64; self.output_port_count];
+        let mut seen = 0usize;
+        for (opu, port) in &self.output_order {
+            match out_events.get_mut(opu).and_then(|q| q.pop_front()) {
+                Some(v) => {
+                    outputs[*port] = v;
+                    seen += 1;
+                }
+                None => {
+                    return Err(SimError::MissingOutputs {
+                        expected: self.output_order.len(),
+                        got: seen,
+                    })
+                }
+            }
+        }
+        self.frames += 1;
+        Ok(outputs)
+    }
+
+    /// Runs one frame per row of `input_frames`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run(&mut self, input_frames: &[Vec<i64>]) -> Result<Vec<Vec<i64>>, SimError> {
+        input_frames.iter().map(|f| self.step_frame(f)).collect()
+    }
+}

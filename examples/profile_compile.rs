@@ -1,0 +1,63 @@
+//! Ad-hoc stage timing for the audio-application compile (dev aid).
+use std::time::Instant;
+
+use dspcc::dfg::{parse, Dfg};
+use dspcc::rtgen::{lower, LowerOptions};
+use dspcc::sched::bounds::length_lower_bound;
+use dspcc::sched::compact::schedule_and_compact_threaded;
+use dspcc::sched::deps::DependenceGraph;
+use dspcc::sched::ConflictMatrix;
+use dspcc::{apps, cores, Compiler};
+
+fn main() {
+    let core = cores::audio_core();
+    let src = apps::audio_application();
+    for restarts in [1u32, 2] {
+        let t = Instant::now();
+        let n = 5;
+        for _ in 0..n {
+            Compiler::new(&core)
+                .restarts(restarts)
+                .compile(&src)
+                .unwrap();
+        }
+        println!("compile restarts={restarts}: {:?}/iter", t.elapsed() / n);
+    }
+    let dfg = Dfg::build(&parse(&src).unwrap()).unwrap();
+    let n = 20;
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = lower(&dfg, &core.datapath, &LowerOptions::default()).unwrap();
+    }
+    println!("lower: {:?}/iter", t.elapsed() / n);
+    let compiled = Compiler::new(&core).restarts(1).compile(&src).unwrap();
+    let prog = &compiled.lowering.program;
+    let deps = DependenceGraph::build_with_edges(prog, &compiled.lowering.sequence_edges).unwrap();
+    println!("rts: {}", prog.rt_count());
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = ConflictMatrix::build(prog);
+    }
+    println!("matrix: {:?}/iter", t.elapsed() / n);
+    let matrix = ConflictMatrix::build(prog);
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = length_lower_bound(prog, &deps, &matrix);
+    }
+    println!(
+        "bound: {:?}/iter  (bound={}, sched len={})",
+        t.elapsed() / n,
+        length_lower_bound(prog, &deps, &matrix),
+        compiled.schedule.length()
+    );
+    for threads in [1usize, 4, 8] {
+        let t = Instant::now();
+        for _ in 0..n {
+            let _ = schedule_and_compact_threaded(prog, &deps, None, 1, threads).unwrap();
+        }
+        println!(
+            "sched_and_compact threads={threads}: {:?}/iter",
+            t.elapsed() / n
+        );
+    }
+}
