@@ -1,0 +1,91 @@
+//! Per-stage benchmarks for the interned-symbol pipeline: the win of
+//! string-free hot paths is measured where it lands — RT generation and
+//! modification at the front, register allocation and encoding at the
+//! back — not just in the end-to-end `compile_throughput` numbers.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dspcc::dfg::{parse, Dfg};
+use dspcc::encode::{allocate_registers, encode, FieldLayout};
+use dspcc::isa::artificial_resources;
+use dspcc::rtgen::{apply_instruction_set, lower, LowerOptions};
+use dspcc::sched::deps::DependenceGraph;
+use dspcc::sched::ConflictMatrix;
+use dspcc::{apps, cores, Compiler};
+
+/// RT generation + RT modification + dependence/conflict analysis on the
+/// audio application — the front half of figure 1b.
+fn bench_frontend_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend_lowering");
+    group.sample_size(10);
+    let core = cores::audio_core();
+    let src = apps::audio_application();
+    let dfg = Dfg::build(&parse(&src).unwrap()).unwrap();
+    let opts = LowerOptions::default();
+    group.bench_function("parse_audio", |b| b.iter(|| parse(&src).unwrap()));
+    group.bench_function("lower_audio", |b| {
+        b.iter(|| lower(&dfg, &core.datapath, &opts).unwrap())
+    });
+    let classification = core.classification.clone().unwrap();
+    let iset = core.instruction_set.clone().unwrap();
+    let ars = artificial_resources(&iset, &classification, core.cover);
+    let lowered = lower(&dfg, &core.datapath, &opts).unwrap();
+    group.bench_function("modify_audio", |b| {
+        b.iter(|| {
+            let mut program = lowered.program.clone();
+            apply_instruction_set(&mut program, &classification, &ars)
+        })
+    });
+    let mut modified = lower(&dfg, &core.datapath, &opts).unwrap();
+    apply_instruction_set(&mut modified.program, &classification, &ars);
+    group.bench_function("deps_audio", |b| {
+        b.iter(|| {
+            DependenceGraph::build_with_edges(&modified.program, &modified.sequence_edges).unwrap()
+        })
+    });
+    group.bench_function("conflict_matrix_audio", |b| {
+        b.iter(|| ConflictMatrix::build(&modified.program))
+    });
+    group.finish();
+}
+
+/// Register allocation + instruction encoding of the scheduled audio
+/// application — the back half of figure 1b.
+fn bench_encode_regalloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_regalloc");
+    group.sample_size(10);
+    let core = cores::audio_core();
+    let compiled = Compiler::new(&core)
+        .restarts(1)
+        .compile(&apps::audio_application())
+        .unwrap();
+    let program = &compiled.lowering.program;
+    let schedule = &compiled.schedule;
+    let pinned = vec![compiled.lowering.fp_reg.clone()];
+    group.bench_function("regalloc_audio", |b| {
+        b.iter(|| allocate_registers(program, schedule, &core.datapath, &pinned).unwrap())
+    });
+    let assignment = allocate_registers(program, schedule, &core.datapath, &pinned).unwrap();
+    group.bench_function("layout_derive_audio", |b| {
+        b.iter(|| FieldLayout::derive(&core.datapath, core.format))
+    });
+    let layout = FieldLayout::derive(&core.datapath, core.format);
+    let immediates: BTreeMap<_, _> = compiled.lowering.immediates.clone();
+    group.bench_function("encode_audio", |b| {
+        b.iter(|| {
+            encode(
+                &assignment.program,
+                schedule,
+                &layout,
+                &immediates,
+                core.format,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend_lowering, bench_encode_regalloc);
+criterion_main!(benches);

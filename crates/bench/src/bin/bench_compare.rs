@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use dspcc_bench::compare::{find_regressions, parse_results};
+use dspcc_bench::compare::{find_regressions, group_deltas, parse_results};
 
 fn load(path: &str) -> BTreeMap<String, f64> {
     let text = std::fs::read_to_string(path)
@@ -59,6 +59,14 @@ fn main() -> ExitCode {
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
     let cmp = find_regressions(&baseline, &fresh, threshold);
+    // Per-group median delta: speedups deserve the same visibility as
+    // regressions — this is where a perf PR's wins (or losses) land.
+    for (group, median, n) in group_deltas(&baseline, &fresh) {
+        println!(
+            "group {group:<24} median {median:+7.1}% vs baseline ({n} benchmark{})",
+            if n == 1 { "" } else { "s" }
+        );
+    }
     for name in &cmp.missing {
         println!("missing: `{name}` is in the baseline but not in the fresh run");
     }

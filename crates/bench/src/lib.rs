@@ -126,6 +126,42 @@ pub mod compare {
         pub ungated: Vec<String>,
     }
 
+    /// Median per-benchmark delta (percent, negative = faster) for each
+    /// benchmark group, where the group is the name up to the first `/`.
+    /// Reported by `bench_compare` so speedups are as visible as
+    /// regressions — a perf PR's wins land in specific groups, and the
+    /// gate output should say where.
+    pub fn group_deltas(
+        baseline: &BTreeMap<String, f64>,
+        fresh: &BTreeMap<String, f64>,
+    ) -> Vec<(String, f64, usize)> {
+        let mut per_group: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for (name, &base) in baseline {
+            if let Some(&now) = fresh.get(name) {
+                if base > 0.0 {
+                    let group = name.split('/').next().unwrap_or(name);
+                    per_group
+                        .entry(group)
+                        .or_default()
+                        .push((now / base - 1.0) * 100.0);
+                }
+            }
+        }
+        per_group
+            .into_iter()
+            .map(|(group, mut deltas)| {
+                deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite deltas"));
+                let n = deltas.len();
+                let median = if n % 2 == 1 {
+                    deltas[n / 2]
+                } else {
+                    (deltas[n / 2 - 1] + deltas[n / 2]) / 2.0
+                };
+                (group.to_owned(), median, n)
+            })
+            .collect()
+    }
+
     /// Compares `fresh` medians against `baseline`: a benchmark regresses
     /// when it is more than `threshold_pct` percent slower. Names on only
     /// one side are reported, not failed — see [`Comparison`].
@@ -198,6 +234,33 @@ pub mod compare {
             assert!((cmp.regressions[0].slowdown_pct() - 25.1).abs() < 0.2);
             assert_eq!(cmp.missing, vec!["g/gone".to_owned()]);
             assert_eq!(cmp.ungated, vec!["g/new".to_owned()]);
+        }
+
+        #[test]
+        fn group_deltas_report_speedups_and_regressions() {
+            let baseline =
+                parse_results("\"g/a\": 100.0\n\"g/b\": 200.0\n\"g/c\": 50.0\n\"h/x\": 10.0");
+            let fresh =
+                parse_results("\"g/a\": 50.0\n\"g/b\": 100.0\n\"g/c\": 100.0\n\"h/x\": 11.0");
+            let deltas = group_deltas(&baseline, &fresh);
+            assert_eq!(deltas.len(), 2);
+            // g: deltas −50, −50, +100 → median −50.
+            assert_eq!(deltas[0].0, "g");
+            assert!((deltas[0].1 - -50.0).abs() < 1e-9, "{:?}", deltas);
+            assert_eq!(deltas[0].2, 3);
+            // h: single +10%.
+            assert_eq!(deltas[1].0, "h");
+            assert!((deltas[1].1 - 10.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn group_deltas_skip_one_sided_benches() {
+            let baseline = parse_results("\"g/a\": 100.0\n\"g/gone\": 5.0");
+            let fresh = parse_results("\"g/a\": 120.0\n\"g/new\": 7.0");
+            let deltas = group_deltas(&baseline, &fresh);
+            assert_eq!(deltas.len(), 1);
+            assert_eq!(deltas[0].2, 1);
+            assert!((deltas[0].1 - 20.0).abs() < 1e-9);
         }
 
         #[test]

@@ -46,7 +46,7 @@ pub mod apps;
 pub mod cores;
 mod pipeline;
 
-pub use pipeline::{CompileError, Compiled, Compiler, Core};
+pub use pipeline::{CompileError, CompileStats, Compiled, Compiler, Core};
 
 // Re-export the substrate crates under one roof, the way a user consumes
 // the workspace.

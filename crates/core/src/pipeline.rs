@@ -14,6 +14,7 @@
 //! deliberately rich.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use dspcc_arch::{Controller, Datapath};
 use dspcc_dfg::{parse, Dfg};
@@ -100,6 +101,59 @@ impl fmt::Display for CompileError {
 }
 
 impl std::error::Error for CompileError {}
+
+/// Wall-clock time spent in each stage of one [`Compiler::compile`] run —
+/// the per-stage profile that tells a designer (and the perf work) *where*
+/// a compile spends its milliseconds, not just the end-to-end total.
+/// Surfaced by `examples/profile_compile.rs` and exercised in CI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// RT generation (`dspcc_rtgen::lower`).
+    pub lower: Duration,
+    /// RT modification (ISA classification + artificial resources).
+    pub modify: Duration,
+    /// Dependence-graph construction.
+    pub deps: Duration,
+    /// Conflict-matrix construction.
+    pub matrix: Duration,
+    /// Scheduling (including the length lower bound).
+    pub schedule: Duration,
+    /// Register allocation.
+    pub regalloc: Duration,
+    /// Word-format derivation + instruction encoding.
+    pub encode: Duration,
+}
+
+impl CompileStats {
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.lower
+            + self.modify
+            + self.deps
+            + self.matrix
+            + self.schedule
+            + self.regalloc
+            + self.encode
+    }
+}
+
+impl fmt::Display for CompileStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lower {:?} | modify {:?} | deps {:?} | matrix {:?} | schedule {:?} | \
+             regalloc {:?} | encode {:?} (total {:?})",
+            self.lower,
+            self.modify,
+            self.deps,
+            self.matrix,
+            self.schedule,
+            self.regalloc,
+            self.encode,
+            self.total()
+        )
+    }
+}
 
 /// The compiler: a configured pipeline for one core.
 ///
@@ -205,12 +259,16 @@ impl<'c> Compiler<'c> {
     /// See [`Compiler::compile`].
     pub fn compile_dfg(&self, dfg: &Dfg) -> Result<Compiled, CompileError> {
         let core = self.core;
+        let mut stats = CompileStats::default();
         // Step 1: RT generation.
         let opts = LowerOptions {
             cse_constants: self.cse_constants,
         };
+        let t = Instant::now();
         let mut lowering = lower(dfg, &core.datapath, &opts).map_err(CompileError::Lower)?;
+        stats.lower = t.elapsed();
         // Step 2: RT modification — impose the instruction set.
+        let t = Instant::now();
         let mut artificial_names = Vec::new();
         let classification = match (&core.classification, &core.instruction_set) {
             (Some(c), Some(iset)) => {
@@ -226,12 +284,18 @@ impl<'c> Compiler<'c> {
             }
             _ => core.classification.clone(),
         };
+        stats.modify = t.elapsed();
         // Step 3: scheduling. The conflict matrix and the provable length
         // lower bound are computed once and shared: the matrix feeds the
         // scheduler, the bound its stopping rules and the quality report.
+        let t = Instant::now();
         let deps = DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
             .map_err(|e| CompileError::Deps(e.to_string()))?;
+        stats.deps = t.elapsed();
+        let t = Instant::now();
         let matrix = ConflictMatrix::build(&lowering.program);
+        stats.matrix = t.elapsed();
+        let t = Instant::now();
         let hard_cap = core.controller.program_depth();
         let budget = self.budget.map(|b| b.min(hard_cap)).unwrap_or(hard_cap);
         let (schedule, schedule_bound) = if self.exact {
@@ -272,6 +336,7 @@ impl<'c> Compiler<'c> {
             let bound = length_lower_bound(&lowering.program, &deps, &matrix);
             (schedule, bound)
         };
+        stats.schedule = t.elapsed();
         if schedule.length() > hard_cap {
             return Err(CompileError::ProgramTooLong {
                 needed: schedule.length(),
@@ -279,9 +344,12 @@ impl<'c> Compiler<'c> {
             });
         }
         // Register allocation + encoding.
+        let t = Instant::now();
         let pinned = vec![lowering.fp_reg.clone()];
         let assignment = allocate_registers(&lowering.program, &schedule, &core.datapath, &pinned)
             .map_err(CompileError::RegAlloc)?;
+        stats.regalloc = t.elapsed();
+        let t = Instant::now();
         let layout = FieldLayout::derive(&core.datapath, core.format);
         let words = encode(
             &assignment.program,
@@ -291,6 +359,9 @@ impl<'c> Compiler<'c> {
             core.format,
         )
         .map_err(CompileError::Encode)?;
+        // The IO orders are the microcode's contract with the simulator;
+        // move them out of the lowering instead of cloning (the lowering
+        // keeps the program and layout data the reports read).
         let microcode = Microcode {
             words,
             layout,
@@ -300,10 +371,11 @@ impl<'c> Compiler<'c> {
                 .map(|&v| core.format.from_f64(v))
                 .collect(),
             region_size: lowering.ram_layout.region_size,
-            output_order: lowering.output_order.clone(),
-            input_order: lowering.input_order.clone(),
+            output_order: std::mem::take(&mut lowering.output_order),
+            input_order: std::mem::take(&mut lowering.input_order),
             word_format: core.format,
         };
+        stats.encode = t.elapsed();
         Ok(Compiled {
             core: core.clone(),
             dfg: dfg.clone(),
@@ -315,6 +387,7 @@ impl<'c> Compiler<'c> {
             microcode,
             artificial_names,
             classification,
+            stats,
         })
     }
 }
@@ -344,6 +417,8 @@ pub struct Compiled {
     pub artificial_names: Vec<String>,
     /// The classification used, if any.
     pub classification: Option<Classification>,
+    /// Per-stage wall-clock profile of this compile.
+    pub stats: CompileStats,
 }
 
 impl Compiled {

@@ -75,18 +75,22 @@ impl std::error::Error for LexError {}
 /// unexpected characters.
 pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
-    let bytes: Vec<char> = src.chars().collect();
+    // Byte-sliced scanning: the language is ASCII, so non-ASCII bytes can
+    // only be "unexpected character" errors (decoded properly below), and
+    // identifiers/numbers are borrowed straight from the source with no
+    // per-character collection.
+    let bytes = src.as_bytes();
     let mut i = 0usize;
     let mut line = 1u32;
     while i < bytes.len() {
-        let c = bytes[i];
+        let c = bytes[i] as char;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
             }
             c if c.is_whitespace() => i += 1,
-            '/' if bytes.get(i + 1) == Some(&'*') => {
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
                 let start_line = line;
                 i += 2;
                 loop {
@@ -96,17 +100,17 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                             message: "unterminated comment".to_owned(),
                         });
                     }
-                    if bytes[i] == '\n' {
+                    if bytes[i] == b'\n' {
                         line += 1;
                     }
-                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         i += 2;
                         break;
                     }
                     i += 1;
                 }
             }
-            ':' if bytes.get(i + 1) == Some(&'=') => {
+            ':' if bytes.get(i + 1) == Some(&b'=') => {
                 tokens.push(Token {
                     kind: TokenKind::Assign,
                     line,
@@ -157,12 +161,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                let ident: String = bytes[start..i].iter().collect();
                 tokens.push(Token {
-                    kind: TokenKind::Ident(ident),
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
                     line,
                 });
             }
@@ -171,15 +174,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_digit()
-                        || bytes[i] == '.'
-                        || bytes[i] == 'e'
-                        || bytes[i] == 'E'
-                        || ((bytes[i] == '-' || bytes[i] == '+')
-                            && matches!(bytes[i - 1], 'e' | 'E')))
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'-' || bytes[i] == b'+')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
                 {
                     i += 1;
                 }
-                let text: String = bytes[start..i].iter().collect();
+                let text = &src[start..i];
                 let value: f64 = text.parse().map_err(|_| LexError {
                     line,
                     message: format!("malformed number `{text}`"),
@@ -189,11 +192,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     line,
                 });
             }
-            other => {
+            _ => {
+                // `i` sits on a character boundary (everything consumed so
+                // far was ASCII), so decode the real character for the
+                // error message.
+                let other = src[i..].chars().next().unwrap_or('?');
                 return Err(LexError {
                     line,
                     message: format!("unexpected character `{other}`"),
-                })
+                });
             }
         }
     }

@@ -96,24 +96,44 @@ pub fn encode(
     immediates: &BTreeMap<RtId, Immediate>,
     format: WordFormat,
 ) -> Result<Vec<Word>, EncodeError> {
+    // Resolve every field's OPU name to its interned resource id once;
+    // the per-RT field search below is then pure integer compares, and
+    // per-cycle claim tracking indexes by field position instead of
+    // keying a map by OPU name.
+    let field_res: Vec<dspcc_ir::Resource> = layout
+        .fields()
+        .iter()
+        .map(|f| dspcc_ir::Resource::new(&f.opu))
+        .collect();
     let mut words = Vec::new();
+    let mut claimed: Vec<Option<Word>> = vec![None; layout.fields().len()];
     for (cycle, instr) in schedule.instructions() {
         let mut word = Word::new(layout.width());
-        let mut claimed: BTreeMap<String, Word> = BTreeMap::new();
+        for c in claimed.iter_mut() {
+            *c = None;
+        }
         for &rt_id in instr {
             let rt = program.rt(rt_id);
-            let field = layout
-                .fields()
+            let fidx = field_res
                 .iter()
-                .find(|f| rt.usage_of(&f.opu).is_some())
+                .position(|&res| rt.usage_id_of(res).is_some())
                 .ok_or_else(|| EncodeError::UnknownOpu {
                     rt: rt.name().to_owned(),
                 })?;
+            let field = &layout.fields()[fidx];
             // Encode this RT's contribution into a scratch word first so
             // identical RTs sharing a cycle can be detected cheaply.
             let mut scratch = Word::new(layout.width());
-            encode_rt(program, rt_id, field, immediates, format, &mut scratch)?;
-            if let Some(prev) = claimed.get(&field.opu) {
+            encode_rt(
+                program,
+                rt_id,
+                field,
+                field_res[fidx],
+                immediates,
+                format,
+                &mut scratch,
+            )?;
+            if let Some(prev) = &claimed[fidx] {
                 if *prev != scratch {
                     return Err(EncodeError::FieldClash {
                         opu: field.opu.clone(),
@@ -123,14 +143,14 @@ pub fn encode(
                 continue;
             }
             merge_field(&mut word, &scratch, field);
-            claimed.insert(field.opu.clone(), scratch);
+            claimed[fidx] = Some(scratch);
         }
         words.push(word);
     }
     Ok(words)
 }
 
-fn merge_field(word: &mut Word, scratch: &Word, field: &OpuField) {
+pub(crate) fn merge_field(word: &mut Word, scratch: &Word, field: &OpuField) {
     let mut copy = |offset: u32, bits: u32| {
         if bits > 0 {
             word.set_bits(offset, bits, scratch.bits(offset, bits));
@@ -153,19 +173,20 @@ fn encode_rt(
     program: &Program,
     rt_id: RtId,
     field: &OpuField,
+    field_res: dspcc_ir::Resource,
     immediates: &BTreeMap<RtId, Immediate>,
     format: WordFormat,
     word: &mut Word,
 ) -> Result<(), EncodeError> {
     let rt = program.rt(rt_id);
     let op = rt
-        .usage_of(&field.opu)
+        .usage_id_of(field_res)
         .expect("field matched this RT")
-        .op()
-        .to_owned();
-    let opcode = field.opcode_of(&op).ok_or_else(|| EncodeError::UnknownOp {
+        .get()
+        .op();
+    let opcode = field.opcode_of(op).ok_or_else(|| EncodeError::UnknownOp {
         opu: field.opu.clone(),
-        op: op.clone(),
+        op: op.to_owned(),
     })?;
     if field.opcode_bits > 0 {
         word.set_bits(field.opcode_offset, field.opcode_bits, opcode);
@@ -235,6 +256,10 @@ fn encode_rt(
         word.set_bits(offset, bits, encoded);
     }
     Ok(())
+}
+
+pub(crate) fn decode_imm_raw(encoded: u64, bits: u32, kind: ImmKind, format: WordFormat) -> i64 {
+    decode_imm(encoded, bits, kind, format)
 }
 
 fn decode_imm(encoded: u64, bits: u32, kind: ImmKind, format: WordFormat) -> i64 {

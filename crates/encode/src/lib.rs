@@ -22,6 +22,7 @@
 
 pub mod encoder;
 pub mod layout;
+pub mod reference;
 pub mod regalloc;
 pub mod word;
 

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use dspcc_arch::Datapath;
-use dspcc_ir::{Program, RegRef, RtId};
+use dspcc_ir::{Program, Resource};
 use dspcc_rtgen::VIRTUAL_BASE;
 use dspcc_sched::Schedule;
 
@@ -90,8 +90,14 @@ pub fn allocate_registers(
     pinned: &[(String, u32)],
 ) -> Result<RegAssignment, RegAllocError> {
     let issue = schedule.issue_cycles(program.rt_count());
-    // Live ranges per (rf, virtual index): (write_cycle, last_read_cycle).
-    let mut ranges: BTreeMap<(String, u32), (u32, u32)> = BTreeMap::new();
+    // Live ranges in dense per-register-file tables: register files are
+    // identified by interned `Resource`, virtual indices are dense value
+    // ids (`VIRTUAL_BASE + value`), so range recording and the final
+    // rewrite are array indexing — no string-keyed map on the hot path.
+    let mut rfs: Vec<Resource> = Vec::new();
+    // ranges[rf slot][value] = (write_cycle, last_read_cycle).
+    let mut ranges: Vec<Vec<Option<(u32, u32)>>> = Vec::new();
+    let slot_of = |rfs: &[Resource], rf: Resource| rfs.iter().position(|&x| x == rf);
     for (id, rt) in program.rts() {
         let t = issue[id.0 as usize].expect("schedule covers all RTs");
         let write_time = t + rt.latency();
@@ -99,8 +105,19 @@ pub fn allocate_registers(
             if dest.index() < VIRTUAL_BASE {
                 continue; // pre-colored
             }
-            let key = (dest.rf().name().to_owned(), dest.index());
-            let e = ranges.entry(key).or_insert((write_time, write_time));
+            let slot = match slot_of(&rfs, *dest.rf()) {
+                Some(s) => s,
+                None => {
+                    rfs.push(*dest.rf());
+                    ranges.push(Vec::new());
+                    rfs.len() - 1
+                }
+            };
+            let v = (dest.index() - VIRTUAL_BASE) as usize;
+            if ranges[slot].len() <= v {
+                ranges[slot].resize(v + 1, None);
+            }
+            let e = ranges[slot][v].get_or_insert((write_time, write_time));
             e.0 = e.0.min(write_time);
         }
     }
@@ -110,38 +127,50 @@ pub fn allocate_registers(
             if opr.index() < VIRTUAL_BASE {
                 continue;
             }
-            let key = (opr.rf().name().to_owned(), opr.index());
-            match ranges.get_mut(&key) {
+            let v = (opr.index() - VIRTUAL_BASE) as usize;
+            let range = slot_of(&rfs, *opr.rf())
+                .and_then(|slot| ranges[slot].get_mut(v))
+                .and_then(|r| r.as_mut());
+            match range {
                 Some(e) => e.1 = e.1.max(t),
                 None => {
                     return Err(RegAllocError::NeverWritten {
-                        rf: key.0,
-                        virtual_index: key.1,
+                        rf: opr.rf().name().to_owned(),
+                        virtual_index: opr.index(),
                     })
                 }
             }
         }
     }
-    // Group ranges per register file and linear-scan each.
-    let mut per_rf: BTreeMap<String, Vec<(u32, u32, u32)>> = BTreeMap::new();
-    for (&(ref rf, virt), &(w, r)) in &ranges {
-        per_rf.entry(rf.clone()).or_default().push((w, r, virt));
-    }
+    // Linear-scan each register file. Files are processed in name order so
+    // the reported maps read deterministically; assignments within a file
+    // depend only on that file's ranges, never on interning order.
+    let mut order: Vec<usize> = (0..rfs.len()).collect();
+    order.sort_by_key(|&s| rfs[s].name());
+    // phys[rf slot][value] = allocated physical index.
+    let mut phys_of: Vec<Vec<Option<u32>>> = ranges.iter().map(|r| vec![None; r.len()]).collect();
     let mut mapping: BTreeMap<(String, u32), u32> = BTreeMap::new();
     let mut peak_usage: BTreeMap<String, u32> = BTreeMap::new();
-    for (rf, mut items) in per_rf {
-        let size = dp.register_file(&rf).map(|s| s.size()).unwrap_or(u32::MAX);
+    for slot in order {
+        let rf = rfs[slot].name();
+        let size = dp.register_file(rf).map(|s| s.size()).unwrap_or(u32::MAX);
         let pinned_here: Vec<u32> = pinned
             .iter()
-            .filter(|(p, _)| *p == rf)
+            .filter(|(p, _)| p == rf)
             .map(|&(_, i)| i)
             .collect();
-        let pool: Vec<u32> = (0..size).filter(|i| !pinned_here.contains(i)).collect();
-        items.sort_by_key(|&(w, r, v)| (w, r, v));
+        let mut items: Vec<(u32, u32, u32)> = ranges[slot]
+            .iter()
+            .enumerate()
+            .filter_map(|(v, r)| r.map(|(w, rd)| (w, rd, VIRTUAL_BASE + v as u32)))
+            .collect();
+        items.sort_unstable_by_key(|&(w, r, v)| (w, r, v));
         // Active: (last_read, physical).
         let mut active: Vec<(u32, u32)> = Vec::new();
-        let mut free: Vec<u32> = pool.clone();
-        free.reverse(); // pop from the low end
+        let mut free: Vec<u32> = (0..size)
+            .rev() // pop from the low end
+            .filter(|i| !pinned_here.contains(i))
+            .collect();
         let mut peak = 0u32;
         for (w, r, virt) in items {
             // Expire ranges read strictly before this value becomes
@@ -161,7 +190,7 @@ pub fn allocate_registers(
                 Some(p) => p,
                 None => {
                     return Err(RegAllocError::Pressure {
-                        rf,
+                        rf: rf.to_owned(),
                         needed: active.len() as u32 + 1 + pinned_here.len() as u32,
                         available: size,
                     })
@@ -169,41 +198,25 @@ pub fn allocate_registers(
             };
             active.push((r, phys));
             peak = peak.max(active.len() as u32 + pinned_here.len() as u32);
-            mapping.insert((rf.clone(), virt), phys);
+            phys_of[slot][(virt - VIRTUAL_BASE) as usize] = Some(phys);
+            mapping.insert((rf.to_owned(), virt), phys);
         }
-        peak_usage.insert(rf, peak);
+        peak_usage.insert(rf.to_owned(), peak);
     }
-    // Rewrite the program with physical indices.
+    // Rewrite the register references in place — usages, defs, uses, and
+    // latencies are untouched, so nothing is re-interned or re-allocated.
     let mut rewritten = program.clone();
-    for id in rewritten.rt_ids().collect::<Vec<RtId>>() {
-        let rt = rewritten.rt_mut(id);
-        // Rebuild dests/operands with mapped indices.
-        let remap = |reg: &RegRef| -> RegRef {
+    for id in rewritten.rt_ids().collect::<Vec<_>>() {
+        rewritten.rt_mut(id).remap_registers(|reg| {
             if reg.index() < VIRTUAL_BASE {
-                reg.clone()
+                *reg
             } else {
-                let phys = mapping[&(reg.rf().name().to_owned(), reg.index())];
-                RegRef::new(reg.rf().name(), phys)
+                let slot = slot_of(&rfs, *reg.rf()).expect("range recorded for virtual register");
+                let phys = phys_of[slot][(reg.index() - VIRTUAL_BASE) as usize]
+                    .expect("virtual register allocated");
+                reg.with_index(phys)
             }
-        };
-        let mut fresh = dspcc_ir::Rt::new(rt.name());
-        fresh.set_latency(rt.latency());
-        for d in rt.dests() {
-            fresh.add_dest(remap(d));
-        }
-        for o in rt.operands() {
-            fresh.add_operand(remap(o));
-        }
-        for &d in rt.defs() {
-            fresh.add_def(d);
-        }
-        for &u in rt.uses() {
-            fresh.add_use(u);
-        }
-        for (res, usage) in rt.usages() {
-            fresh.add_usage(res.name(), usage.clone());
-        }
-        *rt = fresh;
+        });
     }
     Ok(RegAssignment {
         program: rewritten,
@@ -216,7 +229,7 @@ pub fn allocate_registers(
 mod tests {
     use super::*;
     use dspcc_arch::{DatapathBuilder, OpuKind};
-    use dspcc_ir::{Rt, Usage, ValueId};
+    use dspcc_ir::{RegRef, Rt, Usage, ValueId};
 
     fn small_dp(rf_size: u32) -> Datapath {
         DatapathBuilder::new()
@@ -237,8 +250,8 @@ mod tests {
         let mut s = Schedule::new();
         let mut prev: Option<ValueId> = None;
         for i in 0..n {
-            let v = p.add_value(&format!("v{i}"));
-            let mut rt = Rt::new(&format!("op{i}"));
+            let v = p.add_value(format!("v{i}"));
+            let mut rt = Rt::new(format!("op{i}"));
             rt.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
             rt.add_def(v);
             if let Some(pv) = prev {
@@ -277,7 +290,7 @@ mod tests {
         let v0 = p.add_value("v0");
         let v1 = p.add_value("v1");
         for (i, v) in [v0, v1].into_iter().enumerate() {
-            let mut rt = Rt::new(&format!("w{i}"));
+            let mut rt = Rt::new(format!("w{i}"));
             rt.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
             rt.add_def(v);
             rt.add_usage("alu", Usage::apply("pass", [format!("v{i}")]));
@@ -315,8 +328,8 @@ mod tests {
         let mut s = Schedule::new();
         let mut reader = Rt::new("r");
         for i in 0..3 {
-            let v = p.add_value(&format!("v{i}"));
-            let mut rt = Rt::new(&format!("w{i}"));
+            let v = p.add_value(format!("v{i}"));
+            let mut rt = Rt::new(format!("w{i}"));
             rt.add_dest(RegRef::new("rf_a", VIRTUAL_BASE + v.0));
             rt.add_def(v);
             rt.add_usage("alu", Usage::apply("pass", [format!("v{i}")]));

@@ -40,7 +40,9 @@
 mod program;
 mod resource;
 mod rt;
+mod symbol;
 
 pub use program::{Program, Value, ValueId};
 pub use resource::{Resource, Usage};
 pub use rt::{RegRef, Rt, RtId};
+pub use symbol::{ResId, SymbolTable, UsageId};

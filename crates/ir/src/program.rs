@@ -51,6 +51,9 @@ impl Value {
 pub struct Program {
     rts: Vec<Rt>,
     values: Vec<Value>,
+    /// Producer of each value (index = value id), maintained as RTs are
+    /// added — the def table dependence analysis and validation share.
+    producers: Vec<Option<RtId>>,
 }
 
 impl Program {
@@ -60,17 +63,37 @@ impl Program {
     }
 
     /// Adds a value with a diagnostic `name`, returning its id.
-    pub fn add_value(&mut self, name: &str) -> ValueId {
-        self.values.push(Value {
-            name: name.to_owned(),
-        });
+    pub fn add_value(&mut self, name: impl Into<String>) -> ValueId {
+        self.values.push(Value { name: name.into() });
+        if self.producers.len() < self.values.len() {
+            self.producers.push(None);
+        }
         ValueId((self.values.len() - 1) as u32)
     }
 
     /// Adds an RT, returning its id.
+    ///
+    /// The RT's def set must be final at this point: the producer index
+    /// ([`Program::producer_table`]) records it now, and
+    /// [`Program::validate`] cross-checks the index against the RTs, so
+    /// defs added later through [`Program::rt_mut`] are rejected there.
     pub fn add_rt(&mut self, rt: Rt) -> RtId {
+        let id = RtId(self.rts.len() as u32);
+        for &d in rt.defs() {
+            let i = d.0 as usize;
+            // Grow for defs of not-yet-added value ids so producer_of
+            // keeps the pre-index behaviour (an RT scan would find the
+            // def regardless of add_value/add_rt ordering); validate
+            // still rejects ids that never get a value.
+            if self.producers.len() <= i {
+                self.producers.resize(i + 1, None);
+            }
+            if self.producers[i].is_none() {
+                self.producers[i] = Some(id);
+            }
+        }
         self.rts.push(rt);
-        RtId((self.rts.len() - 1) as u32)
+        id
     }
 
     /// Number of RTs.
@@ -123,14 +146,20 @@ impl Program {
         (0..self.rts.len() as u32).map(RtId)
     }
 
-    /// The RT that defines `value`, if any.
+    /// The RT that defines `value`, if any — one indexed load.
     ///
     /// Well-formed programs define each value at most once (they come from
     /// a signal-flow graph in single-assignment form).
     pub fn producer_of(&self, value: ValueId) -> Option<RtId> {
-        self.rts()
-            .find(|(_, rt)| rt.defs().contains(&value))
-            .map(|(id, _)| id)
+        self.producers.get(value.0 as usize).copied().flatten()
+    }
+
+    /// The producer of every value, indexed by value id — the def table
+    /// maintained incrementally by [`Program::add_rt`], shared by
+    /// dependence analysis and validation instead of each rebuilding its
+    /// own per-value producer index.
+    pub fn producer_table(&self) -> &[Option<RtId>] {
+        &self.producers
     }
 
     /// All RTs that use `value`, in insertion order.
@@ -175,6 +204,15 @@ impl Program {
                     ));
                 }
             }
+        }
+        // The incremental index must agree with the RTs — it goes stale
+        // only if a def was added through `rt_mut` after `add_rt`.
+        if producer != self.producers {
+            return Err(
+                "producer index is stale: defs were added to an RT after it \
+                 entered the program"
+                    .to_owned(),
+            );
         }
         Ok(())
     }
@@ -243,6 +281,20 @@ mod tests {
         p.add_rt(rt);
         let err = p.validate().unwrap_err();
         assert!(err.contains("never defined"), "{err}");
+    }
+
+    #[test]
+    fn add_rt_before_add_value_still_indexes_producer() {
+        // The def table must behave like the old RT scan even when the RT
+        // lands before its value id is registered.
+        let mut p = Program::new();
+        let mut rt = Rt::new("early");
+        rt.add_def(ValueId(0));
+        let id = p.add_rt(rt);
+        let v = p.add_value("late");
+        assert_eq!(v, ValueId(0));
+        assert_eq!(p.producer_of(v), Some(id));
+        p.validate().unwrap();
     }
 
     #[test]

@@ -4,16 +4,21 @@
 //! a bus, a multiplexer, a register-file write port — or an *artificial
 //! resource* installed by instruction-set modelling (a clique of the
 //! conflict graph, paper section 6.3). Resources are identified by name;
-//! the architecture model decides which names exist.
+//! the architecture model decides which names exist. Names are resolved to
+//! dense integer ids through the [`crate::SymbolTable`] the moment a
+//! `Resource` is constructed, so everything downstream compares integers.
 
-use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+
+use crate::symbol::{ResId, SymbolTable};
 
 /// The name of a datapath (or artificial) resource.
 ///
-/// Cheap to clone (`Arc<str>` inside); ordered and hashable so it can key
-/// the usage maps of RTs.
+/// A `Copy` handle to an interned name (see [`crate::SymbolTable`]):
+/// equality and hashing are integer operations, while ordering and
+/// display resolve the name, so `Resource`-keyed ordered maps and all
+/// diagnostics behave exactly as if the string were stored inline.
 ///
 /// # Example
 ///
@@ -23,18 +28,34 @@ use std::sync::Arc;
 /// let r = Resource::from("acu_1");
 /// assert_eq!(r.name(), "acu_1");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Resource(Arc<str>);
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resource(ResId);
 
 impl Resource {
-    /// Creates a resource with the given name.
+    /// Creates a resource with the given name, interning it.
     pub fn new(name: &str) -> Self {
-        Resource(Arc::from(name))
+        Resource(SymbolTable::global().intern_res(name))
+    }
+
+    /// The resource with the given interned id.
+    pub fn from_id(id: ResId) -> Self {
+        Resource(id)
+    }
+
+    /// Looks up an already-interned name without interning it; names that
+    /// never entered the IR return `None`.
+    pub fn lookup(name: &str) -> Option<Self> {
+        SymbolTable::global().lookup_res(name).map(Resource)
     }
 
     /// The resource name.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        SymbolTable::global().res_name(self.0)
+    }
+
+    /// The interned id.
+    pub fn id(&self) -> ResId {
+        self.0
     }
 }
 
@@ -46,25 +67,49 @@ impl From<&str> for Resource {
 
 impl From<String> for Resource {
     fn from(name: String) -> Self {
-        Resource(Arc::from(name.as_str()))
+        Resource::new(&name)
     }
 }
 
-impl Borrow<str> for Resource {
-    fn borrow(&self) -> &str {
-        &self.0
-    }
-}
-
+// NOTE: no `Borrow<str>` impl on purpose. `Hash` is over the interned id
+// (that is the point of interning), so a string-keyed probe into a
+// `HashMap<Resource, _>` would hash differently than the stored key —
+// the std `Borrow` contract requires Eq/Ord/Hash to agree between the
+// owned and borrowed forms. Look keys up with `Resource::lookup` instead.
 impl AsRef<str> for Resource {
     fn as_ref(&self) -> &str {
-        &self.0
+        self.name()
+    }
+}
+
+// Ordering is by *name*, not by id: interning order is an execution
+// artifact (see the symbol-table module docs), while name order is what
+// reports, `Display` output, and `Resource`-keyed ordered maps rely on.
+impl PartialOrd for Resource {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Resource {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.name().cmp(other.name())
+        }
+    }
+}
+
+impl fmt::Debug for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Resource({:?})", self.name())
     }
 }
 
 impl fmt::Display for Resource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name())
     }
 }
 
@@ -80,6 +125,9 @@ impl fmt::Display for Resource {
 ///
 /// Two RTs may share a resource in one instruction **iff their usages are
 /// equal** — the single rule from which all scheduling conflicts follow.
+/// Inside RTs, usages are stored interned (see [`crate::UsageId`]), so
+/// that rule costs one integer compare; this enum is the descriptor form
+/// used at the boundaries.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Usage {
     /// A bare mode name, e.g. `add`, `read`, `write`, or an RT-class name
@@ -165,10 +213,30 @@ mod tests {
     }
 
     #[test]
-    fn resource_borrows_as_str_for_map_lookup() {
+    fn resource_orders_by_name_not_interning_order() {
+        // Intern in reverse-alphabetical order; comparisons still follow
+        // the names.
+        let z = Resource::new("res_ord_z");
+        let a = Resource::new("res_ord_a");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn resource_keyed_maps_look_up_by_interned_handle() {
         let mut m: BTreeMap<Resource, u32> = BTreeMap::new();
         m.insert(Resource::new("alu"), 1);
-        assert_eq!(m.get("alu"), Some(&1));
+        assert_eq!(m.get(&Resource::new("alu")), Some(&1));
+        let lookup = Resource::lookup("alu").expect("interned above");
+        assert_eq!(m.get(&lookup), Some(&1));
+    }
+
+    #[test]
+    fn resource_lookup_finds_only_interned_names() {
+        let r = Resource::new("res_lookup_known");
+        assert_eq!(Resource::lookup("res_lookup_known"), Some(r));
+        assert_eq!(Resource::lookup("res_lookup_unknown_xyzzy"), None);
+        assert_eq!(Resource::from_id(r.id()), r);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The register transfer itself.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::program::ValueId;
 use crate::resource::{Resource, Usage};
+use crate::symbol::UsageId;
 
 /// Identifier of an RT inside a [`crate::Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -18,7 +18,7 @@ impl fmt::Display for RtId {
 
 /// A reference to one register of a register file: `reg_<index>_<rf>` in
 /// the paper's notation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegRef {
     rf: Resource,
     index: u32,
@@ -42,6 +42,12 @@ impl RegRef {
     pub fn index(&self) -> u32 {
         self.index
     }
+
+    /// This register with a different index (same file) — how register
+    /// allocation rewrites virtual references in place.
+    pub fn with_index(&self, index: u32) -> RegRef {
+        RegRef { rf: self.rf, index }
+    }
 }
 
 impl fmt::Display for RegRef {
@@ -56,12 +62,19 @@ impl fmt::Display for RegRef {
 /// RTs are created by RT generation, then *modified* (resources renamed by
 /// merging, artificial resources added by ISA modelling) before scheduling —
 /// the mutating methods mirror that pipeline stage.
+///
+/// Usages are stored as a vector of `(Resource, UsageId)` pairs kept
+/// sorted by resource id: lookups are binary searches, compatibility
+/// checks are linear merge-walks of integer ids, and no string is touched
+/// after construction. Name-ordered views (Display, reports) sort on
+/// demand — see [`Rt::usages_by_name`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rt {
     name: String,
     dests: Vec<RegRef>,
     operands: Vec<RegRef>,
-    usage: BTreeMap<Resource, Usage>,
+    /// Sorted by `Resource::id()`.
+    usage: Vec<(Resource, UsageId)>,
     defs: Vec<ValueId>,
     uses: Vec<ValueId>,
     latency: u32,
@@ -70,12 +83,12 @@ pub struct Rt {
 impl Rt {
     /// Creates an RT with the given diagnostic name, no resources, and
     /// latency 1 (result available in the next cycle).
-    pub fn new(name: &str) -> Self {
+    pub fn new(name: impl Into<String>) -> Self {
         Rt {
-            name: name.to_owned(),
+            name: name.into(),
             dests: Vec::new(),
             operands: Vec::new(),
-            usage: BTreeMap::new(),
+            usage: Vec::new(),
             defs: Vec::new(),
             uses: Vec::new(),
             latency: 1,
@@ -145,27 +158,77 @@ impl Rt {
         self.uses.push(value);
     }
 
+    /// Rewrites every destination and operand register reference through
+    /// `remap` — post-schedule register allocation mapping virtual to
+    /// physical indices, in place and without rebuilding the RT.
+    pub fn remap_registers(&mut self, mut remap: impl FnMut(&RegRef) -> RegRef) {
+        for reg in self.dests.iter_mut().chain(self.operands.iter_mut()) {
+            *reg = remap(reg);
+        }
+    }
+
+    fn usage_idx(&self, res: Resource) -> Result<usize, usize> {
+        self.usage.binary_search_by_key(&res.id(), |(r, _)| r.id())
+    }
+
     /// Adds (or overwrites) the usage of `resource`.
     ///
     /// This is both how RT generation attaches datapath resources and how
     /// RT modification installs artificial instruction-set resources.
     pub fn add_usage(&mut self, resource: impl Into<Resource>, usage: Usage) {
-        self.usage.insert(resource.into(), usage);
+        self.add_usage_id(resource.into(), UsageId::of(&usage));
+    }
+
+    /// As [`Rt::add_usage`], with both symbols already interned — the
+    /// allocation-free path RT generation uses.
+    pub fn add_usage_id(&mut self, resource: Resource, usage: UsageId) {
+        match self.usage_idx(resource) {
+            Ok(i) => self.usage[i].1 = usage,
+            Err(i) => self.usage.insert(i, (resource, usage)),
+        }
     }
 
     /// Removes the usage of `resource`, returning it if present.
     pub fn remove_usage(&mut self, resource: &str) -> Option<Usage> {
-        self.usage.remove(resource)
+        let res = Resource::lookup(resource)?;
+        match self.usage_idx(res) {
+            Ok(i) => Some(self.usage.remove(i).1.get().clone()),
+            Err(_) => None,
+        }
     }
 
     /// The usage of `resource` by this RT, if any.
-    pub fn usage_of(&self, resource: &str) -> Option<&Usage> {
-        self.usage.get(resource)
+    pub fn usage_of(&self, resource: &str) -> Option<&'static Usage> {
+        let res = Resource::lookup(resource)?;
+        self.usage_id_of(res).map(UsageId::get)
     }
 
-    /// Iterates over `(resource, usage)` pairs in resource-name order.
-    pub fn usages(&self) -> impl Iterator<Item = (&Resource, &Usage)> {
-        self.usage.iter()
+    /// The interned usage id of `resource` by this RT, if any — the
+    /// string-free lookup used by classification and encoding.
+    pub fn usage_id_of(&self, resource: Resource) -> Option<UsageId> {
+        self.usage_idx(resource).ok().map(|i| self.usage[i].1)
+    }
+
+    /// The raw `(resource, usage id)` pairs, sorted by resource id — the
+    /// conflict matrix and the bounds run directly on this slice.
+    pub fn usage_ids(&self) -> &[(Resource, UsageId)] {
+        &self.usage
+    }
+
+    /// Iterates over `(resource, usage)` pairs in resource-**id** order
+    /// (an execution artifact — see the symbol-table docs). Use
+    /// [`Rt::usages_by_name`] where the order reaches output.
+    pub fn usages(&self) -> impl Iterator<Item = (&Resource, &'static Usage)> {
+        self.usage.iter().map(|(r, u)| (r, u.get()))
+    }
+
+    /// The `(resource, usage)` pairs sorted by resource name — the
+    /// deterministic, paper-notation order used by `Display` and reports.
+    pub fn usages_by_name(&self) -> Vec<(Resource, &'static Usage)> {
+        let mut pairs: Vec<(Resource, &'static Usage)> =
+            self.usage.iter().map(|&(r, u)| (r, u.get())).collect();
+        pairs.sort_by_key(|&(r, _)| r.name());
+        pairs
     }
 
     /// Number of resources this RT occupies.
@@ -188,15 +251,16 @@ impl Rt {
         &mut self,
         mut rename: impl FnMut(&Resource) -> Resource,
     ) -> Result<(), Resource> {
-        let mut renamed: BTreeMap<Resource, Usage> = BTreeMap::new();
-        for (r, u) in std::mem::take(&mut self.usage) {
+        let mut renamed: Vec<(Resource, UsageId)> = Vec::with_capacity(self.usage.len());
+        for &(r, u) in &self.usage {
             let new = rename(&r);
-            if let Some(existing) = renamed.get(&new) {
-                if *existing != u {
-                    return Err(new);
+            match renamed.binary_search_by_key(&new.id(), |(r, _)| r.id()) {
+                Ok(i) => {
+                    if renamed[i].1 != u {
+                        return Err(new);
+                    }
                 }
-            } else {
-                renamed.insert(new, u);
+                Err(i) => renamed.insert(i, (new, u)),
             }
         }
         self.usage = renamed;
@@ -213,27 +277,28 @@ impl Rt {
         self.conflict_with(other).is_none()
     }
 
-    /// If the RTs conflict, returns the first shared resource with
-    /// differing usages, for diagnostics.
+    /// If the RTs conflict, returns a shared resource with differing
+    /// usages, for diagnostics.
     pub fn conflict_with<'a>(
         &'a self,
         other: &'a Rt,
-    ) -> Option<(&'a Resource, &'a Usage, &'a Usage)> {
-        // Iterate over the smaller usage map for speed.
-        let (small, big) = if self.usage.len() <= other.usage.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        for (r, u) in &small.usage {
-            if let Some(v) = big.usage.get(r) {
-                if u != v {
-                    // Report in (self, other) orientation.
-                    return if std::ptr::eq(small, self) {
-                        Some((r, u, v))
-                    } else {
-                        Some((r, v, u))
-                    };
+    ) -> Option<(&'a Resource, &'static Usage, &'static Usage)> {
+        // Both usage vectors are sorted by resource id: one merge-walk of
+        // integer compares answers the paper's conflict rule.
+        let (a, b) = (&self.usage, &other.usage);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (ra, ua) = a[i];
+            let (rb, ub) = b[j];
+            match ra.id().cmp(&rb.id()) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if ua != ub {
+                        return Some((&a[i].0, ua.get(), ub.get()));
+                    }
+                    i += 1;
+                    j += 1;
                 }
             }
         }
@@ -242,7 +307,7 @@ impl Rt {
 }
 
 impl fmt::Display for Rt {
-    /// Formats in the paper's figure-2 notation.
+    /// Formats in the paper's figure-2 notation (resources in name order).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, d) in self.dests.iter().enumerate() {
             if i > 0 {
@@ -264,10 +329,11 @@ impl fmt::Display for Rt {
             write!(f, "(no operands)")?;
         }
         writeln!(f)?;
-        let width = self.usage.keys().map(|r| r.name().len()).max().unwrap_or(0);
-        for (i, (r, u)) in self.usage.iter().enumerate() {
+        let pairs = self.usages_by_name();
+        let width = pairs.iter().map(|(r, _)| r.name().len()).max().unwrap_or(0);
+        for (i, (r, u)) in pairs.iter().enumerate() {
             let lead = if i == 0 { '\\' } else { ' ' };
-            let sep = if i + 1 == self.usage.len() { ';' } else { ',' };
+            let sep = if i + 1 == pairs.len() { ';' } else { ',' };
             writeln!(f, "{lead} {:width$} = {u}{sep}", r.name())?;
         }
         Ok(())
@@ -295,6 +361,7 @@ mod tests {
         assert_eq!(RegRef::new("ram_1", 2).to_string(), "reg_2_ram_1");
         assert_eq!(RegRef::new("acu_1", 1).rf().name(), "acu_1");
         assert_eq!(RegRef::new("acu_1", 1).index(), 1);
+        assert_eq!(RegRef::new("acu_1", 1).with_index(3).index(), 3);
     }
 
     #[test]
@@ -370,7 +437,7 @@ mod tests {
             if r.name() == "bus_1_acu_1" {
                 Resource::new("bus_merged")
             } else {
-                r.clone()
+                *r
             }
         })
         .unwrap();
@@ -396,7 +463,7 @@ mod tests {
             if r.name() == "ram_1" {
                 Resource::new("ram_merged")
             } else {
-                r.clone()
+                *r
             }
         })
         .unwrap();
@@ -415,12 +482,34 @@ mod tests {
     }
 
     #[test]
+    fn display_orders_resources_by_name() {
+        // Interning order is reversed relative to name order on purpose.
+        let mut rt = Rt::new("ordered");
+        rt.add_usage("zz_last", Usage::token("z"));
+        rt.add_usage("aa_first", Usage::token("a"));
+        let text = rt.to_string();
+        let first = text.find("aa_first").unwrap();
+        let last = text.find("zz_last").unwrap();
+        assert!(first < last, "{text}");
+    }
+
+    #[test]
     fn remove_usage_round_trip() {
         let mut rt = figure2_rt();
         let u = rt.remove_usage("acu_1");
         assert_eq!(u, Some(Usage::token("add")));
         assert_eq!(rt.remove_usage("acu_1"), None);
         assert_eq!(rt.resource_count(), 3);
+    }
+
+    #[test]
+    fn usage_id_lookup_matches_string_lookup() {
+        let rt = figure2_rt();
+        let res = Resource::new("acu_1");
+        assert_eq!(rt.usage_id_of(res).map(|u| u.get()), rt.usage_of("acu_1"));
+        assert_eq!(rt.usage_id_of(Resource::new("nope_res")), None);
+        assert_eq!(rt.usage_ids().len(), rt.resource_count());
+        assert!(rt.usage_ids().windows(2).all(|w| w[0].0.id() < w[1].0.id()));
     }
 
     #[test]
@@ -438,5 +527,14 @@ mod tests {
         rt.add_use(ValueId(2));
         assert_eq!(rt.defs(), &[ValueId(3)]);
         assert_eq!(rt.uses(), &[ValueId(1), ValueId(2)]);
+    }
+
+    #[test]
+    fn remap_registers_rewrites_in_place() {
+        let mut rt = figure2_rt();
+        rt.remap_registers(|r| r.with_index(r.index() + 10));
+        assert_eq!(rt.dests()[0].index(), 12);
+        assert_eq!(rt.operands()[0].index(), 11);
+        assert_eq!(rt.operands()[1].index(), 12);
     }
 }

@@ -171,7 +171,7 @@ impl Classification {
         if ids.is_empty() {
             return Err("cannot merge zero classes".to_owned());
         }
-        let opu = self.classes[ids[0]].opu.clone();
+        let opu = self.classes[ids[0]].opu;
         for &i in &ids {
             if self.classes[i].opu != opu {
                 return Err(format!(
@@ -215,7 +215,9 @@ impl Classification {
     pub fn class_of(&self, rt: &Rt) -> Option<ClassId> {
         for (resource, usage) in rt.usages() {
             for (i, class) in self.classes.iter().enumerate() {
-                if class.matches(resource.name(), usage.op()) {
+                // Interned OPU resources: the common miss is one integer
+                // compare, the op-name set is consulted only on a hit.
+                if class.opu == *resource && class.usages.contains(usage.op()) {
                     return Some(ClassId(i));
                 }
             }

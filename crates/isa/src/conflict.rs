@@ -130,18 +130,26 @@ pub fn apply_artificial_resources(
     classification: &Classification,
     resources: &[ArtificialResource],
 ) -> usize {
+    // Intern each artificial resource name and each class's token usage
+    // once; the per-RT install is then id-based.
+    let ar_res: Vec<dspcc_ir::Resource> = resources
+        .iter()
+        .map(|ar| dspcc_ir::Resource::new(ar.name()))
+        .collect();
+    let class_token: Vec<dspcc_ir::UsageId> = classification
+        .classes()
+        .iter()
+        .map(|c| dspcc_ir::UsageId::of(&Usage::token(c.name())))
+        .collect();
     let mut added = 0;
     for id in program.rt_ids().collect::<Vec<_>>() {
         let class = match classification.class_of(program.rt(id)) {
             Some(c) => c,
             None => continue,
         };
-        let class_name = classification.class(class).name().to_owned();
-        for ar in resources {
+        for (ar, &res) in resources.iter().zip(&ar_res) {
             if ar.contains(class) {
-                program
-                    .rt_mut(id)
-                    .add_usage(ar.name(), Usage::token(&class_name));
+                program.rt_mut(id).add_usage_id(res, class_token[class.0]);
                 added += 1;
             }
         }

@@ -33,7 +33,7 @@ fn classification_for(n: usize) -> Classification {
 fn one_rt_per_class(n: usize) -> Program {
     let mut p = Program::new();
     for i in 0..n {
-        let mut rt = Rt::new(&format!("rt_{i}"));
+        let mut rt = Rt::new(format!("rt_{i}"));
         rt.add_usage(format!("opu_{i}").as_str(), Usage::token("op"));
         p.add_rt(rt);
     }

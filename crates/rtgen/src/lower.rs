@@ -20,12 +20,12 @@
 //! one per frame, matching the resource mix of the paper's audio core
 //! (ACU one busier than RAM, figure 9).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use dspcc_arch::{Datapath, OpuKind};
 use dspcc_dfg::{Dfg, DfgOp, NodeId};
-use dspcc_ir::{Program, RegRef, Rt, RtId, Usage, ValueId};
+use dspcc_ir::{Program, RegRef, Resource, Rt, RtId, Usage, UsageId, ValueId};
 
 /// Virtual register indices start here; smaller indices are pre-colored
 /// physical registers (the frame pointer). Register allocation (in
@@ -177,20 +177,116 @@ struct Plan {
     physical_dest: Option<(String, u32)>,
 }
 
+/// Interned symbols of one OPU: resource, buffer, output bus, and one
+/// token usage per operation — resolved once per datapath so RT emission
+/// never re-interns a name (see the `dspcc_ir::SymbolTable` docs).
+struct OpuSyms {
+    res: Resource,
+    buf: Resource,
+    bus: Option<Resource>,
+}
+
+/// Interned symbols of one register file.
+struct RfSyms {
+    res: Resource,
+    wp: Resource,
+    mux: Option<Resource>,
+    write_buses: Vec<Resource>,
+}
+
+/// The per-datapath symbol cache: every resource name and every reusable
+/// usage value of the target, interned exactly once at the lowering
+/// boundary.
+struct SymCache {
+    write_token: UsageId,
+    opus: HashMap<String, OpuSyms>,
+    rfs: HashMap<String, RfSyms>,
+    /// Operation name → `Usage::Token(op)` id (all datapath ops).
+    tokens: HashMap<String, UsageId>,
+    /// Bus → `pass(<bus>)` id for multiplexer inputs.
+    pass_of_bus: HashMap<Resource, UsageId>,
+}
+
+impl SymCache {
+    fn build(dp: &Datapath) -> SymCache {
+        let mut opus = HashMap::new();
+        let mut tokens: HashMap<String, UsageId> = HashMap::new();
+        let mut pass_of_bus = HashMap::new();
+        for opu in dp.opus() {
+            let bus = opu.output_bus().map(Resource::new);
+            if let Some(b) = bus {
+                pass_of_bus
+                    .entry(b)
+                    .or_insert_with(|| UsageId::of(&Usage::apply("pass", [b.name()])));
+            }
+            for (op, _) in opu.ops() {
+                if !tokens.contains_key(op) {
+                    tokens.insert(op.to_owned(), UsageId::of(&Usage::token(op)));
+                }
+            }
+            opus.insert(
+                opu.name().to_owned(),
+                OpuSyms {
+                    res: Resource::new(opu.name()),
+                    buf: Resource::new(&Datapath::buffer_name(opu.name())),
+                    bus,
+                },
+            );
+        }
+        let rfs = dp
+            .register_files()
+            .iter()
+            .map(|rf| {
+                (
+                    rf.name().to_owned(),
+                    RfSyms {
+                        res: Resource::new(rf.name()),
+                        wp: Resource::new(&Datapath::wp_name(rf.name())),
+                        mux: rf
+                            .has_mux()
+                            .then(|| Resource::new(&Datapath::mux_name(rf.name()))),
+                        write_buses: rf.write_buses().iter().map(|b| Resource::new(b)).collect(),
+                    },
+                )
+            })
+            .collect();
+        SymCache {
+            write_token: UsageId::of(&Usage::token("write")),
+            opus,
+            rfs,
+            tokens,
+            pass_of_bus,
+        }
+    }
+
+    fn token(&self, op: &str) -> UsageId {
+        self.tokens
+            .get(op)
+            .copied()
+            .unwrap_or_else(|| UsageId::of(&Usage::token(op)))
+    }
+}
+
 struct Ctx<'a> {
     dfg: &'a Dfg,
     dp: &'a Datapath,
     opts: &'a LowerOptions,
+    syms: SymCache,
     program: Program,
     plans: Vec<Plan>,
-    /// value → producing bus name (None: not yet produced / no bus).
-    value_bus: BTreeMap<ValueId, String>,
-    /// value → register files it must be written into.
-    demand: BTreeMap<ValueId, Vec<String>>,
+    /// value → producing bus (dense by value id; None: not yet produced /
+    /// no bus).
+    value_bus: Vec<Option<Resource>>,
+    /// value → register files it must be written into (dense by value id).
+    demand: Vec<Vec<Resource>>,
     /// Writes routed into each register file so far — balanced across
     /// alternative operand ports, since every write port is a 1-per-cycle
     /// resource.
-    wp_load: BTreeMap<String, usize>,
+    wp_load: HashMap<Resource, usize>,
+    /// RTs planned per OPU so far (the load-balancing key of
+    /// `compute_node`), maintained incrementally instead of recounting
+    /// all plans per node.
+    opu_load: HashMap<String, usize>,
     /// DFG node → value carrying its result.
     node_value: Vec<Option<ValueId>>,
     layout: RamLayout,
@@ -280,11 +376,13 @@ impl<'a> Ctx<'a> {
             dfg,
             dp,
             opts,
+            syms: SymCache::build(dp),
             program: Program::new(),
             plans: Vec::new(),
-            value_bus: BTreeMap::new(),
-            demand: BTreeMap::new(),
-            wp_load: BTreeMap::new(),
+            value_bus: Vec::new(),
+            demand: Vec::new(),
+            wp_load: HashMap::new(),
+            opu_load: HashMap::new(),
             node_value: vec![None; dfg.nodes().len()],
             layout,
             rom_image: dfg.coeffs().iter().map(|(_, v)| *v).collect(),
@@ -331,15 +429,11 @@ impl<'a> Ctx<'a> {
                     return Err(LowerError::MissingUnit("input port (IPB)"));
                 }
                 let opu_name = inputs[port % inputs.len()].clone();
-                let value = self.program.add_value(&name);
-                let bus = self
-                    .dp
-                    .opu(&opu_name)
-                    .expect("validated opu")
-                    .output_bus()
-                    .expect("input ports drive a bus")
-                    .to_owned();
-                self.value_bus.insert(value, bus);
+                let value = self.program.add_value(name.clone());
+                let bus = self.syms.opus[&opu_name]
+                    .bus
+                    .expect("input ports drive a bus");
+                self.set_bus(value, bus);
                 let idx = self.plan(Plan {
                     name: format!("in_{name}"),
                     opu: opu_name.clone(),
@@ -449,8 +543,44 @@ impl<'a> Ctx<'a> {
     }
 
     fn plan(&mut self, plan: Plan) -> usize {
+        match self.opu_load.get_mut(&plan.opu) {
+            Some(n) => *n += 1,
+            None => {
+                self.opu_load.insert(plan.opu.clone(), 1);
+            }
+        }
         self.plans.push(plan);
         self.plans.len() - 1
+    }
+
+    /// Records the bus that produces `value` (dense by value id).
+    fn set_bus(&mut self, value: ValueId, bus: Resource) {
+        let i = value.0 as usize;
+        if self.value_bus.len() <= i {
+            self.value_bus.resize(i + 1, None);
+        }
+        self.value_bus[i] = Some(bus);
+    }
+
+    /// The bus producing `value`, if recorded.
+    fn bus_of(&self, value: ValueId) -> Option<Resource> {
+        self.value_bus.get(value.0 as usize).copied().flatten()
+    }
+
+    /// The register files `value` must be written into (dense by value id).
+    fn demand_mut(&mut self, value: ValueId) -> &mut Vec<Resource> {
+        let i = value.0 as usize;
+        if self.demand.len() <= i {
+            self.demand.resize_with(i + 1, Vec::new);
+        }
+        &mut self.demand[i]
+    }
+
+    fn rf_syms(&self, rf: &str) -> &RfSyms {
+        self.syms
+            .rfs
+            .get(rf)
+            .unwrap_or_else(|| panic!("rf `{rf}` exists in validated datapath"))
     }
 
     fn value_for(&mut self, node: NodeId) -> ValueId {
@@ -468,19 +598,17 @@ impl<'a> Ctx<'a> {
     /// Whether `value` can be written into `rf` (a bus path exists), with
     /// no side effects.
     fn can_route(&self, value: ValueId, rf: &str) -> bool {
-        let bus = self.value_bus.get(&value).cloned().unwrap_or_default();
-        let spec = self
-            .dp
-            .register_file(rf)
-            .unwrap_or_else(|| panic!("rf `{rf}` exists in validated datapath"));
-        spec.write_buses().contains(&bus)
+        match self.bus_of(value) {
+            Some(bus) => self.rf_syms(rf).write_buses.contains(&bus),
+            None => false,
+        }
     }
 
     /// Whether `value` is already demanded into `rf` (a free re-read).
-    fn already_routed(&self, value: ValueId, rf: &str) -> bool {
+    fn already_routed(&self, value: ValueId, rf: Resource) -> bool {
         self.demand
-            .get(&value)
-            .map(|rfs| rfs.iter().any(|r| r == rf))
+            .get(value.0 as usize)
+            .map(|rfs| rfs.contains(&rf))
             .unwrap_or(false)
     }
 
@@ -494,10 +622,11 @@ impl<'a> Ctx<'a> {
                 rf: rf.to_owned(),
             });
         }
-        let rfs = self.demand.entry(value).or_default();
-        if !rfs.iter().any(|r| r == rf) {
-            rfs.push(rf.to_owned());
-            *self.wp_load.entry(rf.to_owned()).or_default() += 1;
+        let rf_res = self.rf_syms(rf).res;
+        let rfs = self.demand_mut(value);
+        if !rfs.contains(&rf_res) {
+            rfs.push(rf_res);
+            *self.wp_load.entry(rf_res).or_default() += 1;
         }
         Ok(())
     }
@@ -509,32 +638,28 @@ impl<'a> Ctx<'a> {
             return Ok(value);
         }
         // Find a pass-capable OPU bridging the producer's bus to `rf`.
-        let bus = self.value_bus.get(&value).cloned().unwrap_or_default();
-        let target = self.dp.register_file(rf).expect("validated rf");
+        let bus = self.bus_of(value);
         for opu in self.dp.opus() {
             if !opu.supports("pass") || opu.inputs().is_empty() {
                 continue;
             }
             let in_rf = &opu.inputs()[0];
-            let in_spec = match self.dp.register_file(in_rf) {
-                Some(s) => s,
-                None => continue,
-            };
-            let out_bus = match opu.output_bus() {
+            if !self.syms.rfs.contains_key(in_rf.as_str()) {
+                continue;
+            }
+            let out_bus = match self.syms.opus[opu.name()].bus {
                 Some(b) => b,
                 None => continue,
             };
-            if in_spec.write_buses().contains(&bus)
-                && target.write_buses().iter().any(|b| b == out_bus)
+            if bus.is_some_and(|b| self.rf_syms(in_rf).write_buses.contains(&b))
+                && self.rf_syms(rf).write_buses.contains(&out_bus)
             {
                 // value → (pass) → bridged.
                 self.route(value, in_rf, "pass")?;
                 let name = format!("route_{}", self.program.value(value).name());
-                let bridged = self.program.add_value(&name);
-                let latency = opu.latency_of("pass").unwrap_or(1);
+                let bridged = self.program.add_value(name.clone());
                 let in_rf = in_rf.clone();
                 let opu_name = opu.name().to_owned();
-                let _ = latency;
                 let plan = Plan {
                     name,
                     opu: opu_name,
@@ -546,7 +671,7 @@ impl<'a> Ctx<'a> {
                     physical_dest: None,
                 };
                 self.plan(plan);
-                self.value_bus.insert(bridged, out_bus.to_owned());
+                self.set_bus(bridged, out_bus);
                 self.route(bridged, rf, op)?;
                 return Ok(bridged);
             }
@@ -591,14 +716,14 @@ impl<'a> Ctx<'a> {
                 _ => "program-constant unit",
             }))?;
         let value = self.program.add_value(name);
-        let bus = opu
-            .output_bus()
-            .expect("constant units drive a bus")
-            .to_owned();
-        self.value_bus.insert(value, bus);
+        let bus = self.syms.opus[opu.name()]
+            .bus
+            .expect("constant units drive a bus");
+        let opu = opu.name().to_owned();
+        self.set_bus(value, bus);
         let idx = self.plan(Plan {
             name: name.to_owned(),
-            opu: opu.name().to_owned(),
+            opu,
             op: "const".to_owned(),
             operands: Vec::new(),
             def: Some(value),
@@ -633,15 +758,9 @@ impl<'a> Ctx<'a> {
         let sig_name = self.dfg.signals()[signal].name.clone();
         let off = self.constant(Immediate::Raw(v), &format!("addr_{sig_name}_{depth}"))?;
         self.route(off, &self.off_rf.clone(), "addmod")?;
-        let addr = self.program.add_value(&format!("a_{sig_name}_{depth}"));
-        let acu_bus = self
-            .dp
-            .opu(&self.acu)
-            .expect("acu exists")
-            .output_bus()
-            .expect("acu drives a bus")
-            .to_owned();
-        self.value_bus.insert(addr, acu_bus);
+        let addr = self.program.add_value(format!("a_{sig_name}_{depth}"));
+        let acu_bus = self.syms.opus[&self.acu].bus.expect("acu drives a bus");
+        self.set_bus(addr, acu_bus);
         let fp_rf = self.fp_rf.clone();
         let off_rf = self.off_rf.clone();
         let acu = self.acu.clone();
@@ -680,11 +799,10 @@ impl<'a> Ctx<'a> {
             })
         } else {
             let value = read_value.expect("read access defines a value");
-            let bus = ram_spec
-                .output_bus()
-                .expect("readable RAM drives a bus")
-                .to_owned();
-            self.value_bus.insert(value, bus);
+            let bus = self.syms.opus[ram_spec.name()]
+                .bus
+                .expect("readable RAM drives a bus");
+            self.set_bus(value, bus);
             self.plan(Plan {
                 name: format!("ld_{sig_name}@{depth}"),
                 opu: ram,
@@ -700,7 +818,7 @@ impl<'a> Ctx<'a> {
     }
 
     fn node(&mut self, id: NodeId) -> Result<(), LowerError> {
-        let node = self.dfg.node(id).clone();
+        let node = self.dfg.node(id);
         match node.op {
             DfgOp::Input { port } => {
                 let inputs: Vec<_> = self
@@ -714,11 +832,10 @@ impl<'a> Ctx<'a> {
                 }
                 let opu = inputs[port % inputs.len()];
                 let value = self.value_for(id);
-                let bus = opu
-                    .output_bus()
-                    .expect("input ports drive a bus")
-                    .to_owned();
-                self.value_bus.insert(value, bus);
+                let bus = self.syms.opus[opu.name()]
+                    .bus
+                    .expect("input ports drive a bus");
+                self.set_bus(value, bus);
                 let opu_name = opu.name().to_owned();
                 let idx = self.plan(Plan {
                     name: format!("in_{}", node.name),
@@ -756,7 +873,7 @@ impl<'a> Ctx<'a> {
             | DfgOp::Sub
             | DfgOp::Pass
             | DfgOp::PassClip => {
-                self.compute_node(id, &node)?;
+                self.compute_node(id, node)?;
             }
             DfgOp::Output { port } => {
                 let outputs: Vec<_> = self
@@ -843,32 +960,25 @@ impl<'a> Ctx<'a> {
             .map(|n| self.node_value[n.0 as usize].expect("operand lowered first"))
             .collect();
 
-        let candidates: Vec<(String, Vec<String>, String, u32)> = self
+        // Candidate OPUs are borrowed straight from the datapath (its
+        // lifetime outlives the context) — no per-node clone of names,
+        // input lists, or buses.
+        let candidates: Vec<&dspcc_arch::OpuSpec> = self
             .dp
             .opus_supporting(op)
-            .iter()
+            .into_iter()
             .filter(|o| o.inputs().len() >= operand_values.len() && o.output_bus().is_some())
-            .map(|o| {
-                (
-                    o.name().to_owned(),
-                    o.inputs().to_vec(),
-                    o.output_bus().unwrap().to_owned(),
-                    o.latency_of(op).unwrap(),
-                )
-            })
             .collect();
         if candidates.is_empty() {
             return Err(LowerError::NoOpuFor(op.to_owned()));
         }
-        // Prefer the least-loaded feasible candidate.
-        let mut load: BTreeMap<&str, usize> = BTreeMap::new();
-        for p in &self.plans {
-            *load.entry(p.opu.as_str()).or_default() += 1;
-        }
-        let mut ordered: Vec<&(String, Vec<String>, String, u32)> = candidates.iter().collect();
-        ordered.sort_by_key(|(name, ..)| load.get(name.as_str()).copied().unwrap_or(0));
+        // Prefer the least-loaded feasible candidate (the per-OPU load is
+        // maintained incrementally as plans are created).
+        let mut ordered = candidates.clone();
+        ordered.sort_by_key(|o| self.opu_load.get(o.name()).copied().unwrap_or(0));
 
-        for (opu, inputs, bus, _lat) in ordered {
+        for cand in ordered {
+            let (opu, inputs) = (cand.name(), cand.inputs());
             let orders: Vec<Vec<usize>> = if operand_values.len() == 2 && commutative {
                 vec![vec![0, 1], vec![1, 0]]
             } else {
@@ -889,8 +999,9 @@ impl<'a> Ctx<'a> {
                         routable = false;
                         break;
                     }
-                    if !self.already_routed(v, rf) {
-                        cost = cost.max(self.wp_load.get(rf.as_str()).copied().unwrap_or(0) + 1);
+                    let rf_res = self.rf_syms(rf).res;
+                    if !self.already_routed(v, rf_res) {
+                        cost = cost.max(self.wp_load.get(&rf_res).copied().unwrap_or(0) + 1);
                     }
                 }
                 if routable && best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
@@ -902,15 +1013,16 @@ impl<'a> Ctx<'a> {
                     vec![(None, String::new(), 0); order.len()];
                 for (port_idx, &operand_idx) in order.iter().enumerate() {
                     let v = operand_values[operand_idx];
-                    let rf = inputs[port_idx].clone();
-                    self.route(v, &rf, op).expect("checked routable");
-                    by_source[operand_idx] = (Some(v), rf, port_idx as u32);
+                    let rf = &inputs[port_idx];
+                    self.route(v, rf, op).expect("checked routable");
+                    by_source[operand_idx] = (Some(v), rf.clone(), port_idx as u32);
                 }
                 let value = self.value_for(id);
-                self.value_bus.insert(value, bus.clone());
+                let bus = self.syms.opus[opu].bus.expect("compute unit drives a bus");
+                self.set_bus(value, bus);
                 self.plan(Plan {
                     name: format!("{op}_{}", node.name),
-                    opu: opu.clone(),
+                    opu: opu.to_owned(),
                     op: op.to_owned(),
                     operands: by_source,
                     def: Some(value),
@@ -923,7 +1035,8 @@ impl<'a> Ctx<'a> {
         }
         // Direct routing failed everywhere: retry first candidate with
         // pass-insertion per operand.
-        let (opu, inputs, bus, _lat) = &candidates[0];
+        let cand = candidates[0];
+        let (opu, inputs) = (cand.name(), cand.inputs());
         let mut operands: Vec<(Option<ValueId>, String, u32)> = Vec::new();
         for (port_idx, &v) in operand_values.iter().enumerate() {
             let rf = &inputs[port_idx];
@@ -931,10 +1044,11 @@ impl<'a> Ctx<'a> {
             operands.push((Some(routed), rf.clone(), port_idx as u32));
         }
         let value = self.value_for(id);
-        self.value_bus.insert(value, bus.clone());
+        let bus = self.syms.opus[opu].bus.expect("compute unit drives a bus");
+        self.set_bus(value, bus);
         self.plan(Plan {
             name: format!("{op}_{}", node.name),
-            opu: opu.clone(),
+            opu: opu.to_owned(),
             op: op.to_owned(),
             operands,
             def: Some(value),
@@ -947,17 +1061,19 @@ impl<'a> Ctx<'a> {
 
     /// Materialises a plan into an [`Rt`] with full usage specification.
     fn emit(&self, plan: &Plan) -> Rt {
-        let mut rt = Rt::new(&plan.name);
+        let mut rt = Rt::new(plan.name.clone());
         let opu_spec = self.dp.opu(&plan.opu).expect("validated opu");
         rt.set_latency(opu_spec.latency_of(&plan.op).unwrap_or(1));
+        let opu = &self.syms.opus[&plan.opu];
         // Operands.
         for (value, rf, _) in &plan.operands {
+            let rf_res = self.rf_syms(rf).res;
             match value {
                 Some(v) => {
-                    rt.add_operand(RegRef::new(rf.as_str(), VIRTUAL_BASE + v.0));
+                    rt.add_operand(RegRef::new(rf_res, VIRTUAL_BASE + v.0));
                     rt.add_use(*v);
                 }
-                None => rt.add_operand(RegRef::new(rf.as_str(), 0)), // pinned fp
+                None => rt.add_operand(RegRef::new(rf_res, 0)), // pinned fp
             }
         }
         // OPU, buffer and bus usage. An RT that produces a result drives
@@ -966,7 +1082,8 @@ impl<'a> Ctx<'a> {
         // (RAM writes, output-port writes) leave the bus free — their OPU
         // usage carries the operand values instead, so two *different*
         // writes can never share the unit while identical ones still may.
-        let bus = opu_spec.output_bus();
+        // All fixed symbols come interned from the per-datapath cache;
+        // only the value tags are constructed here.
         let result_tag = match (&plan.def, &plan.physical_dest) {
             (Some(v), _) => Some(format!("v{}", v.0)),
             (None, Some(_)) => Some("fp".to_owned()),
@@ -974,13 +1091,10 @@ impl<'a> Ctx<'a> {
         };
         match &result_tag {
             Some(tag) => {
-                rt.add_usage(plan.opu.as_str(), Usage::token(&plan.op));
-                let bus = bus.expect("result-producing unit drives a bus");
-                rt.add_usage(
-                    Datapath::buffer_name(&plan.opu).as_str(),
-                    Usage::token("write"),
-                );
-                rt.add_usage(bus, Usage::apply(&plan.op, [tag.as_str()]));
+                rt.add_usage_id(opu.res, self.syms.token(&plan.op));
+                let bus = opu.bus.expect("result-producing unit drives a bus");
+                rt.add_usage_id(opu.buf, self.syms.write_token);
+                rt.add_usage_id(bus, UsageId::of_apply1(&plan.op, tag));
             }
             None => {
                 let args: Vec<String> = plan
@@ -991,33 +1105,34 @@ impl<'a> Ctx<'a> {
                         None => "fp".to_owned(),
                     })
                     .collect();
-                rt.add_usage(plan.opu.as_str(), Usage::apply(&plan.op, args));
+                rt.add_usage_id(opu.res, UsageId::of(&Usage::apply(&plan.op, args)));
             }
         }
         // Destinations.
         if let Some(def) = plan.def {
             rt.add_def(def);
             let empty = Vec::new();
-            let rfs = self.demand.get(&def).unwrap_or(&empty);
-            for rf in rfs {
-                rt.add_dest(RegRef::new(rf.as_str(), VIRTUAL_BASE + def.0));
-                self.dest_usage(&mut rt, rf, bus, &format!("v{}", def.0));
+            let rfs = self.demand.get(def.0 as usize).unwrap_or(&empty);
+            for &rf_res in rfs {
+                rt.add_dest(RegRef::new(rf_res, VIRTUAL_BASE + def.0));
+                self.dest_usage(&mut rt, rf_res, opu.bus, &format!("v{}", def.0));
             }
         }
         if let Some((rf, index)) = &plan.physical_dest {
-            rt.add_dest(RegRef::new(rf.as_str(), *index));
-            self.dest_usage(&mut rt, rf, bus, "fp");
+            let rf_res = self.rf_syms(rf).res;
+            rt.add_dest(RegRef::new(rf_res, *index));
+            self.dest_usage(&mut rt, rf_res, opu.bus, "fp");
         }
         rt
     }
 
-    fn dest_usage(&self, rt: &mut Rt, rf: &str, bus: Option<&str>, tag: &str) {
-        let spec = self.dp.register_file(rf).expect("validated rf");
-        if spec.has_mux() {
+    fn dest_usage(&self, rt: &mut Rt, rf: Resource, bus: Option<Resource>, tag: &str) {
+        let spec = &self.syms.rfs[rf.name()];
+        if let Some(mux) = spec.mux {
             let bus = bus.expect("mux write implies a bus");
-            rt.add_usage(Datapath::mux_name(rf).as_str(), Usage::apply("pass", [bus]));
+            rt.add_usage_id(mux, self.syms.pass_of_bus[&bus]);
         }
-        rt.add_usage(Datapath::wp_name(rf).as_str(), Usage::apply("write", [tag]));
+        rt.add_usage_id(spec.wp, UsageId::of_apply1("write", tag));
     }
 }
 

@@ -67,11 +67,13 @@ pub fn apply_merge_plan(
 ) -> Result<Datapath, ModifyError> {
     let merged = plan.apply(dp)?;
     let map: BTreeMap<String, String> = plan.rename_map(dp)?;
-    let rename = |r: &Resource| -> Resource {
-        map.get(r.name())
-            .map(|n| Resource::new(n))
-            .unwrap_or_else(|| r.clone())
-    };
+    // Resolve the rename map to interned ids once; the per-RT rename is
+    // then an integer-keyed lookup.
+    let id_map: std::collections::HashMap<Resource, Resource> = map
+        .iter()
+        .map(|(from, to)| (Resource::new(from), Resource::new(to)))
+        .collect();
+    let rename = |r: &Resource| -> Resource { id_map.get(r).copied().unwrap_or(*r) };
     // Driving bus per OPU in the merged datapath.
     let opu_bus: BTreeMap<String, String> = merged
         .opus()

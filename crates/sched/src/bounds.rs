@@ -30,9 +30,7 @@
 //! usages may legally share a cycle, so occurrence counts can exceed the
 //! true optimum and must not gate termination.
 
-use std::collections::{BTreeMap, BTreeSet};
-
-use dspcc_ir::{Program, RtId, Usage};
+use dspcc_ir::{Program, RtId};
 
 use crate::deps::DependenceGraph;
 use crate::schedule::ConflictMatrix;
@@ -53,17 +51,28 @@ pub fn critical_path_bound(deps: &DependenceGraph) -> u32 {
 /// shared resource differ conflict pairwise, so each distinct usage value
 /// of one resource claims a cycle of its own.
 pub fn distinct_usage_bound(program: &Program) -> u32 {
-    let mut distinct: BTreeMap<&str, BTreeSet<&Usage>> = BTreeMap::new();
+    // Interned ids: one integer sort, distinct usages per resource are
+    // runs — no string hashing or tree maps.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
     for (_, rt) in program.rts() {
-        for (res, usage) in rt.usages() {
-            distinct.entry(res.name()).or_default().insert(usage);
+        for &(res, usage) in rt.usage_ids() {
+            pairs.push((res.id().0, usage.0));
         }
     }
-    distinct
-        .values()
-        .map(|usages| usages.len() as u32)
-        .max()
-        .unwrap_or(0)
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut best = 0u32;
+    let mut i = 0;
+    while i < pairs.len() {
+        let res = pairs[i].0;
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == res {
+            j += 1;
+        }
+        best = best.max((j - i) as u32);
+        i = j;
+    }
+    best
 }
 
 /// A greedy clique in the conflict graph: every member pairwise conflicts
@@ -132,22 +141,22 @@ pub fn length_lower_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dspcc_ir::Rt;
+    use dspcc_ir::{Rt, Usage};
 
     /// k chains const→mult→add over shared rom/mult/alu.
     fn chains(k: usize) -> Program {
         let mut p = Program::new();
         for i in 0..k {
-            let vc = p.add_value(&format!("c{i}"));
-            let vm = p.add_value(&format!("m{i}"));
-            let mut c = Rt::new(&format!("const{i}"));
+            let vc = p.add_value(format!("c{i}"));
+            let vm = p.add_value(format!("m{i}"));
+            let mut c = Rt::new(format!("const{i}"));
             c.add_def(vc);
             c.add_usage("rom", Usage::apply("const", [format!("{i}")]));
-            let mut m = Rt::new(&format!("mult{i}"));
+            let mut m = Rt::new(format!("mult{i}"));
             m.add_use(vc);
             m.add_def(vm);
             m.add_usage("mult", Usage::apply("mult", [format!("m{i}")]));
-            let mut a = Rt::new(&format!("add{i}"));
+            let mut a = Rt::new(format!("add{i}"));
             a.add_use(vm);
             a.add_usage("alu", Usage::apply("add", [format!("a{i}")]));
             p.add_rt(c);

@@ -113,6 +113,10 @@ pub fn left_justify_seeded(
         .map(|i| deps.predecessors(RtId(i as u32)).count())
         .collect();
     let mut occ: Vec<u64> = Vec::new();
+    // Per conflict-row-class probe hints: cycles below a class's hint
+    // already failed `fits_mask` for an identical row this pass, and
+    // occupancy only grows — skipping them cannot change the result.
+    let mut hints: Vec<u32> = vec![0; matrix.class_count()];
     let mut pending: Vec<usize> = order;
     while !pending.is_empty() {
         let pos = pending
@@ -128,7 +132,9 @@ pub fn left_justify_seeded(
         for (pred, lat) in deps.predecessors(id) {
             earliest = earliest.max(new_issue[pred.0 as usize].expect("ready order") + lat);
         }
-        let mut t = earliest;
+        let class = matrix.row_class(id) as usize;
+        let contiguous = hints[class] >= earliest;
+        let mut t = earliest.max(hints[class]);
         loop {
             let base = t as usize * words;
             if occ.len() < base + words {
@@ -137,6 +143,9 @@ pub fn left_justify_seeded(
             if matrix.fits_mask(id, &occ[base..base + words]) {
                 occ[base + i / 64] |= 1 << (i % 64);
                 new_issue[i] = Some(t);
+                if contiguous {
+                    hints[class] = t;
+                }
                 break;
             }
             t += 1;
@@ -303,16 +312,16 @@ mod tests {
     fn chains(k: usize) -> Program {
         let mut p = Program::new();
         for i in 0..k {
-            let vc = p.add_value(&format!("c{i}"));
-            let vm = p.add_value(&format!("m{i}"));
-            let mut c = Rt::new(&format!("const{i}"));
+            let vc = p.add_value(format!("c{i}"));
+            let vm = p.add_value(format!("m{i}"));
+            let mut c = Rt::new(format!("const{i}"));
             c.add_def(vc);
             c.add_usage("rom", Usage::apply("const", [format!("{i}")]));
-            let mut m = Rt::new(&format!("mult{i}"));
+            let mut m = Rt::new(format!("mult{i}"));
             m.add_use(vc);
             m.add_def(vm);
             m.add_usage("mult", Usage::apply("mult", [format!("m{i}")]));
-            let mut a = Rt::new(&format!("add{i}"));
+            let mut a = Rt::new(format!("add{i}"));
             a.add_use(vm);
             a.add_usage("alu", Usage::apply("add", [format!("a{i}")]));
             p.add_rt(c);

@@ -70,13 +70,10 @@ impl DependenceGraph {
         program.validate().map_err(DepError::MalformedProgram)?;
         let n = program.rt_count();
         let mut dag = Dag::new(n);
-        // producer_of is O(n) per value; index once instead.
-        let mut producer = vec![None; program.value_count()];
-        for (id, rt) in program.rts() {
-            for &d in rt.defs() {
-                producer[d.0 as usize] = Some(id);
-            }
-        }
+        // The program maintains the producer table as RTs are added (and
+        // `validate` above just cross-checked it), so no per-build
+        // producer index rebuild is needed.
+        let producer = program.producer_table();
         for (id, rt) in program.rts() {
             for &u in rt.uses() {
                 let p = producer[u.0 as usize].expect("validated program");

@@ -279,7 +279,7 @@ mod tests {
     fn serial_program(k: usize) -> Program {
         let mut p = Program::new();
         for i in 0..k {
-            let mut rt = Rt::new(&format!("op{i}"));
+            let mut rt = Rt::new(format!("op{i}"));
             rt.add_usage("alu", Usage::token(format!("op{i}").as_str()));
             p.add_rt(rt);
         }

@@ -513,16 +513,16 @@ mod tests {
     fn chains(k: usize) -> Program {
         let mut p = Program::new();
         for i in 0..k {
-            let vc = p.add_value(&format!("c{i}"));
-            let vm = p.add_value(&format!("m{i}"));
-            let mut c = Rt::new(&format!("const{i}"));
+            let vc = p.add_value(format!("c{i}"));
+            let vm = p.add_value(format!("m{i}"));
+            let mut c = Rt::new(format!("const{i}"));
             c.add_def(vc);
             c.add_usage("rom", Usage::apply("const", [format!("{i}")]));
-            let mut m = Rt::new(&format!("mult{i}"));
+            let mut m = Rt::new(format!("mult{i}"));
             m.add_use(vc);
             m.add_def(vm);
             m.add_usage("mult", Usage::apply("mult", [format!("m{i}")]));
-            let mut a = Rt::new(&format!("add{i}"));
+            let mut a = Rt::new(format!("add{i}"));
             a.add_use(vm);
             a.add_usage("alu", Usage::apply("add", [format!("a{i}")]));
             p.add_rt(c);

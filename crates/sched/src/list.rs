@@ -137,6 +137,11 @@ pub struct SchedScratch {
     cycle_occ: Vec<u64>,
     /// Single-cycle occupancy bitset (list scheduling).
     occ: Vec<u64>,
+    /// Per conflict-row-class probe hints (insertion scheduling): all
+    /// cycles below `hints[class]` are proven infeasible for every RT of
+    /// that class in the current attempt (occupancy only grows, so a
+    /// failed `fits_mask` stays failed).
+    hints: Vec<u32>,
 }
 
 impl SchedScratch {
@@ -240,9 +245,22 @@ impl AttemptSet<'_> {
         &self,
         &(priority, seed, algo): &(Priority, u64, Algo),
         scratch: &mut SchedScratch,
+        cutoff: u32,
     ) -> Result<Schedule, SchedError> {
+        // `cutoff` is the best length already recorded (`u32::MAX` when
+        // none): an attempt that cannot get below it loses the
+        // `(length, index)` reduction even on a tie, so it may run under
+        // a tightened budget and fail early instead of finishing a
+        // schedule that would be discarded. Successful constructions are
+        // untouched — the budget only moves the failure point — so the
+        // reduction winner is bit-identical with or without the cutoff.
+        let budget = match self.budget {
+            Some(b) => Some(b.min(cutoff)),
+            None if cutoff != u32::MAX => Some(cutoff),
+            None => None,
+        };
         let config = ListConfig {
-            budget: self.budget,
+            budget,
             priority,
             jitter_seed: seed,
         };
@@ -483,7 +501,12 @@ pub(crate) fn best_effort_bounded(
         // amortise a thread spawn — so only round 0 fans out.
         if threads <= 1 || range.len() < 6 {
             for idx in range.clone() {
-                outcome.note(idx as u32, set.run(&attempts[idx], &mut scratch), bound);
+                let cutoff = outcome.best_len();
+                outcome.note(
+                    idx as u32,
+                    set.run(&attempts[idx], &mut scratch, cutoff),
+                    bound,
+                );
                 if outcome.bound_met() {
                     return outcome.winner();
                 }
@@ -541,7 +564,7 @@ fn parallel_round(
                             // worker would pull.
                             break;
                         }
-                        let result = set.run(&attempts[idx as usize], &mut scratch);
+                        let result = set.run(&attempts[idx as usize], &mut scratch, u32::MAX);
                         if let Ok(s) = &result {
                             let len = s.length();
                             if len <= bound {
@@ -630,6 +653,8 @@ pub fn insertion_schedule_in(
         .budget
         .unwrap_or(u32::MAX)
         .min(ctx.horizon + n as u32);
+    scratch.hints.clear();
+    scratch.hints.resize(matrix.class_count(), 0);
     let mut unplaced = n;
     while unplaced > 0 {
         // Most urgent ready RT (ties by RT id).
@@ -642,8 +667,19 @@ pub fn insertion_schedule_in(
         for (pred, lat) in deps.predecessors(id) {
             earliest = earliest.max(scratch.issue[pred.0 as usize].expect("topo order") + lat);
         }
+        // Probe from the row-class hint when it already covers
+        // `earliest`: every skipped cycle failed `fits_mask` for an RT
+        // with an identical conflict row, and occupancy only grows, so
+        // the outcome is the same with none of the probes.
+        let class = matrix.row_class(id) as usize;
+        let hint = scratch.hints[class];
+        let (start, contiguous) = if hint >= earliest {
+            (hint, true)
+        } else {
+            (earliest, false)
+        };
         let mut placed = false;
-        for t in earliest..limit {
+        for t in start..limit {
             let base = t as usize * words;
             if scratch.cycle_occ.len() < base + words {
                 scratch.cycle_occ.resize(base + words, 0);
@@ -652,6 +688,9 @@ pub fn insertion_schedule_in(
             if matrix.fits_mask(id, occ) {
                 occ[rt / 64] |= 1 << (rt % 64);
                 scratch.issue[rt] = Some(t);
+                if contiguous {
+                    scratch.hints[class] = t;
+                }
                 placed = true;
                 break;
             }
@@ -957,18 +996,18 @@ mod tests {
     fn two_chain_program() -> Program {
         let mut p = Program::new();
         for k in 0..2 {
-            let vc = p.add_value(&format!("c{k}"));
-            let vm = p.add_value(&format!("m{k}"));
-            let mut c = Rt::new(&format!("const{k}"));
+            let vc = p.add_value(format!("c{k}"));
+            let vm = p.add_value(format!("m{k}"));
+            let mut c = Rt::new(format!("const{k}"));
             c.add_def(vc);
             c.add_usage("rom", Usage::token("const"));
             c.add_usage("bus_rom", Usage::apply("const", [format!("c{k}")]));
-            let mut m = Rt::new(&format!("mult{k}"));
+            let mut m = Rt::new(format!("mult{k}"));
             m.add_use(vc);
             m.add_def(vm);
             m.add_usage("mult", Usage::token("mult"));
             m.add_usage("bus_mult", Usage::apply("mult", [format!("m{k}")]));
-            let mut a = Rt::new(&format!("add{k}"));
+            let mut a = Rt::new(format!("add{k}"));
             a.add_use(vm);
             a.add_usage("alu", Usage::token("add"));
             a.add_usage("bus_alu", Usage::apply("add", [format!("a{k}")]));

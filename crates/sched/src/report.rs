@@ -177,7 +177,7 @@ mod tests {
     fn program_and_schedule() -> (Program, Schedule) {
         let mut p = Program::new();
         for i in 0..4 {
-            let mut m = Rt::new(&format!("m{i}"));
+            let mut m = Rt::new(format!("m{i}"));
             m.add_usage("mult", Usage::apply("mult", [format!("{i}")]));
             p.add_rt(m);
         }

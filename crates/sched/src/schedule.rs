@@ -10,10 +10,22 @@ use crate::deps::DependenceGraph;
 ///
 /// Schedulers query compatibility millions of times; this packs the
 /// symmetric conflict relation into a bit matrix once.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConflictMatrix {
     n: usize,
     bits: Vec<u64>,
+    /// Per row: the `(first, last+1)` span of nonzero words — conflict
+    /// rows are sparse, so the scheduler's innermost `fits_mask` AND only
+    /// walks the words that can possibly intersect (derived from `bits`).
+    spans: Vec<(u32, u32)>,
+    /// Per row: a dense class id such that two RTs share a class iff
+    /// their conflict rows are identical (derived from `bits`). Within
+    /// one construction pass occupancy only grows, so a cycle that
+    /// failed `fits_mask` for a row stays infeasible for every RT of the
+    /// same class — schedulers exploit this with per-class probe hints.
+    row_class: Vec<u32>,
+    /// Number of distinct row classes.
+    class_count: u32,
 }
 
 impl ConflictMatrix {
@@ -21,45 +33,140 @@ impl ConflictMatrix {
     ///
     /// Two RTs conflict iff they use some shared resource with *different*
     /// usages, so the matrix is assembled **class-wise** rather than
-    /// pairwise: RTs are grouped into usage classes per resource, and each
-    /// member's row ORs in "users of this resource outside my class" with
-    /// one masked word-copy — `O(Σ usages · words)` instead of `O(n²)`
-    /// `compatible_with` walks, which dominated whole-pipeline profiles at
-    /// a few hundred RTs.
+    /// pairwise: every `(resource id, usage id, rt)` triple is collected
+    /// and integer-sorted, so usage classes per resource fall out as
+    /// contiguous runs — no string is hashed or compared anywhere. Each
+    /// member's row then ORs in "users of this resource outside my class"
+    /// with one masked word-copy — `O(Σ usages · words)` instead of
+    /// `O(n²)` `compatible_with` walks, which dominated whole-pipeline
+    /// profiles at a few hundred RTs.
     pub fn build(program: &Program) -> Self {
+        let n = program.rt_count();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        // (resource id, usage id, rt) — sorted, classes are runs.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+        for (id, rt) in program.rts() {
+            for &(res, usage) in rt.usage_ids() {
+                triples.push((res.id().0, usage.0, id.0));
+            }
+        }
+        triples.sort_unstable();
+        let mut all = vec![0u64; words];
+        let mut class = vec![0u64; words];
+        let mut i = 0;
+        while i < triples.len() {
+            // One resource's run: [i, j).
+            let res = triples[i].0;
+            let mut j = i;
+            for w in all.iter_mut() {
+                *w = 0;
+            }
+            while j < triples.len() && triples[j].0 == res {
+                let rt = triples[j].2 as usize;
+                all[rt / 64] |= 1 << (rt % 64);
+                j += 1;
+            }
+            // Usage-class sub-runs within [i, j).
+            let mut k = i;
+            while k < j {
+                let usage = triples[k].1;
+                let mut m = k;
+                for w in class.iter_mut() {
+                    *w = 0;
+                }
+                while m < j && triples[m].1 == usage {
+                    let rt = triples[m].2 as usize;
+                    class[rt / 64] |= 1 << (rt % 64);
+                    m += 1;
+                }
+                for &(_, _, rt) in &triples[k..m] {
+                    let rt = rt as usize;
+                    let row = &mut bits[rt * words..(rt + 1) * words];
+                    for ((r, &a), &c) in row.iter_mut().zip(&all).zip(class.iter()) {
+                        *r |= a & !c;
+                    }
+                }
+                k = m;
+            }
+            i = j;
+        }
+        Self::with_spans(n, bits)
+    }
+
+    /// The retained string-keyed reference construction: per-RT usage maps
+    /// keyed by resource **name** with usage **values** compared
+    /// structurally, exactly as the seed implementation did before symbol
+    /// interning. Quadratic and allocation-heavy — kept only so the
+    /// differential property test can pin [`ConflictMatrix::build`]
+    /// bit-identical to the string semantics on random programs.
+    pub fn build_reference(program: &Program) -> Self {
         use std::collections::BTreeMap;
         let n = program.rt_count();
         let words = n.div_ceil(64);
         let mut bits = vec![0u64; n * words];
-        // Per resource: the mask of all users, and the mask per usage class.
-        let mut users: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
-        let mut classes: BTreeMap<(&str, &dspcc_ir::Usage), Vec<u64>> = BTreeMap::new();
-        for (id, rt) in program.rts() {
-            let i = id.0 as usize;
-            for (res, usage) in rt.usages() {
-                let all = users.entry(res.name()).or_insert_with(|| vec![0u64; words]);
-                all[i / 64] |= 1 << (i % 64);
-                let class = classes
-                    .entry((res.name(), usage))
-                    .or_insert_with(|| vec![0u64; words]);
-                class[i / 64] |= 1 << (i % 64);
-            }
-        }
-        for ((res, _), class) in &classes {
-            let all = &users[res];
-            for (w, &members) in class.iter().enumerate() {
-                let mut rest = members;
-                while rest != 0 {
-                    let i = w * 64 + rest.trailing_zeros() as usize;
-                    rest &= rest - 1;
-                    let row = &mut bits[i * words..(i + 1) * words];
-                    for ((r, &a), &c) in row.iter_mut().zip(all).zip(class.iter()) {
-                        *r |= a & !c;
-                    }
+        let maps: Vec<BTreeMap<String, dspcc_ir::Usage>> = program
+            .rts()
+            .map(|(_, rt)| {
+                rt.usages()
+                    .map(|(r, u)| (r.name().to_owned(), u.clone()))
+                    .collect()
+            })
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let conflict = maps[i]
+                    .iter()
+                    .any(|(res, u)| maps[j].get(res).map(|v| v != u).unwrap_or(false));
+                if conflict {
+                    bits[i * words + j / 64] |= 1 << (j % 64);
                 }
             }
         }
-        ConflictMatrix { n, bits }
+        Self::with_spans(n, bits)
+    }
+
+    fn with_spans(n: usize, bits: Vec<u64>) -> Self {
+        let words = n.div_ceil(64);
+        let spans = (0..n)
+            .map(|i| {
+                let row = &bits[i * words..(i + 1) * words];
+                let first = row.iter().position(|&w| w != 0).unwrap_or(0);
+                let last = row.iter().rposition(|&w| w != 0).map_or(0, |p| p + 1);
+                (first as u32, last as u32)
+            })
+            .collect();
+        let (row_class, class_count) = {
+            let mut classes: std::collections::HashMap<&[u64], u32> =
+                std::collections::HashMap::new();
+            let mut row_class = Vec::with_capacity(n);
+            for i in 0..n {
+                let row = &bits[i * words..(i + 1) * words];
+                let next = classes.len() as u32;
+                row_class.push(*classes.entry(row).or_insert(next));
+            }
+            (row_class, classes.len() as u32)
+        };
+        ConflictMatrix {
+            n,
+            bits,
+            spans,
+            row_class,
+            class_count,
+        }
+    }
+
+    /// The row class of `rt`: equal classes ⇔ identical conflict rows.
+    pub fn row_class(&self, rt: RtId) -> u32 {
+        self.row_class[rt.0 as usize]
+    }
+
+    /// Number of distinct conflict-row classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count as usize
     }
 
     /// Number of RTs.
@@ -96,11 +203,14 @@ impl ConflictMatrix {
 
     /// Whether `rt` is compatible with every RT in the packed `occupancy`
     /// bitset (one bit per issued RT id): a single row-AND instead of a
-    /// per-RT loop.
+    /// per-RT loop, restricted to the row's nonzero-word span.
     pub fn fits_mask(&self, rt: RtId, occupancy: &[u64]) -> bool {
-        self.row(rt)
+        let (s, e) = self.spans[rt.0 as usize];
+        let (s, e) = (s as usize, e as usize);
+        let row = self.row(rt);
+        row[s..e]
             .iter()
-            .zip(occupancy)
+            .zip(&occupancy[s..e])
             .all(|(&c, &o)| c & o == 0)
     }
 }
@@ -364,7 +474,7 @@ mod tests {
         // disjoint-resource RTs, wide enough to span two row words.
         let mut p = Program::new();
         for i in 0..70 {
-            let mut rt = Rt::new(&format!("rt{i}"));
+            let mut rt = Rt::new(format!("rt{i}"));
             match i % 5 {
                 0 => rt.add_usage("alu", Usage::token("add")),
                 1 => rt.add_usage("alu", Usage::token("sub")),

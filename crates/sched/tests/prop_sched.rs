@@ -29,7 +29,7 @@ fn build_program(shapes: &[RtShape], edges: &[(usize, usize)]) -> Program {
     const MODES: [&str; 3] = ["a", "b", "c"];
     let n = shapes.len();
     let mut p = Program::new();
-    let values: Vec<_> = (0..n).map(|i| p.add_value(&format!("v{i}"))).collect();
+    let values: Vec<_> = (0..n).map(|i| p.add_value(format!("v{i}"))).collect();
     let mut uses: Vec<Vec<usize>> = vec![Vec::new(); n];
     for &(a, b) in edges {
         if a < b && !uses[b].contains(&a) {
@@ -37,7 +37,7 @@ fn build_program(shapes: &[RtShape], edges: &[(usize, usize)]) -> Program {
         }
     }
     for (i, &(unit, mode, bus, latency)) in shapes.iter().enumerate() {
-        let mut rt = Rt::new(&format!("rt{i}"));
+        let mut rt = Rt::new(format!("rt{i}"));
         rt.add_def(values[i]);
         rt.set_latency(latency);
         rt.add_usage(UNITS[unit], Usage::token(MODES[mode]));

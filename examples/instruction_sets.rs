@@ -60,7 +60,7 @@ fn main() {
     let mut program = Program::new();
     let mut ids = Vec::new();
     for (i, class) in [(0usize, "S"), (2, "U"), (4, "X")] {
-        let mut rt = Rt::new(&format!("RT of class {class}"));
+        let mut rt = Rt::new(format!("RT of class {class}"));
         rt.add_usage(format!("opu_{i}").as_str(), Usage::token("op"));
         ids.push(program.add_rt(rt));
     }

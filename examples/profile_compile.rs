@@ -1,27 +1,54 @@
-//! Ad-hoc stage timing for the audio-application compile (dev aid).
-use std::time::Instant;
+//! Per-stage timing for the audio-application compile.
+//!
+//! Prints the [`dspcc::CompileStats`] profile (lower / modify / deps /
+//! matrix / schedule / regalloc / encode) alongside the end-to-end wall
+//! time, then a few substrate micro-timings. Run in CI's bench-smoke job
+//! so the stats path is exercised on every push.
+
+use std::time::{Duration, Instant};
 
 use dspcc::dfg::{parse, Dfg};
 use dspcc::rtgen::{lower, LowerOptions};
 use dspcc::sched::bounds::length_lower_bound;
-use dspcc::sched::compact::schedule_and_compact_threaded;
 use dspcc::sched::deps::DependenceGraph;
 use dspcc::sched::ConflictMatrix;
-use dspcc::{apps, cores, Compiler};
+use dspcc::{apps, cores, CompileStats, Compiler};
 
 fn main() {
     let core = cores::audio_core();
     let src = apps::audio_application();
-    for restarts in [1u32, 2] {
+    for restarts in [1u32, 2, 6] {
+        let n = 5u32;
+        let mut acc = CompileStats::default();
         let t = Instant::now();
-        let n = 5;
         for _ in 0..n {
-            Compiler::new(&core)
+            let compiled = Compiler::new(&core)
                 .restarts(restarts)
                 .compile(&src)
                 .unwrap();
+            let s = compiled.stats;
+            acc.lower += s.lower;
+            acc.modify += s.modify;
+            acc.deps += s.deps;
+            acc.matrix += s.matrix;
+            acc.schedule += s.schedule;
+            acc.regalloc += s.regalloc;
+            acc.encode += s.encode;
         }
-        println!("compile restarts={restarts}: {:?}/iter", t.elapsed() / n);
+        let wall = t.elapsed() / n;
+        println!("compile restarts={restarts}: {wall:?}/iter");
+        let per = |d: Duration| d / n;
+        println!(
+            "  stages: lower {:?} | modify {:?} | deps {:?} | matrix {:?} | schedule {:?} | \
+             regalloc {:?} | encode {:?}",
+            per(acc.lower),
+            per(acc.modify),
+            per(acc.deps),
+            per(acc.matrix),
+            per(acc.schedule),
+            per(acc.regalloc),
+            per(acc.encode),
+        );
     }
     let dfg = Dfg::build(&parse(&src).unwrap()).unwrap();
     let n = 20;
@@ -50,14 +77,4 @@ fn main() {
         length_lower_bound(prog, &deps, &matrix),
         compiled.schedule.length()
     );
-    for threads in [1usize, 4, 8] {
-        let t = Instant::now();
-        for _ in 0..n {
-            let _ = schedule_and_compact_threaded(prog, &deps, None, 1, threads).unwrap();
-        }
-        println!(
-            "sched_and_compact threads={threads}: {:?}/iter",
-            t.elapsed() / n
-        );
-    }
 }
