@@ -36,7 +36,9 @@
 
 mod controller;
 mod datapath;
+pub mod fingerprint;
 pub mod merge;
 
 pub use controller::{Controller, ControllerBuilder};
 pub use datapath::{ArchError, BusSpec, Datapath, DatapathBuilder, OpuKind, OpuSpec, RfSpec};
+pub use fingerprint::Fnv64;

@@ -19,6 +19,13 @@
 //!   modification → scheduling → register allocation → instruction
 //!   encoding, with the feasibility feedback the paper's methodology
 //!   revolves around;
+//! * [`CompileSession`] / [`stages`] — the pipeline as individually
+//!   invokable stages whose `Arc`-shared artifacts are memoized by
+//!   content fingerprint, so the paper's design-iteration cycle (figure
+//!   1) reuses everything a changed option does not invalidate;
+//! * [`explore`] — parallel design-space exploration: a [`DesignSpace`]
+//!   grid of cores × budgets × covers × priorities × CSE swept through
+//!   one shared session into a deterministic feasibility table;
 //! * [`cores`] — ready-made cores: the figure-8 digital-audio core (with
 //!   the section-7 instruction set), a teaching-sized core, and an
 //!   intermediate-architecture variant for merging experiments;
@@ -44,9 +51,14 @@
 
 pub mod apps;
 pub mod cores;
+pub mod explore;
 mod pipeline;
+mod session;
+pub mod stages;
 
+pub use explore::{DesignSpace, Exploration, VariantMetrics, VariantRow};
 pub use pipeline::{CompileError, CompileStats, Compiled, Compiler, Core};
+pub use session::{CompileOptions, CompileSession};
 
 // Re-export the substrate crates under one roof, the way a user consumes
 // the workspace.

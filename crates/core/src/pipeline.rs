@@ -12,26 +12,33 @@
 //! result in a feasible solution an iteration cycle is required in which
 //! the source must be improved" (section 4). The error type is therefore
 //! deliberately rich.
+//!
+//! The pipeline itself lives in [`crate::stages`] as explicit,
+//! individually-invokable stage functions; [`Compiler`] is a thin builder
+//! that runs them through a fresh [`crate::CompileSession`] per call. Use
+//! a long-lived session (or the [`crate::explore`] driver) when compiling
+//! many variants of the same application — stage artifacts are then
+//! reused across compiles.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use dspcc_arch::{Controller, Datapath};
-use dspcc_dfg::{parse, Dfg};
-use dspcc_encode::{allocate_registers, encode, FieldLayout, Microcode, RegAssignment};
-use dspcc_isa::{artificial_resources, Classification, CoverStrategy, InstructionSet};
+use dspcc_dfg::Dfg;
+use dspcc_encode::{Microcode, RegAssignment};
+use dspcc_isa::{Classification, CoverStrategy, InstructionSet};
 use dspcc_num::WordFormat;
-use dspcc_rtgen::{apply_instruction_set, lower, LowerOptions, Lowering};
-use dspcc_sched::bounds::length_lower_bound;
-use dspcc_sched::compact::schedule_and_compact_in;
+use dspcc_rtgen::Lowering;
 use dspcc_sched::deps::DependenceGraph;
-use dspcc_sched::exact::{exact_schedule, ExactConfig};
 use dspcc_sched::folding::LoopEdge;
 use dspcc_sched::folding::{fold_schedule_with_restarts, FoldError, FoldedSchedule};
-use dspcc_sched::list::{list_schedule_with_matrix, ListConfig, Priority};
+use dspcc_sched::list::Priority;
 use dspcc_sched::report::OccupationReport;
-use dspcc_sched::{ConflictMatrix, Schedule};
+use dspcc_sched::Schedule;
 use dspcc_sim::CoreSim;
+
+use crate::session::{CompileOptions, CompileSession};
 
 /// An in-house core: datapath + controller + instruction set (+ word
 /// format) — "the core is defined by the presented datapath, the
@@ -102,12 +109,20 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// Wall-clock time spent in each stage of one [`Compiler::compile`] run —
-/// the per-stage profile that tells a designer (and the perf work) *where*
-/// a compile spends its milliseconds, not just the end-to-end total.
-/// Surfaced by `examples/profile_compile.rs` and exercised in CI.
+/// Wall-clock time spent in each stage of one compile — the per-stage
+/// profile that tells a designer (and the perf work) *where* a compile
+/// spends its milliseconds, not just the end-to-end total. Surfaced by
+/// `examples/profile_compile.rs` and exercised in CI.
+///
+/// Stages served from a [`CompileSession`]'s artifact cache report
+/// [`Duration::ZERO`] and count into [`CompileStats::cache_hits`] instead,
+/// so `total()` tracks the work *this* compile actually did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CompileStats {
+    /// Source parsing.
+    pub parse: Duration,
+    /// Semantic analysis / signal-flow-graph building.
+    pub sema: Duration,
     /// RT generation (`dspcc_rtgen::lower`).
     pub lower: Duration,
     /// RT modification (ISA classification + artificial resources).
@@ -122,12 +137,18 @@ pub struct CompileStats {
     pub regalloc: Duration,
     /// Word-format derivation + instruction encoding.
     pub encode: Duration,
+    /// Pipeline stages served from the session's artifact cache
+    /// (0 on a cold compile; up to 7 — frontend, lower, modify,
+    /// deps+matrix, schedule, regalloc, encode — on a full repeat).
+    pub cache_hits: u32,
 }
 
 impl CompileStats {
-    /// Sum over all stages.
+    /// Sum over all stages (cached stages contribute zero).
     pub fn total(&self) -> Duration {
-        self.lower
+        self.parse
+            + self.sema
+            + self.lower
             + self.modify
             + self.deps
             + self.matrix
@@ -141,8 +162,10 @@ impl fmt::Display for CompileStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "lower {:?} | modify {:?} | deps {:?} | matrix {:?} | schedule {:?} | \
-             regalloc {:?} | encode {:?} (total {:?})",
+            "parse {:?} | sema {:?} | lower {:?} | modify {:?} | deps {:?} | matrix {:?} | \
+             schedule {:?} | regalloc {:?} | encode {:?} (total {:?}, cache hits {})",
+            self.parse,
+            self.sema,
             self.lower,
             self.modify,
             self.deps,
@@ -150,7 +173,8 @@ impl fmt::Display for CompileStats {
             self.schedule,
             self.regalloc,
             self.encode,
-            self.total()
+            self.total(),
+            self.cache_hits
         )
     }
 }
@@ -158,18 +182,17 @@ impl fmt::Display for CompileStats {
 /// The compiler: a configured pipeline for one core.
 ///
 /// Non-consuming builder — set options, then call [`Compiler::compile`]
-/// repeatedly (the design-iteration loop of figure 1).
+/// repeatedly (the design-iteration loop of figure 1). Every `compile`
+/// runs through a fresh [`CompileSession`]; pass a shared session via
+/// [`Compiler::compile_in`] to reuse stage artifacts across compiles.
 #[derive(Debug, Clone)]
 pub struct Compiler<'c> {
     core: &'c Core,
-    budget: Option<u32>,
-    priority: Priority,
-    cse_constants: bool,
-    exact: bool,
-    exact_max_nodes: u64,
-    restarts: u32,
-    compaction: bool,
-    sched_threads: usize,
+    /// Lazily-built shared copy of `core`, so repeated `compile` calls in
+    /// the iteration loop clone the core once, not once per compile (the
+    /// borrow on `core` guarantees it cannot change underneath).
+    core_arc: std::sync::OnceLock<Arc<Core>>,
+    options: CompileOptions,
 }
 
 impl<'c> Compiler<'c> {
@@ -180,46 +203,52 @@ impl<'c> Compiler<'c> {
     pub fn new(core: &'c Core) -> Self {
         Compiler {
             core,
-            budget: None,
-            priority: Priority::Slack,
-            cse_constants: false,
-            exact: false,
-            exact_max_nodes: 2_000_000,
-            restarts: 6,
-            compaction: true,
-            sched_threads: 0,
+            core_arc: std::sync::OnceLock::new(),
+            options: CompileOptions::default(),
         }
+    }
+
+    fn core_arc(&self) -> &Arc<Core> {
+        self.core_arc.get_or_init(|| Arc::new(self.core.clone()))
     }
 
     /// Sets the hard cycle budget (e.g. 64 for the audio core: 2.8 MHz /
     /// 44 kHz).
     pub fn budget(&mut self, cycles: u32) -> &mut Self {
-        self.budget = Some(cycles);
+        self.options.budget = Some(cycles);
         self
     }
 
     /// Sets the list-scheduling priority function.
     pub fn priority(&mut self, priority: Priority) -> &mut Self {
-        self.priority = priority;
+        self.options.priority = priority;
         self
     }
 
     /// Enables merging of identical constant fetches.
     pub fn cse_constants(&mut self, on: bool) -> &mut Self {
-        self.cse_constants = on;
+        self.options.cse_constants = on;
         self
     }
 
     /// Uses the exact branch-and-bound scheduler (with execution-interval
     /// pruning) instead of list scheduling. Requires a budget.
     pub fn exact(&mut self, on: bool) -> &mut Self {
-        self.exact = on;
+        self.options.exact = on;
+        self
+    }
+
+    /// Node limit for the exact scheduler's branch-and-bound search
+    /// (default 2,000,000) — the knob that trades completeness for a
+    /// bounded worst case on hostile inputs.
+    pub fn exact_max_nodes(&mut self, n: u64) -> &mut Self {
+        self.options.exact_max_nodes = n;
         self
     }
 
     /// Restart count for the randomised scheduling search.
     pub fn restarts(&mut self, n: u32) -> &mut Self {
-        self.restarts = n;
+        self.options.restarts = n;
         self
     }
 
@@ -229,190 +258,90 @@ impl<'c> Compiler<'c> {
     /// attempts by a deterministic `(length, attempt index)` rule — so
     /// this knob trades latency only, never output.
     pub fn sched_threads(&mut self, n: usize) -> &mut Self {
-        self.sched_threads = n;
+        self.options.sched_threads = n;
         self
     }
 
     /// Disables justification compaction (single greedy pass only) — the
     /// weak-scheduler baseline of experiment E10.
     pub fn compaction(&mut self, on: bool) -> &mut Self {
-        self.compaction = on;
+        self.options.compaction = on;
         self
     }
 
-    /// Runs the full pipeline on `source`.
+    /// The accumulated option set (what a [`CompileSession`] keys stage
+    /// caches on).
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Runs the full pipeline on `source` through a fresh session.
     ///
     /// # Errors
     ///
     /// Returns the first stage failure as [`CompileError`] — the
     /// designer-facing feasibility feedback.
     pub fn compile(&self, source: &str) -> Result<Compiled, CompileError> {
-        let program = parse(source).map_err(CompileError::Parse)?;
-        let dfg = Dfg::build(&program).map_err(CompileError::Sema)?;
-        self.compile_dfg(&dfg)
+        self.compile_in(&CompileSession::new(), source)
+    }
+
+    /// As [`Compiler::compile`], reusing `session`'s cached stage
+    /// artifacts (and contributing this compile's artifacts to it).
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile`].
+    pub fn compile_in(
+        &self,
+        session: &CompileSession,
+        source: &str,
+    ) -> Result<Compiled, CompileError> {
+        session.compile(self.core_arc(), source, &self.options)
     }
 
     /// As [`Compiler::compile`], from an already-built signal-flow graph.
+    ///
+    /// Runs through a fresh throwaway session like [`Compiler::compile`];
+    /// when compiling the same graph repeatedly, use
+    /// [`CompileSession::compile_dfg`] with a shared session so the stage
+    /// work past the frontend amortizes across calls (the graph content
+    /// fingerprint itself is recomputed per call — it is what the cache
+    /// is keyed on).
     ///
     /// # Errors
     ///
     /// See [`Compiler::compile`].
     pub fn compile_dfg(&self, dfg: &Dfg) -> Result<Compiled, CompileError> {
-        let core = self.core;
-        let mut stats = CompileStats::default();
-        // Step 1: RT generation.
-        let opts = LowerOptions {
-            cse_constants: self.cse_constants,
-        };
-        let t = Instant::now();
-        let mut lowering = lower(dfg, &core.datapath, &opts).map_err(CompileError::Lower)?;
-        stats.lower = t.elapsed();
-        // Step 2: RT modification — impose the instruction set.
-        let t = Instant::now();
-        let mut artificial_names = Vec::new();
-        let classification = match (&core.classification, &core.instruction_set) {
-            (Some(c), Some(iset)) => {
-                let ars = artificial_resources(iset, c, core.cover);
-                artificial_names = apply_instruction_set(&mut lowering.program, c, &ars);
-                Some(c.clone())
-            }
-            (None, Some(iset)) => {
-                let c = Classification::identify(&core.datapath);
-                let ars = artificial_resources(iset, &c, core.cover);
-                artificial_names = apply_instruction_set(&mut lowering.program, &c, &ars);
-                Some(c)
-            }
-            _ => core.classification.clone(),
-        };
-        stats.modify = t.elapsed();
-        // Step 3: scheduling. The conflict matrix and the provable length
-        // lower bound are computed once and shared: the matrix feeds the
-        // scheduler, the bound its stopping rules and the quality report.
-        let t = Instant::now();
-        let deps = DependenceGraph::build_with_edges(&lowering.program, &lowering.sequence_edges)
-            .map_err(|e| CompileError::Deps(e.to_string()))?;
-        stats.deps = t.elapsed();
-        let t = Instant::now();
-        let matrix = ConflictMatrix::build(&lowering.program);
-        stats.matrix = t.elapsed();
-        let t = Instant::now();
-        let hard_cap = core.controller.program_depth();
-        let budget = self.budget.map(|b| b.min(hard_cap)).unwrap_or(hard_cap);
-        let (schedule, schedule_bound) = if self.exact {
-            let mut config = ExactConfig::new(budget);
-            config.max_nodes = self.exact_max_nodes;
-            let result = exact_schedule(&lowering.program, &deps, &config);
-            let schedule = match result.schedule {
-                Some(s) => s,
-                None => {
-                    return Err(CompileError::Schedule(
-                        dspcc_sched::SchedError::BudgetExceeded {
-                            budget,
-                            unplaced: lowering.program.rt_count(),
-                        },
-                    ))
-                }
-            };
-            let bound = length_lower_bound(&lowering.program, &deps, &matrix);
-            (schedule, bound)
-        } else if self.compaction {
-            schedule_and_compact_in(
-                &lowering.program,
-                &deps,
-                &matrix,
-                Some(budget),
-                self.restarts,
-                self.sched_threads,
-            )
-            .map_err(CompileError::Schedule)?
-        } else {
-            let config = ListConfig {
-                budget: Some(budget),
-                priority: self.priority,
-                jitter_seed: 0,
-            };
-            let schedule = list_schedule_with_matrix(&lowering.program, &deps, &matrix, &config)
-                .map_err(CompileError::Schedule)?;
-            let bound = length_lower_bound(&lowering.program, &deps, &matrix);
-            (schedule, bound)
-        };
-        stats.schedule = t.elapsed();
-        if schedule.length() > hard_cap {
-            return Err(CompileError::ProgramTooLong {
-                needed: schedule.length(),
-                available: hard_cap,
-            });
-        }
-        // Register allocation + encoding.
-        let t = Instant::now();
-        let pinned = vec![lowering.fp_reg.clone()];
-        let assignment = allocate_registers(&lowering.program, &schedule, &core.datapath, &pinned)
-            .map_err(CompileError::RegAlloc)?;
-        stats.regalloc = t.elapsed();
-        let t = Instant::now();
-        let layout = FieldLayout::derive(&core.datapath, core.format);
-        let words = encode(
-            &assignment.program,
-            &schedule,
-            &layout,
-            &lowering.immediates,
-            core.format,
-        )
-        .map_err(CompileError::Encode)?;
-        // The IO orders are the microcode's contract with the simulator;
-        // move them out of the lowering instead of cloning (the lowering
-        // keeps the program and layout data the reports read).
-        let microcode = Microcode {
-            words,
-            layout,
-            rom_image: lowering
-                .rom_image
-                .iter()
-                .map(|&v| core.format.from_f64(v))
-                .collect(),
-            region_size: lowering.ram_layout.region_size,
-            output_order: std::mem::take(&mut lowering.output_order),
-            input_order: std::mem::take(&mut lowering.input_order),
-            word_format: core.format,
-        };
-        stats.encode = t.elapsed();
-        Ok(Compiled {
-            core: core.clone(),
-            dfg: dfg.clone(),
-            lowering,
-            deps,
-            schedule,
-            schedule_bound,
-            assignment,
-            microcode,
-            artificial_names,
-            classification,
-            stats,
-        })
+        CompileSession::new().compile_dfg(self.core_arc(), &Arc::new(dfg.clone()), &self.options)
     }
 }
 
 /// Everything the pipeline produced, kept around for inspection,
 /// reporting, and simulation.
+///
+/// The large members are `Arc`-shared with the session's stage artifacts:
+/// compiling N variants of one application does **not** clone the core,
+/// graph, lowering, or dependence graph N times — the variants share
+/// them, and each `Compiled` is cheap to hold.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     /// The core compiled for.
-    pub core: Core,
+    pub core: Arc<Core>,
     /// The application's signal-flow graph.
-    pub dfg: Dfg,
+    pub dfg: Arc<Dfg>,
     /// RT generation output (program already ISA-modified).
-    pub lowering: Lowering,
+    pub lowering: Arc<Lowering>,
     /// Dependence graph used for scheduling.
-    pub deps: DependenceGraph,
+    pub deps: Arc<DependenceGraph>,
     /// The schedule (one instruction per cycle).
-    pub schedule: Schedule,
+    pub schedule: Arc<Schedule>,
     /// Provable lower bound on the schedule length
     /// (`dspcc_sched::bounds`), computed during compilation.
     pub schedule_bound: u32,
     /// Physical register assignment.
-    pub assignment: RegAssignment,
+    pub assignment: Arc<RegAssignment>,
     /// Executable microcode.
-    pub microcode: Microcode,
+    pub microcode: Arc<Microcode>,
     /// Names of the artificial resources installed (empty without an ISA).
     pub artificial_names: Vec<String>,
     /// The classification used, if any.
@@ -586,6 +515,26 @@ mod tests {
     }
 
     #[test]
+    fn exact_max_nodes_is_settable_and_observed() {
+        let core = cores::tiny_core();
+        let src = "input u; coeff k = 0.25; output y; y = add(mlt(k, u), u);";
+        let feasible = Compiler::new(&core).compile(src).unwrap();
+        // The builder records the limit...
+        let mut compiler = Compiler::new(&core);
+        compiler
+            .budget(feasible.cycles())
+            .exact(true)
+            .exact_max_nodes(1);
+        assert_eq!(compiler.options().exact_max_nodes, 1);
+        // ...and a one-node search cannot place the program: the exact
+        // scheduler exhausts its budget and reports a schedule failure
+        // where the default limit (see exact_scheduler_matches_list_
+        // feasibility) succeeds.
+        let err = compiler.compile(src).unwrap_err();
+        assert!(matches!(err, CompileError::Schedule(_)), "{err}");
+    }
+
+    #[test]
     fn audio_core_runs_delay_lines() {
         let core = cores::audio_core();
         let compiled = Compiler::new(&core)
@@ -613,5 +562,34 @@ mod tests {
         let report = compiled.occupation(&[("MULT", "mult"), ("RAM", "ram")]);
         assert!(report.row("MULT").unwrap().busy_cycles() >= 1);
         assert!(report.row("RAM").unwrap().busy_cycles() >= 2);
+    }
+
+    #[test]
+    fn warm_session_reuses_frontend_and_analysis() {
+        let core = Arc::new(cores::audio_core());
+        let src = "input u; coeff k = 0.5; output y; y = add_clip(mlt(k, u), u);";
+        let session = CompileSession::new();
+        let cold = session
+            .compile(&core, src, &CompileOptions::default())
+            .unwrap();
+        assert_eq!(cold.stats.cache_hits, 0);
+        // Re-scheduling with only schedule-stage options changed skips
+        // frontend, lower, modify, and deps+matrix: 4 hits.
+        let warm_opts = CompileOptions {
+            budget: Some(cold.cycles() + 4),
+            restarts: 2,
+            ..CompileOptions::default()
+        };
+        let warm = session.compile(&core, src, &warm_opts).unwrap();
+        assert_eq!(warm.stats.cache_hits, 4);
+        assert!(Arc::ptr_eq(&cold.lowering, &warm.lowering));
+        assert!(Arc::ptr_eq(&cold.deps, &warm.deps));
+        // An identical repeat hits every stage.
+        let repeat = session
+            .compile(&core, src, &CompileOptions::default())
+            .unwrap();
+        assert_eq!(repeat.stats.cache_hits, 7);
+        assert!(Arc::ptr_eq(&cold.microcode, &repeat.microcode));
+        assert_eq!(repeat.stats.total(), Duration::ZERO);
     }
 }

@@ -194,9 +194,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             _ => {
                 // `i` sits on a character boundary (everything consumed so
-                // far was ASCII), so decode the real character for the
-                // error message.
+                // far was ASCII), so decode the real character.
                 let other = src[i..].chars().next().unwrap_or('?');
+                // Non-ASCII whitespace (a no-break space pasted from a
+                // document, say) is still whitespace; Unicode line
+                // terminators still count as line breaks so later
+                // diagnostics point at the right line.
+                if other.is_whitespace() {
+                    if matches!(other, '\u{85}' | '\u{2028}' | '\u{2029}') {
+                        line += 1;
+                    }
+                    i += other.len_utf8();
+                    continue;
+                }
                 return Err(LexError {
                     line,
                     message: format!("unexpected character `{other}`"),
@@ -213,6 +223,24 @@ mod tests {
 
     fn kinds(src: &str) -> Vec<TokenKind> {
         tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn skips_non_ascii_whitespace() {
+        // A no-break space (U+00A0) between tokens — the kind of byte a
+        // source picks up when copy-pasted from a document.
+        let ks = kinds("input\u{a0}u;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("input".into()),
+                TokenKind::Ident("u".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+        // Unicode line terminators count as line breaks for diagnostics.
+        let err = tokenize("input u;\u{2028}%").unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
     }
 
     #[test]

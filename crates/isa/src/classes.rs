@@ -225,6 +225,24 @@ impl Classification {
         None
     }
 
+    /// Content fingerprint: every class's name, OPU resource, and usage
+    /// set, in classification order. Used by the compile session to key
+    /// cached RT-modification artifacts — merging or renaming classes
+    /// changes the fingerprint and invalidates them.
+    pub fn fingerprint(&self) -> u64 {
+        dspcc_arch::Fnv64::of_parts(|h| {
+            h.write_u64(self.classes.len() as u64);
+            for class in &self.classes {
+                h.write_text(&class.name);
+                h.write_text(class.opu.name());
+                h.write_u64(class.usages.len() as u64);
+                for usage in &class.usages {
+                    h.write_text(usage);
+                }
+            }
+        })
+    }
+
     /// Formats the figure-5 style table.
     pub fn to_table(&self) -> String {
         let mut out = String::from("OPU Resource  Usage        Class\n");

@@ -44,6 +44,29 @@ pub enum CoverStrategy {
     ExactMinimum,
 }
 
+impl CoverStrategy {
+    /// Stable fingerprint tag for cache keys (the compile session keys
+    /// RT-modification artifacts on the strategy, since the artificial
+    /// resources it yields differ).
+    pub fn fingerprint(self) -> u64 {
+        match self {
+            CoverStrategy::PerEdge => 1,
+            CoverStrategy::GreedyMaximal => 2,
+            CoverStrategy::ExactMinimum => 3,
+        }
+    }
+}
+
+impl fmt::Display for CoverStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CoverStrategy::PerEdge => "per-edge",
+            CoverStrategy::GreedyMaximal => "greedy",
+            CoverStrategy::ExactMinimum => "exact",
+        })
+    }
+}
+
 /// One artificial resource: a clique of the conflict graph, named after
 /// its member classes (`SX`, `TUY`, `ABC`, …).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -220,6 +220,23 @@ impl InstructionSet {
         Ok(())
     }
 
+    /// Content fingerprint: the class count and every type (types iterate
+    /// in `BTreeSet` order, so the value is independent of construction
+    /// order). Used by the compile session to key cached RT-modification
+    /// artifacts against the instruction set actually imposed.
+    pub fn fingerprint(&self) -> u64 {
+        dspcc_arch::Fnv64::of_parts(|h| {
+            h.write_u64(self.class_count as u64);
+            h.write_u64(self.types.len() as u64);
+            for ty in &self.types {
+                h.write_u64(ty.len() as u64);
+                for class in ty {
+                    h.write_u64(class.0 as u64);
+                }
+            }
+        })
+    }
+
     /// The conflict graph (paper figure 6): nodes are classes, and an edge
     /// joins two classes that occur together in **no** instruction type.
     ///

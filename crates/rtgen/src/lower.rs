@@ -100,6 +100,21 @@ pub struct Lowering {
     pub fp_reg: (String, u32),
 }
 
+/// An IO order: `(OPU name, DFG port)` pairs in issue order.
+pub type IoOrder = Vec<(String, usize)>;
+
+impl Lowering {
+    /// Clones the IO orders — the microcode's contract with the simulator.
+    ///
+    /// The staged pipeline shares one immutable `Lowering` across many
+    /// schedule/encode variants (`Arc`-held stage artifacts), so the
+    /// encoder copies these two small vectors instead of `mem::take`ing
+    /// them out of a uniquely-owned lowering.
+    pub fn io_orders(&self) -> (IoOrder, IoOrder) {
+        (self.output_order.clone(), self.input_order.clone())
+    }
+}
+
 /// RT-generation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LowerError {

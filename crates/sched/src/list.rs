@@ -48,6 +48,18 @@ pub enum Priority {
     SourceOrder,
 }
 
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::Slack => "slack",
+            Priority::Alap => "alap",
+            Priority::SinkAlap => "sink-alap",
+            Priority::CriticalPath => "critical-path",
+            Priority::SourceOrder => "source-order",
+        })
+    }
+}
+
 /// Configuration of [`list_schedule`].
 #[derive(Debug, Clone, Default)]
 pub struct ListConfig {

@@ -1,10 +1,12 @@
 //! Per-stage timing for the audio-application compile.
 //!
-//! Prints the [`dspcc::CompileStats`] profile (lower / modify / deps /
-//! matrix / schedule / regalloc / encode) alongside the end-to-end wall
-//! time, then a few substrate micro-timings. Run in CI's bench-smoke job
-//! so the stats path is exercised on every push.
+//! Prints the [`dspcc::CompileStats`] profile (parse / sema / lower /
+//! modify / deps / matrix / schedule / regalloc / encode) alongside the
+//! end-to-end wall time, a warm-session reuse demonstration (the
+//! `cache_hits` counter), then a few substrate micro-timings. Run in
+//! CI's bench-smoke job so the stats path is exercised on every push.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dspcc::dfg::{parse, Dfg};
@@ -12,7 +14,7 @@ use dspcc::rtgen::{lower, LowerOptions};
 use dspcc::sched::bounds::length_lower_bound;
 use dspcc::sched::deps::DependenceGraph;
 use dspcc::sched::ConflictMatrix;
-use dspcc::{apps, cores, CompileStats, Compiler};
+use dspcc::{apps, cores, CompileOptions, CompileSession, CompileStats, Compiler};
 
 fn main() {
     let core = cores::audio_core();
@@ -27,6 +29,8 @@ fn main() {
                 .compile(&src)
                 .unwrap();
             let s = compiled.stats;
+            acc.parse += s.parse;
+            acc.sema += s.sema;
             acc.lower += s.lower;
             acc.modify += s.modify;
             acc.deps += s.deps;
@@ -39,8 +43,10 @@ fn main() {
         println!("compile restarts={restarts}: {wall:?}/iter");
         let per = |d: Duration| d / n;
         println!(
-            "  stages: lower {:?} | modify {:?} | deps {:?} | matrix {:?} | schedule {:?} | \
-             regalloc {:?} | encode {:?}",
+            "  stages: parse {:?} | sema {:?} | lower {:?} | modify {:?} | deps {:?} | \
+             matrix {:?} | schedule {:?} | regalloc {:?} | encode {:?}",
+            per(acc.parse),
+            per(acc.sema),
             per(acc.lower),
             per(acc.modify),
             per(acc.deps),
@@ -48,6 +54,37 @@ fn main() {
             per(acc.schedule),
             per(acc.regalloc),
             per(acc.encode),
+        );
+    }
+
+    // Warm-session reuse: the design-iteration loop re-schedules under
+    // shrinking budgets; everything up to the conflict matrix is served
+    // from the session's artifact cache (cache_hits = 4 per re-compile).
+    let session = CompileSession::new();
+    let shared_core = Arc::new(core.clone());
+    let cold_opts = CompileOptions {
+        restarts: 1,
+        ..CompileOptions::default()
+    };
+    let t = Instant::now();
+    let cold = session.compile(&shared_core, &src, &cold_opts).unwrap();
+    println!(
+        "session cold : {:?} (cache hits {})",
+        t.elapsed(),
+        cold.stats.cache_hits
+    );
+    for budget in [cold.cycles() + 16, cold.cycles() + 8, cold.cycles()] {
+        let opts = CompileOptions {
+            budget: Some(budget),
+            restarts: 1,
+            ..CompileOptions::default()
+        };
+        let t = Instant::now();
+        let warm = session.compile(&shared_core, &src, &opts).unwrap();
+        println!(
+            "session warm : {:?} re-schedule at budget {budget} (cache hits {})",
+            t.elapsed(),
+            warm.stats.cache_hits,
         );
     }
     let dfg = Dfg::build(&parse(&src).unwrap()).unwrap();
