@@ -1,0 +1,974 @@
+//! Seeded architecture generation — random-but-valid in-house cores.
+//!
+//! The paper's whole point is *retargetability*: the code generator is
+//! driven by an architecture description, not baked against one core. Yet
+//! a test suite that only ever compiles for a handful of hand-written
+//! datapaths exercises exactly those datapaths' corners and no others.
+//! This module turns the architecture axis into test input: a
+//! [`CoreGenerator`] synthesizes a pseudo-random [`Datapath`] (OPUs with
+//! randomized operation sets and latencies, register files with randomized
+//! sizes, a randomized bus-connectivity overlay) plus a matching
+//! [`Controller`] — **deterministically** from a `u64` seed, with no
+//! wall-clock, thread-id, or global-state input whatsoever, so a failing
+//! seed reproduces anywhere.
+//!
+//! # Validity invariants
+//!
+//! Every value returned by [`CoreGenerator::generate`] satisfies:
+//!
+//! 1. the datapath passes [`ArchPlan::build`]'s referential validation
+//!    (the same path every hand-written core takes);
+//! 2. a routable *backbone* exists: input port → RAM/MULT/ALU → output
+//!    port, ACU offsets reachable from the program-constant unit, RAM
+//!    addresses from the ACU, coefficients from the ROM — so RT generation
+//!    can lower the standard application corpus (a core may still be
+//!    legitimately *infeasible* for a given program — too little RAM, too
+//!    few registers, too tight a controller — which the conformance fleet
+//!    classifies as `Infeasible`, never as a generator bug);
+//! 3. at least one ALU supports `pass` (the router's bridge operation) and
+//!    every OPU supports at least one operation;
+//! 4. all operation names are drawn from the simulator's executable
+//!    vocabulary, so a *compiled* program is always *runnable*.
+//!
+//! # Repair / reject policy
+//!
+//! Random draws that violate an invariant are **repaired** when the fix is
+//! local (an empty ALU operation set gains `pass`; a missing `pass` is
+//! added to the first ALU), with the reason recorded in
+//! [`GeneratedArch::repairs`]. Draws that fail structural validation
+//! outright are **rejected**: the attempt is recorded in
+//! [`GeneratedArch::rejects`] with the validation error, and generation
+//! redraws from a derived substream (`seed`, attempt index). With the
+//! backbone construction below rejects cannot occur, but the loop keeps
+//! the generator honest against future config extensions — `generate`
+//! never returns an invalid core and never loops more than
+//! [`MAX_ATTEMPTS`] times.
+
+use std::fmt;
+
+use crate::controller::Controller;
+use crate::datapath::{ArchError, Datapath, DatapathBuilder, OpuKind};
+use crate::fingerprint::Fnv64;
+
+/// Attempt cap for the reject-and-redraw loop; hitting it is a generator
+/// bug, not a seed property.
+pub const MAX_ATTEMPTS: u32 = 8;
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: a tiny, statistically solid, splittable PRNG. Chosen over
+/// an external crate (offline build) and over `std`'s hasher randomness
+/// (per-process seeded): the whole point is that `SplitMix64::new(seed)`
+/// yields the same stream on every run, platform, and thread.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// A generator for a named substream of `seed` — used so that, e.g.,
+    /// the connectivity draws of attempt 2 do not depend on how many
+    /// numbers attempt 1 consumed.
+    pub fn substream(seed: u64, stream: u64) -> Self {
+        let mut g = SplitMix64::new(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        g.next_u64(); // decouple from the raw xor
+        g
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = u64::from(hi - lo) + 1;
+        lo + (self.next_u64() % span) as u32
+    }
+
+    /// True with probability `percent`/100.
+    pub fn chance(&mut self, percent: u32) -> bool {
+        self.next_u64() % 100 < u64::from(percent)
+    }
+
+    /// A uniformly drawn element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next_u64() % items.len() as u64) as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ArchPlan: the one validation path for hand-written and generated cores
+// ---------------------------------------------------------------------------
+
+/// Blueprint of one operation unit.
+#[derive(Debug, Clone)]
+pub struct UnitPlan {
+    /// Unit kind (fixes simulation semantics).
+    pub kind: OpuKind,
+    /// Unit name.
+    pub name: String,
+    /// Supported operations with latencies.
+    pub ops: Vec<(String, u32)>,
+    /// Input register files, in port order.
+    pub inputs: Vec<String>,
+    /// Output bus, if the unit drives one.
+    pub bus: Option<String>,
+    /// Memory words for RAM/ROM kinds.
+    pub memory: u32,
+}
+
+impl UnitPlan {
+    /// A unit of `kind` named `name` supporting `ops`.
+    pub fn new(kind: OpuKind, name: &str, ops: &[(&str, u32)]) -> Self {
+        UnitPlan {
+            kind,
+            name: name.to_owned(),
+            ops: ops.iter().map(|&(o, l)| (o.to_owned(), l)).collect(),
+            inputs: Vec::new(),
+            bus: None,
+            memory: 0,
+        }
+    }
+
+    /// Connects the input ports to register files, in port order.
+    pub fn inputs(mut self, rfs: &[&str]) -> Self {
+        self.inputs = rfs.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Connects the output to `bus`.
+    pub fn bus(mut self, bus: &str) -> Self {
+        self.bus = Some(bus.to_owned());
+        self
+    }
+
+    /// Declares the memory size (RAM/ROM kinds).
+    pub fn memory(mut self, words: u32) -> Self {
+        self.memory = words;
+        self
+    }
+}
+
+/// Blueprint of one register file.
+#[derive(Debug, Clone)]
+pub struct RfPlan {
+    /// File name.
+    pub name: String,
+    /// Number of registers.
+    pub size: u32,
+    /// Buses that may write into the file, in multiplexer-input order.
+    pub write_buses: Vec<String>,
+}
+
+impl RfPlan {
+    /// A register file of `size` registers written from `write_buses`.
+    pub fn new(name: &str, size: u32, write_buses: &[&str]) -> Self {
+        RfPlan {
+            name: name.to_owned(),
+            size,
+            write_buses: write_buses.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+/// A complete datapath blueprint: the shared substrate hand-written cores
+/// (`dspcc::cores`) and the generator both materialise through, so both
+/// take exactly one validation path — [`DatapathBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct ArchPlan {
+    /// All units, in declaration order.
+    pub units: Vec<UnitPlan>,
+    /// All register files, in declaration order.
+    pub rfs: Vec<RfPlan>,
+}
+
+impl ArchPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        ArchPlan::default()
+    }
+
+    /// Adds a register file.
+    pub fn rf(mut self, rf: RfPlan) -> Self {
+        self.rfs.push(rf);
+        self
+    }
+
+    /// Adds a unit.
+    pub fn unit(mut self, unit: UnitPlan) -> Self {
+        self.units.push(unit);
+        self
+    }
+
+    /// Materialises and validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArchError`] from [`DatapathBuilder::build`].
+    pub fn build(&self) -> Result<Datapath, ArchError> {
+        let mut b = DatapathBuilder::new();
+        for rf in &self.rfs {
+            b = b.register_file(&rf.name, rf.size);
+        }
+        for u in &self.units {
+            let ops: Vec<(&str, u32)> = u.ops.iter().map(|(o, l)| (o.as_str(), *l)).collect();
+            b = b.opu(u.kind, &u.name, &ops);
+            if !u.inputs.is_empty() {
+                let ins: Vec<&str> = u.inputs.iter().map(String::as_str).collect();
+                b = b.inputs(&u.name, &ins);
+            }
+            if let Some(bus) = &u.bus {
+                b = b.output(&u.name, bus);
+            }
+            if u.memory > 0 {
+                b = b.memory(&u.name, u.memory);
+            }
+        }
+        for rf in &self.rfs {
+            if !rf.write_buses.is_empty() {
+                let buses: Vec<&str> = rf.write_buses.iter().map(String::as_str).collect();
+                b = b.write_port(&rf.name, &buses);
+            }
+        }
+        b.build()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generator configuration
+// ---------------------------------------------------------------------------
+
+/// Inclusive ranges the generator draws its structural parameters from.
+///
+/// Collapsing a range (`lo == hi`) pins that dimension; collapsing *all*
+/// of them makes every seed produce a structurally identical core — which
+/// the fingerprint tests exploit to check that equal structure hashes
+/// equal regardless of the seed that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Number of ALUs.
+    pub alus: (u32, u32),
+    /// Number of multipliers.
+    pub mults: (u32, u32),
+    /// Number of output ports.
+    pub outputs: (u32, u32),
+    /// Register-file size range (all files except the ACU base file).
+    pub rf_size: (u32, u32),
+    /// Data-RAM words.
+    pub ram_words: (u32, u32),
+    /// Coefficient-ROM words.
+    pub rom_words: (u32, u32),
+    /// Maximum operation latency (draws are `1..=max_latency`).
+    pub max_latency: u32,
+    /// Probability (percent) of each *optional* bus→register-file edge
+    /// beyond the guaranteed backbone.
+    pub extra_connectivity: u32,
+    /// Probability (percent) of each optional ALU operation.
+    pub alu_op_chance: u32,
+    /// ACU base-register-file size (holds the frame pointer).
+    pub acu_base_size: (u32, u32),
+    /// Output-port register-file size.
+    pub out_rf_size: (u32, u32),
+    /// Probability (percent) of a full (stack/flag-parameterised)
+    /// controller instead of the stripped one.
+    pub full_controller_chance: u32,
+    /// Controller program-memory depth.
+    pub program_depth: (u32, u32),
+    /// Datapath word width in bits (the numeric format).
+    pub word_width: (u32, u32),
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            alus: (1, 3),
+            mults: (1, 2),
+            outputs: (1, 2),
+            rf_size: (4, 12),
+            // Upper ends sized so the heaviest corpus workload (the
+            // figure-7 audio application: 48 RAM words, 58 coefficients)
+            // is reachable on a meaningful fraction of seeds while small
+            // draws keep exercising the overflow feasibility paths.
+            ram_words: (16, 96),
+            rom_words: (16, 96),
+            max_latency: 2,
+            extra_connectivity: 35,
+            alu_op_chance: 70,
+            acu_base_size: (1, 2),
+            out_rf_size: (2, 4),
+            full_controller_chance: 30,
+            program_depth: (64, 256),
+            word_width: (12, 24),
+        }
+    }
+}
+
+impl GenConfig {
+    /// Checks the config stays inside the generator's envelope: every
+    /// backbone anchor needs at least one instance (≥ 1 ALU, multiplier
+    /// and output port), register files need at least one register,
+    /// ranges must be non-empty, and word widths must be representable
+    /// (2..=48 bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let range = |name: &str, (lo, hi): (u32, u32), min: u32| -> Result<(), String> {
+            if lo > hi {
+                return Err(format!("{name}: empty range {lo}..={hi}"));
+            }
+            if lo < min {
+                return Err(format!("{name}: lower bound {lo} below minimum {min}"));
+            }
+            Ok(())
+        };
+        range("alus", self.alus, 1)?;
+        range("mults", self.mults, 1)?;
+        range("outputs", self.outputs, 1)?;
+        range("rf_size", self.rf_size, 1)?;
+        range("ram_words", self.ram_words, 1)?;
+        range("rom_words", self.rom_words, 1)?;
+        range("acu_base_size", self.acu_base_size, 1)?;
+        range("out_rf_size", self.out_rf_size, 1)?;
+        range("program_depth", self.program_depth, 1)?;
+        range("word_width", self.word_width, 2)?;
+        if self.word_width.1 > 48 {
+            return Err(format!(
+                "word_width: upper bound {} above the 48-bit format cap",
+                self.word_width.1
+            ));
+        }
+        if self.max_latency < 1 {
+            return Err("max_latency must be at least 1".to_owned());
+        }
+        Ok(())
+    }
+
+    /// A config with every range collapsed to the audio-core-like shape —
+    /// all seeds produce one structure (fingerprint-collision testing).
+    pub fn degenerate() -> Self {
+        GenConfig {
+            alus: (1, 1),
+            mults: (1, 1),
+            outputs: (2, 2),
+            rf_size: (8, 8),
+            ram_words: (64, 64),
+            rom_words: (64, 64),
+            max_latency: 1,
+            extra_connectivity: 0,
+            alu_op_chance: 100,
+            acu_base_size: (2, 2),
+            out_rf_size: (2, 2),
+            full_controller_chance: 0,
+            program_depth: (128, 128),
+            word_width: (16, 16),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+/// A generated core skeleton: everything architectural. The instruction
+/// set is derived separately (`dspcc_isa::derive`) so the arch crate stays
+/// free of ISA dependencies.
+#[derive(Debug, Clone)]
+pub struct GeneratedArch {
+    /// The seed that produced this core.
+    pub seed: u64,
+    /// The validated datapath.
+    pub datapath: Datapath,
+    /// The matching controller.
+    pub controller: Controller,
+    /// Datapath word width in bits.
+    pub word_width: u32,
+    /// Invariant repairs applied to random draws, with reasons.
+    pub repairs: Vec<String>,
+    /// Rejected attempts (validation error per attempt), normally empty.
+    pub rejects: Vec<String>,
+}
+
+impl GeneratedArch {
+    /// Combined content fingerprint of the generated core: datapath,
+    /// controller, and word width (the seed is deliberately *not* an
+    /// input — structurally identical cores fingerprint equal no matter
+    /// which seed drew them).
+    pub fn fingerprint(&self) -> u64 {
+        Fnv64::of_parts(|h| {
+            h.write_u64(self.datapath.fingerprint());
+            h.write_u64(self.controller.fingerprint());
+            h.write_u32(self.word_width);
+        })
+    }
+}
+
+impl fmt::Display for GeneratedArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen core (seed {:#018x}): {} OPUs, {} RFs, {} buses, {} bit, {}",
+            self.seed,
+            self.datapath.opus().len(),
+            self.datapath.register_files().len(),
+            self.datapath.buses().len(),
+            self.word_width,
+            self.controller,
+        )
+    }
+}
+
+/// The seeded architecture generator. See the [module docs](self) for the
+/// validity invariants and the repair/reject policy.
+///
+/// # Example
+///
+/// ```
+/// use dspcc_arch::generate::CoreGenerator;
+///
+/// let gen = CoreGenerator::new();
+/// let a = gen.generate(42);
+/// let b = gen.generate(42);
+/// // Deterministic: same seed, byte-identical structure.
+/// assert_eq!(a.fingerprint(), b.fingerprint());
+/// assert_eq!(a.datapath, b.datapath);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoreGenerator {
+    config: GenConfig,
+}
+
+/// The simulator-executable ALU vocabulary; `pass` is listed first because
+/// the repair policy inserts it when a draw comes up empty.
+const ALU_OPS: [&str; 5] = ["pass", "add", "add_clip", "sub", "pass_clip"];
+
+impl CoreGenerator {
+    /// A generator with the default configuration.
+    pub fn new() -> Self {
+        CoreGenerator::default()
+    }
+
+    /// A generator with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violated constraint if [`GenConfig::validate`]
+    /// rejects `config` — an out-of-envelope config is a caller bug and
+    /// must fail at construction with its reason, not as a stray index
+    /// panic deep inside a draw.
+    pub fn with_config(config: GenConfig) -> Self {
+        if let Err(reason) = config.validate() {
+            panic!("invalid GenConfig: {reason}");
+        }
+        CoreGenerator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GenConfig {
+        &self.config
+    }
+
+    /// Generates the core for `seed`. Always returns a valid core; see the
+    /// [module docs](self) for what that guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MAX_ATTEMPTS`] consecutive draws fail validation —
+    /// impossible with the built-in backbone construction, and a generator
+    /// bug (not a seed property) if a config extension ever triggers it.
+    pub fn generate(&self, seed: u64) -> GeneratedArch {
+        let mut rejects = Vec::new();
+        for attempt in 0..MAX_ATTEMPTS {
+            let mut repairs = Vec::new();
+            let mut rng = SplitMix64::substream(seed, u64::from(attempt));
+            let (plan, controller, word_width) = self.draw(&mut rng, &mut repairs);
+            match plan.build() {
+                Ok(datapath) => {
+                    return GeneratedArch {
+                        seed,
+                        datapath,
+                        controller,
+                        word_width,
+                        repairs,
+                        rejects,
+                    }
+                }
+                Err(e) => rejects.push(format!("attempt {attempt}: rejected — {e}")),
+            }
+        }
+        panic!("seed {seed:#x}: {MAX_ATTEMPTS} attempts rejected: {rejects:?}");
+    }
+
+    /// One structural draw: units, register files, connectivity overlay,
+    /// controller.
+    fn draw(&self, rng: &mut SplitMix64, repairs: &mut Vec<String>) -> (ArchPlan, Controller, u32) {
+        let cfg = &self.config;
+        let n_alu = rng.range(cfg.alus.0, cfg.alus.1);
+        let n_mult = rng.range(cfg.mults.0, cfg.mults.1);
+        let n_out = rng.range(cfg.outputs.0, cfg.outputs.1);
+        let rf_size = |rng: &mut SplitMix64| rng.range(cfg.rf_size.0, cfg.rf_size.1);
+        let latency = |rng: &mut SplitMix64| rng.range(1, cfg.max_latency.max(1));
+
+        let mut plan = ArchPlan::new();
+
+        // --- Fixed infrastructure units (the backbone's anchors). ---
+        plan = plan.unit(UnitPlan::new(OpuKind::Input, "ipb", &[("read", 1)]).bus("bus_ipb"));
+        plan = plan
+            .rf(RfPlan::new(
+                "rf_acu_base",
+                rng.range(cfg.acu_base_size.0, cfg.acu_base_size.1),
+                &["bus_acu"],
+            ))
+            .rf(RfPlan::new("rf_acu_off", rf_size(rng), &["bus_prgc"]))
+            .unit(
+                UnitPlan::new(OpuKind::Acu, "acu", &[("addmod", 1)])
+                    .inputs(&["rf_acu_base", "rf_acu_off"])
+                    .bus("bus_acu"),
+            );
+        let ram_words = rng.range(cfg.ram_words.0, cfg.ram_words.1);
+        plan = plan
+            .rf(RfPlan::new("rf_ram_addr", rf_size(rng), &["bus_acu"]))
+            .rf(RfPlan::new("rf_ram_data", rf_size(rng), &[]))
+            .unit(
+                UnitPlan::new(OpuKind::Ram, "ram", &[("read", latency(rng)), ("write", 1)])
+                    .inputs(&["rf_ram_addr", "rf_ram_data"])
+                    .bus("bus_ram")
+                    .memory(ram_words),
+            );
+        plan = plan.unit(
+            UnitPlan::new(OpuKind::Rom, "rom", &[("const", latency(rng))])
+                .bus("bus_rom")
+                .memory(rng.range(cfg.rom_words.0, cfg.rom_words.1)),
+        );
+        plan =
+            plan.unit(UnitPlan::new(OpuKind::ProgConst, "prgc", &[("const", 1)]).bus("bus_prgc"));
+
+        // --- Multipliers. ---
+        let mut mult_buses = Vec::new();
+        for j in 0..n_mult {
+            let name = if j == 0 {
+                "mult".to_owned()
+            } else {
+                format!("mult_{j}")
+            };
+            let bus = format!("bus_{name}");
+            let rf_c = format!("rf_{name}_c");
+            let rf_x = format!("rf_{name}_x");
+            plan = plan
+                .rf(RfPlan::new(&rf_c, rf_size(rng), &[]))
+                .rf(RfPlan::new(&rf_x, rf_size(rng), &[]))
+                .unit(
+                    UnitPlan::new(OpuKind::Mult, &name, &[("mult", latency(rng))])
+                        .inputs(&[&rf_c, &rf_x])
+                        .bus(&bus),
+                );
+            mult_buses.push(bus);
+        }
+
+        // --- ALUs with randomized operation subsets. ---
+        let mut alu_buses = Vec::new();
+        let mut alu_names = Vec::new();
+        let mut any_pass = false;
+        for i in 0..n_alu {
+            let name = if i == 0 {
+                "alu".to_owned()
+            } else {
+                format!("alu_{i}")
+            };
+            let bus = format!("bus_{name}");
+            // The primary ALU is a backbone anchor: it carries the full
+            // operation set (latencies still randomized) so a workload is
+            // never infeasible merely because the one connected ALU lost
+            // `add` to a coin flip. Secondary ALUs draw random subsets.
+            let mut ops: Vec<(String, u32)> = Vec::new();
+            for &op in &ALU_OPS {
+                let lat = latency(rng);
+                if i == 0 || rng.chance(cfg.alu_op_chance) {
+                    ops.push((op.to_owned(), lat));
+                }
+            }
+            if ops.is_empty() {
+                repairs.push(format!(
+                    "{name}: empty operation set drawn; repaired with `pass`"
+                ));
+                ops.push(("pass".to_owned(), 1));
+            }
+            any_pass |= ops.iter().any(|(o, _)| o == "pass");
+            let rf_a = format!("rf_{name}_a");
+            let rf_b = format!("rf_{name}_b");
+            plan = plan
+                .rf(RfPlan::new(&rf_a, rf_size(rng), &[]))
+                .rf(RfPlan::new(&rf_b, rf_size(rng), &[]));
+            let ops_ref: Vec<(&str, u32)> = ops.iter().map(|(o, l)| (o.as_str(), *l)).collect();
+            plan = plan.unit(
+                UnitPlan::new(OpuKind::Alu, &name, &ops_ref)
+                    .inputs(&[&rf_a, &rf_b])
+                    .bus(&bus),
+            );
+            alu_buses.push(bus);
+            alu_names.push(name);
+        }
+        if !any_pass {
+            repairs.push(format!(
+                "no ALU drew `pass` (the routing bridge); repaired on `{}`",
+                alu_names[0]
+            ));
+            let unit = plan
+                .units
+                .iter_mut()
+                .find(|u| u.name == alu_names[0])
+                .expect("alu exists");
+            unit.ops.push(("pass".to_owned(), 1));
+        }
+
+        // --- Output ports. ---
+        for k in 0..n_out {
+            let name = if n_out == 1 {
+                "opb".to_owned()
+            } else {
+                format!("opb_{}", k + 1)
+            };
+            let rf = format!("rf_{name}");
+            plan = plan.rf(RfPlan::new(
+                &rf,
+                rng.range(cfg.out_rf_size.0, cfg.out_rf_size.1),
+                &[],
+            ));
+            plan = plan.unit(UnitPlan::new(OpuKind::Output, &name, &[("write", 1)]).inputs(&[&rf]));
+        }
+
+        // --- Connectivity: guaranteed backbone + random overlay. ---
+        // Backbone edges make the standard lowering patterns routable:
+        // the primary ALU/MULT mirror the audio core's reachability; the
+        // RAM data file accepts the primary ALU and the input port;
+        // output files accept the primary ALU.
+        let alu0 = alu_buses[0].clone();
+        // RAM data and output files accept *every* ALU bus: the lowerer
+        // load-balances compute onto secondary ALUs without lookahead, so
+        // a store/output whose producer landed on alu_k must still have a
+        // path (the audio core's rf_ram_data accepts its only ALU, too).
+        let mut ram_data_buses = vec!["bus_ipb".to_owned()];
+        ram_data_buses.splice(0..0, alu_buses.iter().cloned());
+        // Likewise the primary ALU's operand files accept *every* MULT
+        // bus — products balanced onto a secondary multiplier must still
+        // reach an adder (the audio core's `rf_alu_a ← bus_mult`,
+        // generalized).
+        let mut alu_a_buses = vec![
+            "bus_ram".to_owned(),
+            "bus_ipb".to_owned(),
+            "bus_prgc".to_owned(),
+            alu0.clone(),
+        ];
+        alu_a_buses.splice(0..0, mult_buses.iter().cloned());
+        let mut alu_b_buses = vec![alu0.clone(), "bus_ram".to_owned()];
+        alu_b_buses.splice(1..1, mult_buses.iter().cloned());
+        let backbone: Vec<(&str, Vec<String>)> = vec![
+            ("rf_ram_data", ram_data_buses),
+            (
+                "rf_mult_c",
+                vec!["bus_rom".to_owned(), "bus_prgc".to_owned()],
+            ),
+            (
+                "rf_mult_x",
+                vec!["bus_ram".to_owned(), "bus_ipb".to_owned(), alu0.clone()],
+            ),
+            ("rf_alu_a", alu_a_buses),
+            ("rf_alu_b", alu_b_buses),
+        ];
+        for (rf_name, buses) in backbone {
+            let rf = plan
+                .rfs
+                .iter_mut()
+                .find(|r| r.name == rf_name)
+                .expect("backbone rf");
+            for b in buses {
+                if !rf.write_buses.contains(&b) {
+                    rf.write_buses.push(b);
+                }
+            }
+        }
+        // Every output-port file accepts every ALU bus.
+        for rf in plan.rfs.iter_mut() {
+            if rf.name.starts_with("rf_opb") {
+                for bus in &alu_buses {
+                    if !rf.write_buses.contains(bus) {
+                        rf.write_buses.push(bus.clone());
+                    }
+                }
+            }
+        }
+        // Overlay: every producing bus may additionally write any compute
+        // or IO register file, each edge drawn independently.
+        let producer_buses: Vec<String> = plan
+            .units
+            .iter()
+            .filter_map(|u| u.bus.clone())
+            .filter(|b| b != "bus_acu") // addresses stay address-typed
+            .collect();
+        for rf in plan.rfs.iter_mut() {
+            // ACU base holds only the frame pointer; address files only
+            // accept the ACU; the offset file only program constants.
+            if matches!(
+                rf.name.as_str(),
+                "rf_acu_base" | "rf_acu_off" | "rf_ram_addr"
+            ) {
+                continue;
+            }
+            for bus in &producer_buses {
+                if !rf.write_buses.contains(bus) && rng.chance(self.config.extra_connectivity) {
+                    rf.write_buses.push(bus.clone());
+                }
+            }
+        }
+
+        // --- Controller + word format. ---
+        let depth = rng.range(cfg.program_depth.0, cfg.program_depth.1);
+        let controller = if rng.chance(cfg.full_controller_chance) {
+            Controller::new(depth, rng.range(1, 4), 0)
+        } else {
+            Controller::stripped(depth)
+        };
+        let word_width = rng.range(cfg.word_width.0, cfg.word_width.1);
+        (plan, controller, word_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = CoreGenerator::new();
+        for seed in [0u64, 1, 7, 0xdead_beef, u64::MAX] {
+            let a = gen.generate(seed);
+            let b = gen.generate(seed);
+            assert_eq!(a.datapath, b.datapath, "seed {seed:#x}");
+            assert_eq!(a.controller, b.controller);
+            assert_eq!(a.word_width, b.word_width);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert_eq!(a.repairs, b.repairs);
+        }
+    }
+
+    #[test]
+    fn generated_cores_satisfy_invariants() {
+        let gen = CoreGenerator::new();
+        for seed in 0..128u64 {
+            let g = gen.generate(seed);
+            let dp = &g.datapath;
+            // Backbone anchors exist.
+            for unit in ["ipb", "acu", "ram", "rom", "prgc", "mult", "alu"] {
+                assert!(dp.opu(unit).is_some(), "seed {seed}: missing {unit}");
+            }
+            // Invariant 3: some ALU supports pass; every OPU has an op.
+            assert!(
+                dp.opus()
+                    .iter()
+                    .any(|o| o.kind() == OpuKind::Alu && o.supports("pass")),
+                "seed {seed}: no pass-capable ALU"
+            );
+            for o in dp.opus() {
+                assert!(
+                    o.ops().next().is_some(),
+                    "seed {seed}: {} op-less",
+                    o.name()
+                );
+            }
+            // Invariant 4: op names stay inside the simulator vocabulary.
+            for o in dp.opus() {
+                for (op, lat) in o.ops() {
+                    assert!(lat >= 1);
+                    let known = match o.kind() {
+                        OpuKind::Alu => ALU_OPS.contains(&op),
+                        OpuKind::Mult => op == "mult",
+                        OpuKind::Ram => op == "read" || op == "write",
+                        OpuKind::Rom | OpuKind::ProgConst => op == "const",
+                        OpuKind::Acu => op == "addmod",
+                        OpuKind::Input => op == "read",
+                        OpuKind::Output => op == "write",
+                        OpuKind::Asu => false,
+                    };
+                    assert!(known, "seed {seed}: `{op}` not executable on {}", o.name());
+                }
+            }
+            assert!(g.rejects.is_empty(), "seed {seed}: {:?}", g.rejects);
+            assert!((2..=48).contains(&g.word_width));
+        }
+    }
+
+    #[test]
+    fn seeds_vary_the_structure() {
+        let gen = CoreGenerator::new();
+        let prints: std::collections::BTreeSet<u64> =
+            (0..32u64).map(|s| gen.generate(s).fingerprint()).collect();
+        // Structural collisions are possible but most seeds must differ.
+        assert!(
+            prints.len() > 16,
+            "only {} distinct structures",
+            prints.len()
+        );
+    }
+
+    #[test]
+    fn degenerate_config_collides_across_seeds() {
+        // All ranges collapsed + 100% op chance + 0% overlay: every seed
+        // draws the same structure, so fingerprints *must* collide —
+        // equal structure hashes equal no matter which seed produced it.
+        let gen = CoreGenerator::with_config(GenConfig::degenerate());
+        let a = gen.generate(1);
+        let b = gen.generate(99);
+        assert_eq!(a.datapath, b.datapath);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_threads() {
+        let gen = CoreGenerator::new();
+        let expected: Vec<u64> = (0..8u64).map(|s| gen.generate(s).fingerprint()).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let gen = CoreGenerator::new();
+                    (0..8u64)
+                        .map(|s| gen.generate(s).fingerprint())
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn arch_plan_builds_hand_written_shapes() {
+        // The tiny teaching shape through the shared plan path.
+        let dp = ArchPlan::new()
+            .rf(RfPlan::new("rf_alu_a", 4, &["bus_alu", "bus_ipb"]))
+            .rf(RfPlan::new("rf_alu_b", 4, &["bus_alu"]))
+            .unit(UnitPlan::new(OpuKind::Input, "ipb", &[("read", 1)]).bus("bus_ipb"))
+            .unit(
+                UnitPlan::new(OpuKind::Alu, "alu", &[("add", 1), ("pass", 1)])
+                    .inputs(&["rf_alu_a", "rf_alu_b"])
+                    .bus("bus_alu"),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(dp.opus().len(), 2);
+        assert!(dp.register_file("rf_alu_a").unwrap().has_mux());
+    }
+
+    #[test]
+    fn arch_plan_rejects_like_the_builder() {
+        let err = ArchPlan::new()
+            .rf(RfPlan::new("rf", 0, &[]))
+            .unit(
+                UnitPlan::new(OpuKind::Alu, "alu", &[("add", 1)])
+                    .inputs(&["rf"])
+                    .bus("b"),
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::EmptyRegisterFile("rf".into()));
+    }
+
+    #[test]
+    fn out_of_envelope_configs_rejected_with_reason() {
+        let no_alu = GenConfig {
+            alus: (0, 0),
+            ..GenConfig::default()
+        };
+        assert!(no_alu.validate().unwrap_err().contains("alus"));
+        let empty = GenConfig {
+            ram_words: (9, 3),
+            ..GenConfig::default()
+        };
+        assert!(empty.validate().unwrap_err().contains("empty range"));
+        let wide = GenConfig {
+            word_width: (16, 64),
+            ..GenConfig::default()
+        };
+        assert!(wide.validate().unwrap_err().contains("48-bit"));
+        assert!(GenConfig::default().validate().is_ok());
+        assert!(GenConfig::degenerate().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GenConfig: mults")]
+    fn with_config_panics_on_invalid_config() {
+        CoreGenerator::with_config(GenConfig {
+            mults: (0, 2),
+            ..GenConfig::default()
+        });
+    }
+
+    #[test]
+    fn splitmix_streams_are_decoupled() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::substream(5, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::substream(5, 1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+        // range/chance/pick stay in bounds.
+        let mut r = SplitMix64::new(3);
+        for _ in 0..100 {
+            let v = r.range(3, 9);
+            assert!((3..=9).contains(&v));
+            let _ = r.chance(50);
+            assert!([1, 2, 3].contains(r.pick(&[1, 2, 3])));
+        }
+    }
+
+    #[test]
+    fn repairs_are_recorded_for_sparse_op_draws() {
+        // Force empty op draws on the secondary ALU (the primary carries
+        // the guaranteed backbone set): with 0% op chance it is repaired
+        // with `pass` and the reason is recorded.
+        let cfg = GenConfig {
+            alus: (2, 2),
+            alu_op_chance: 0,
+            ..GenConfig::default()
+        };
+        let g = CoreGenerator::with_config(cfg).generate(11);
+        assert!(
+            g.repairs
+                .iter()
+                .any(|r| r.contains("alu_1") && r.contains("repaired with `pass`")),
+            "{:?}",
+            g.repairs
+        );
+        assert!(g.datapath.opu("alu_1").unwrap().supports("pass"));
+        // The primary keeps the full set regardless of the draw chance.
+        for op in ["add", "add_clip", "sub", "pass", "pass_clip"] {
+            assert!(g.datapath.opu("alu").unwrap().supports(op));
+        }
+    }
+}

@@ -37,8 +37,12 @@
 mod controller;
 mod datapath;
 pub mod fingerprint;
+pub mod generate;
 pub mod merge;
 
 pub use controller::{Controller, ControllerBuilder};
 pub use datapath::{ArchError, BusSpec, Datapath, DatapathBuilder, OpuKind, OpuSpec, RfSpec};
 pub use fingerprint::Fnv64;
+pub use generate::{
+    ArchPlan, CoreGenerator, GenConfig, GeneratedArch, RfPlan, SplitMix64, UnitPlan,
+};

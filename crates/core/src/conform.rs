@@ -1,0 +1,514 @@
+//! Cross-core differential conformance — the fleet-scale oracle.
+//!
+//! Every differential test in this repository so far ran against three
+//! hand-written datapaths. The conformance fleet opens the architecture
+//! axis: for a block of generator seeds × the standard application corpus
+//! it compiles each app on each generated core
+//! ([`crate::cores::generated_core`]) and pins the simulated microcode
+//! ([`dspcc_sim::CoreSim`]) **bit-exact** against the golden model
+//! ([`dspcc_dfg::Interpreter`]) over a deterministic stimulus stream.
+//!
+//! Each `(seed, app)` cell classifies as:
+//!
+//! * [`CellOutcome::Pass`] — compiled, and every simulated frame matched
+//!   the interpreter bit for bit;
+//! * [`CellOutcome::Infeasible`] — the pipeline rejected the combination
+//!   with a stated reason (no route, RAM overflow, register pressure,
+//!   budget, program memory…): the paper's designer feedback, perfectly
+//!   legitimate for a random core;
+//! * [`CellOutcome::Mismatch`] — the pipeline *accepted* the combination
+//!   but the microcode diverged from the golden model (or failed to
+//!   execute). **Any mismatch is a compiler bug by construction** — this
+//!   is the strongest end-to-end property the repo can state, and every
+//!   future scheduler/encoder/regalloc change is now checked against
+//!   hundreds of architectures instead of three.
+//!
+//! Determinism: cores, stimulus, and compilation are all pure functions
+//! of the seed block, and the fleet table is assembled into pre-indexed
+//! slots — [`ConformFleet::run`] returns the same [`ConformReport`] for
+//! every worker-thread count (pinned by `tests/conform_fleet.rs`).
+//! Failures therefore reproduce from the `(seed, app)` pair alone.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dspcc_arch::SplitMix64;
+use dspcc_dfg::Interpreter;
+
+use crate::cores::generated_core;
+use crate::pipeline::{CompileError, Core};
+use crate::session::{CompileOptions, CompileSession};
+
+/// The verdict of one `(seed, app)` conformance cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Compiled and matched the golden model on every frame.
+    Pass {
+        /// Time-loop cycle count of the compiled schedule.
+        cycles: u32,
+        /// Frames verified bit-exact.
+        frames: u32,
+    },
+    /// The pipeline rejected the combination (stage + reason) — designer
+    /// feedback, not a bug.
+    Infeasible(String),
+    /// The pipeline accepted the combination but execution diverged from
+    /// the golden model — a compiler bug by construction.
+    Mismatch(String),
+}
+
+impl CellOutcome {
+    /// Whether this cell passed.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, CellOutcome::Pass { .. })
+    }
+
+    /// Whether this cell is a mismatch (a bug).
+    pub fn is_mismatch(&self) -> bool {
+        matches!(self, CellOutcome::Mismatch(_))
+    }
+}
+
+/// One row of the conformance table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformCell {
+    /// The generator seed of the core.
+    pub seed: u64,
+    /// The application's corpus name.
+    pub app: String,
+    /// The verdict.
+    pub outcome: CellOutcome,
+}
+
+/// The standard application corpus: name → source, in fixed order. The
+/// sizes are chosen so every workload shape (taps, feedback, pure
+/// parallelism, ALU-only, the full figure-7 application) is represented
+/// while a fleet cell stays fast enough for CI.
+pub fn standard_corpus() -> Vec<(String, String)> {
+    vec![
+        ("fir8".to_owned(), crate::apps::fir(8)),
+        ("biquad3".to_owned(), crate::apps::biquad_cascade(3)),
+        ("sop6".to_owned(), crate::apps::sum_of_products(6)),
+        ("addtree8".to_owned(), crate::apps::add_tree(8)),
+        ("audio".to_owned(), crate::apps::audio_application()),
+    ]
+}
+
+/// A conformance fleet: a seed block × an application corpus, compiled
+/// and differentially verified in parallel through one shared
+/// [`CompileSession`].
+///
+/// # Example
+///
+/// ```no_run
+/// use dspcc::conform::ConformFleet;
+///
+/// let report = ConformFleet::new().seed_range(0..16).standard_corpus().run();
+/// assert!(report.mismatches().next().is_none(), "{report}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConformFleet {
+    seeds: Vec<u64>,
+    apps: Vec<(String, String)>,
+    frames: u32,
+    threads: usize,
+    options: CompileOptions,
+}
+
+impl Default for ConformFleet {
+    fn default() -> Self {
+        ConformFleet {
+            seeds: Vec::new(),
+            apps: Vec::new(),
+            frames: 8,
+            threads: 0,
+            // Breadth over per-cell polish: few restarts, and the fleet's
+            // parallelism lives at the cell level.
+            options: CompileOptions {
+                restarts: 2,
+                sched_threads: 1,
+                ..CompileOptions::default()
+            },
+        }
+    }
+}
+
+impl ConformFleet {
+    /// An empty fleet (no seeds, no apps).
+    pub fn new() -> Self {
+        ConformFleet::default()
+    }
+
+    /// Adds a contiguous seed block.
+    pub fn seed_range(mut self, range: std::ops::Range<u64>) -> Self {
+        self.seeds.extend(range);
+        self
+    }
+
+    /// Adds explicit seeds.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Adds one application.
+    pub fn app(mut self, name: impl Into<String>, source: impl Into<String>) -> Self {
+        self.apps.push((name.into(), source.into()));
+        self
+    }
+
+    /// Adds the whole [`standard_corpus`].
+    pub fn standard_corpus(mut self) -> Self {
+        self.apps.extend(standard_corpus());
+        self
+    }
+
+    /// Frames verified per passing cell (default 8).
+    pub fn frames(mut self, frames: u32) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Worker threads: `0` (default) one per available core, `1` serial.
+    /// The report is identical for every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the per-cell compile options.
+    pub fn options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the fleet: every `(seed, app)` cell, in deterministic
+    /// (seed-major) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has no seeds or no apps.
+    pub fn run(&self) -> ConformReport {
+        assert!(!self.seeds.is_empty(), "fleet needs at least one seed");
+        assert!(!self.apps.is_empty(), "fleet needs at least one app");
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        // Phase 1: generate the cores, one slot per seed (parallel — the
+        // ISA closure is the expensive part of generation).
+        let core_slots: Vec<Mutex<Option<Arc<Core>>>> =
+            self.seeds.iter().map(|_| Mutex::new(None)).collect();
+        let next_core = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(self.seeds.len()) {
+                scope.spawn(|| loop {
+                    let i = next_core.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seed) = self.seeds.get(i) else {
+                        break;
+                    };
+                    *core_slots[i].lock().unwrap() = Some(Arc::new(generated_core(seed)));
+                });
+            }
+        });
+        let cores: Vec<Arc<Core>> = core_slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("core generated"))
+            .collect();
+        // Phase 2: the cells, through one shared session (stage artifacts
+        // keyed by content — apps shared across variants of one core).
+        let cells: Vec<(usize, usize)> = (0..self.seeds.len())
+            .flat_map(|s| (0..self.apps.len()).map(move |a| (s, a)))
+            .collect();
+        let session = CompileSession::new();
+        let slots: Vec<Mutex<Option<ConformCell>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(cells.len()).max(1) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(s, a)) = cells.get(i) else { break };
+                    let seed = self.seeds[s];
+                    let (app, source) = &self.apps[a];
+                    let outcome = conform_cell(
+                        &session,
+                        &cores[s],
+                        seed,
+                        app,
+                        source,
+                        self.frames,
+                        &self.options,
+                    );
+                    *slots[i].lock().unwrap() = Some(ConformCell {
+                        seed,
+                        app: app.clone(),
+                        outcome,
+                    });
+                });
+            }
+        });
+        ConformReport {
+            apps: self.apps.iter().map(|(n, _)| n.clone()).collect(),
+            cells: slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
+                .collect(),
+        }
+    }
+}
+
+/// Runs one conformance cell: compile `source` for `core`, then verify
+/// `frames` frames of seeded stimulus bit-exact against the interpreter.
+///
+/// Public so targeted reproduction (`examples/conform.rs` prints the
+/// `(seed, app)` pair of a failing cell) needs no fleet setup.
+pub fn conform_cell(
+    session: &CompileSession,
+    core: &Arc<Core>,
+    seed: u64,
+    app: &str,
+    source: &str,
+    frames: u32,
+    options: &CompileOptions,
+) -> CellOutcome {
+    let compiled = match session.compile(core, source, options) {
+        Ok(c) => c,
+        Err(e) => return classify_error(e),
+    };
+    let mut sim = match compiled.simulator() {
+        Ok(s) => s,
+        Err(e) => return CellOutcome::Mismatch(format!("simulator construction failed: {e}")),
+    };
+    let mut interp = Interpreter::new(&compiled.dfg, core.format);
+    let ports = compiled.dfg.input_ports().len();
+    let mut rng = stimulus_rng(seed, app);
+    let lo = core.format.min_value();
+    let span = (core.format.max_value() - lo + 1) as u64;
+    for frame in 0..frames {
+        let inputs: Vec<i64> = (0..ports)
+            .map(|_| lo + (rng.next_u64() % span) as i64)
+            .collect();
+        let expected = match interp.try_step(&inputs) {
+            Ok(v) => v,
+            Err(e) => {
+                return CellOutcome::Mismatch(format!(
+                    "frame {frame}: golden model rejected the stimulus: {e}"
+                ))
+            }
+        };
+        match sim.step_frame(&inputs) {
+            Ok(got) if got == expected => {}
+            Ok(got) => {
+                return CellOutcome::Mismatch(format!(
+                    "frame {frame}: microcode {got:?} != golden {expected:?} \
+                     (inputs {inputs:?})"
+                ))
+            }
+            Err(e) => {
+                return CellOutcome::Mismatch(format!(
+                    "frame {frame}: microcode execution failed: {e}"
+                ))
+            }
+        }
+    }
+    CellOutcome::Pass {
+        cycles: compiled.cycles(),
+        frames,
+    }
+}
+
+/// Partitions a compile failure into designer feedback vs compiler bug.
+///
+/// Parse/sema/lowering/scheduling/register-pressure/program-memory
+/// failures are the paper's legitimate feasibility feedback — a random
+/// core may simply be too small for a workload. Dependence-analysis and
+/// encoding failures are **not**: they mean an earlier stage *accepted*
+/// the program and then handed an inconsistent artifact downstream
+/// (e.g. a cyclic dependence graph, an RT whose operation is missing
+/// from its own OPU's opcode table). Classifying those as `Infeasible`
+/// would let such regressions hide inside the fleet's green
+/// zero-mismatch verdict, so they are bugs — `Mismatch` — too.
+fn classify_error(e: CompileError) -> CellOutcome {
+    match e {
+        CompileError::Deps(_) | CompileError::Encode(_) => {
+            CellOutcome::Mismatch(format!("pipeline internal error: {e}"))
+        }
+        _ => CellOutcome::Infeasible(e.to_string()),
+    }
+}
+
+/// The deterministic stimulus stream of a cell: a named substream of the
+/// core seed, decoupled per app name so cells never share samples.
+fn stimulus_rng(seed: u64, app: &str) -> SplitMix64 {
+    let tag = dspcc_arch::Fnv64::of_parts(|h| h.write_text(app));
+    SplitMix64::substream(seed, tag)
+}
+
+/// The conformance table: one cell per `(seed, app)`, seed-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformReport {
+    /// Corpus app names, in column order.
+    pub apps: Vec<String>,
+    /// All cells, in deterministic (seed-major) order.
+    pub cells: Vec<ConformCell>,
+}
+
+impl ConformReport {
+    /// Cells that passed.
+    pub fn passes(&self) -> impl Iterator<Item = &ConformCell> {
+        self.cells.iter().filter(|c| c.outcome.is_pass())
+    }
+
+    /// Cells the pipeline rejected.
+    pub fn infeasible(&self) -> impl Iterator<Item = &ConformCell> {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Infeasible(_)))
+    }
+
+    /// Cells that diverged — each one a bug with a `(seed, app)` repro.
+    pub fn mismatches(&self) -> impl Iterator<Item = &ConformCell> {
+        self.cells.iter().filter(|c| c.outcome.is_mismatch())
+    }
+}
+
+impl fmt::Display for ConformReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>18}", "seed")?;
+        for app in &self.apps {
+            write!(f, " {app:>9}")?;
+        }
+        writeln!(f)?;
+        for row in self.cells.chunks(self.apps.len().max(1)) {
+            write!(f, "{:>18x}", row[0].seed)?;
+            for cell in row {
+                match &cell.outcome {
+                    CellOutcome::Pass { cycles, .. } => {
+                        write!(f, " {:>9}", format!("ok/{cycles}"))?
+                    }
+                    CellOutcome::Infeasible(_) => write!(f, " {:>9}", "infeas")?,
+                    CellOutcome::Mismatch(_) => write!(f, " {:>9}", "MISMATCH")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for cell in self.mismatches() {
+            writeln!(
+                f,
+                "MISMATCH seed={:#x} app={}: {}",
+                cell.seed,
+                cell.app,
+                match &cell.outcome {
+                    CellOutcome::Mismatch(m) => m.as_str(),
+                    _ => unreachable!(),
+                }
+            )?;
+        }
+        write!(
+            f,
+            "{} cells: {} pass, {} infeasible, {} mismatch",
+            self.cells.len(),
+            self.passes().count(),
+            self.infeasible().count(),
+            self.mismatches().count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_runs_clean() {
+        let report = ConformFleet::new()
+            .seed_range(0..4)
+            .app("fir4", crate::apps::fir(4))
+            .frames(4)
+            .run();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.mismatches().count(), 0, "{report}");
+        // The display renders a full table.
+        let rendered = report.to_string();
+        assert!(rendered.contains("cells:"), "{rendered}");
+    }
+
+    #[test]
+    fn fleet_is_deterministic_across_thread_counts() {
+        let fleet = ConformFleet::new()
+            .seed_range(0..6)
+            .app("sop4", crate::apps::sum_of_products(4))
+            .app("fir3", crate::apps::fir(3))
+            .frames(4);
+        let serial = fleet.clone().threads(1).run();
+        let parallel = fleet.threads(4).run();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn infeasible_cells_state_a_reason() {
+        // The audio application on tightly-budgeted options: cores whose
+        // controller or RAM cannot host it must say why.
+        let fleet = ConformFleet::new()
+            .seed_range(0..8)
+            .app("audio", crate::apps::audio_application())
+            .frames(2)
+            .options(CompileOptions {
+                budget: Some(4), // absurdly tight: every cell infeasible
+                restarts: 1,
+                sched_threads: 1,
+                ..CompileOptions::default()
+            });
+        let report = fleet.run();
+        assert_eq!(report.mismatches().count(), 0, "{report}");
+        for cell in report.infeasible() {
+            match &cell.outcome {
+                CellOutcome::Infeasible(reason) => assert!(!reason.is_empty()),
+                _ => unreachable!(),
+            }
+        }
+        assert!(report.infeasible().count() > 0);
+    }
+
+    #[test]
+    fn internal_pipeline_errors_classify_as_bugs_not_infeasibility() {
+        // Feasibility feedback stays designer-facing…
+        let schedule = CompileError::Schedule(dspcc_sched::SchedError::BudgetExceeded {
+            budget: 4,
+            unplaced: 9,
+        });
+        assert!(matches!(
+            classify_error(schedule),
+            CellOutcome::Infeasible(_)
+        ));
+        let lower = CompileError::Lower(dspcc_rtgen::LowerError::MissingUnit("RAM"));
+        assert!(matches!(classify_error(lower), CellOutcome::Infeasible(_)));
+        // …but a stage handing inconsistent artifacts downstream is a bug
+        // by construction and must not hide in the Infeasible bucket.
+        let deps = CompileError::Deps("dependence cycle".to_owned());
+        assert!(classify_error(deps).is_mismatch());
+        let encode = CompileError::Encode(dspcc_encode::EncodeError::UnknownOp {
+            opu: "alu".to_owned(),
+            op: "mult".to_owned(),
+        });
+        match classify_error(encode) {
+            CellOutcome::Mismatch(m) => assert!(m.contains("internal error"), "{m}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_outcome_helpers() {
+        assert!(CellOutcome::Pass {
+            cycles: 3,
+            frames: 8
+        }
+        .is_pass());
+        assert!(!CellOutcome::Infeasible("x".into()).is_pass());
+        assert!(CellOutcome::Mismatch("y".into()).is_mismatch());
+    }
+}

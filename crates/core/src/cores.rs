@@ -11,9 +11,19 @@
 //! * [`tiny_core`] — a minimal teaching core for quickstarts.
 //! * [`unmerged_intermediate`] — an intermediate-architecture variant
 //!   (dedicated files and buses per OPU) for the merging experiments.
+//! * [`generated_core`] — seeded random-but-valid cores from
+//!   `dspcc_arch::generate` + `dspcc_isa::derive`, the unit of the
+//!   conformance fleet ([`crate::conform`]).
+//!
+//! The hand-written teaching cores are expressed through the generator's
+//! [`ArchPlan`] blueprint, so hand-written and generated datapaths share
+//! one validation path.
 
-use dspcc_arch::{Controller, Datapath, DatapathBuilder, OpuKind};
-use dspcc_isa::{Classification, CoverStrategy, InstructionSet};
+use dspcc_arch::{
+    ArchPlan, Controller, CoreGenerator, Datapath, DatapathBuilder, GeneratedArch, OpuKind, RfPlan,
+    UnitPlan,
+};
+use dspcc_isa::{derive_isa, Classification, CoverStrategy, InstructionSet};
 use dspcc_num::WordFormat;
 
 use crate::pipeline::Core;
@@ -146,45 +156,53 @@ pub fn audio_isa(dp: &Datapath) -> (Classification, InstructionSet) {
     (c, iset)
 }
 
+/// The full ALU operation set shared by the hand-written cores.
+const ALU_OPS: [(&str, u32); 5] = [
+    ("add", 1),
+    ("add_clip", 1),
+    ("sub", 1),
+    ("pass", 1),
+    ("pass_clip", 1),
+];
+
 /// A minimal core for quickstarts: IPB → MULT/ALU → OPB with a small ROM
 /// and program-constant unit, no RAM (no delay lines).
+///
+/// Expressed as an [`ArchPlan`] — the same blueprint substrate (and thus
+/// the same validation path) the seeded generator materialises through.
 pub fn tiny_core() -> Core {
-    let dp = DatapathBuilder::new()
-        .register_file("rf_mult_c", 4)
-        .register_file("rf_mult_x", 4)
-        .register_file("rf_alu_a", 4)
-        .register_file("rf_alu_b", 4)
-        .register_file("rf_opb", 2)
-        .opu(OpuKind::Input, "ipb", &[("read", 1)])
-        .output("ipb", "bus_ipb")
-        .opu(OpuKind::Output, "opb", &[("write", 1)])
-        .inputs("opb", &["rf_opb"])
-        .opu(OpuKind::Mult, "mult", &[("mult", 1)])
-        .inputs("mult", &["rf_mult_c", "rf_mult_x"])
-        .output("mult", "bus_mult")
-        .opu(
-            OpuKind::Alu,
-            "alu",
-            &[
-                ("add", 1),
-                ("add_clip", 1),
-                ("sub", 1),
-                ("pass", 1),
-                ("pass_clip", 1),
-            ],
+    let dp = ArchPlan::new()
+        .rf(RfPlan::new("rf_mult_c", 4, &["bus_rom", "bus_prgc"]))
+        .rf(RfPlan::new("rf_mult_x", 4, &["bus_ipb", "bus_alu"]))
+        .rf(RfPlan::new(
+            "rf_alu_a",
+            4,
+            &["bus_mult", "bus_ipb", "bus_prgc", "bus_alu"],
+        ))
+        .rf(RfPlan::new(
+            "rf_alu_b",
+            4,
+            &["bus_alu", "bus_mult", "bus_ipb"],
+        ))
+        .rf(RfPlan::new("rf_opb", 2, &["bus_alu"]))
+        .unit(UnitPlan::new(OpuKind::Input, "ipb", &[("read", 1)]).bus("bus_ipb"))
+        .unit(UnitPlan::new(OpuKind::Output, "opb", &[("write", 1)]).inputs(&["rf_opb"]))
+        .unit(
+            UnitPlan::new(OpuKind::Mult, "mult", &[("mult", 1)])
+                .inputs(&["rf_mult_c", "rf_mult_x"])
+                .bus("bus_mult"),
         )
-        .inputs("alu", &["rf_alu_a", "rf_alu_b"])
-        .output("alu", "bus_alu")
-        .opu(OpuKind::Rom, "rom", &[("const", 1)])
-        .memory("rom", 16)
-        .output("rom", "bus_rom")
-        .opu(OpuKind::ProgConst, "prgc", &[("const", 1)])
-        .output("prgc", "bus_prgc")
-        .write_port("rf_mult_c", &["bus_rom", "bus_prgc"])
-        .write_port("rf_mult_x", &["bus_ipb", "bus_alu"])
-        .write_port("rf_alu_a", &["bus_mult", "bus_ipb", "bus_prgc", "bus_alu"])
-        .write_port("rf_alu_b", &["bus_alu", "bus_mult", "bus_ipb"])
-        .write_port("rf_opb", &["bus_alu"])
+        .unit(
+            UnitPlan::new(OpuKind::Alu, "alu", &ALU_OPS)
+                .inputs(&["rf_alu_a", "rf_alu_b"])
+                .bus("bus_alu"),
+        )
+        .unit(
+            UnitPlan::new(OpuKind::Rom, "rom", &[("const", 1)])
+                .bus("bus_rom")
+                .memory(16),
+        )
+        .unit(UnitPlan::new(OpuKind::ProgConst, "prgc", &[("const", 1)]).bus("bus_prgc"))
         .build()
         .expect("tiny core datapath is valid");
     Core {
@@ -201,56 +219,44 @@ pub fn tiny_core() -> Core {
 /// An intermediate-architecture core (paper section 4): two ALUs, each
 /// with dedicated register files and a dedicated result bus — the shape RT
 /// generation natively targets before merging reduces it to a real core.
+///
+/// Expressed as an [`ArchPlan`], like [`tiny_core`].
 pub fn unmerged_intermediate() -> Core {
-    let dp = DatapathBuilder::new()
-        .register_file("rf_a1_x", 6)
-        .register_file("rf_a1_y", 6)
-        .register_file("rf_a2_x", 6)
-        .register_file("rf_a2_y", 6)
-        .register_file("rf_out", 4)
-        .opu(OpuKind::Input, "ipb", &[("read", 1)])
-        .output("ipb", "bus_ipb")
-        .opu(OpuKind::Output, "opb", &[("write", 1)])
-        .inputs("opb", &["rf_out"])
-        .opu(
-            OpuKind::Alu,
-            "alu_1",
-            &[
-                ("add", 1),
-                ("add_clip", 1),
-                ("sub", 1),
-                ("pass", 1),
-                ("pass_clip", 1),
-            ],
-        )
-        .inputs("alu_1", &["rf_a1_x", "rf_a1_y"])
-        .output("alu_1", "bus_alu_1")
-        .opu(
-            OpuKind::Alu,
-            "alu_2",
-            &[
-                ("add", 1),
-                ("add_clip", 1),
-                ("sub", 1),
-                ("pass", 1),
-                ("pass_clip", 1),
-            ],
-        )
-        .inputs("alu_2", &["rf_a2_x", "rf_a2_y"])
-        .output("alu_2", "bus_alu_2")
-        .opu(OpuKind::ProgConst, "prgc", &[("const", 1)])
-        .output("prgc", "bus_prgc")
-        .write_port(
+    let dp = ArchPlan::new()
+        .rf(RfPlan::new(
             "rf_a1_x",
+            6,
             &["bus_ipb", "bus_alu_1", "bus_alu_2", "bus_prgc"],
-        )
-        .write_port("rf_a1_y", &["bus_ipb", "bus_alu_1", "bus_alu_2"])
-        .write_port(
+        ))
+        .rf(RfPlan::new(
+            "rf_a1_y",
+            6,
+            &["bus_ipb", "bus_alu_1", "bus_alu_2"],
+        ))
+        .rf(RfPlan::new(
             "rf_a2_x",
+            6,
             &["bus_ipb", "bus_alu_1", "bus_alu_2", "bus_prgc"],
+        ))
+        .rf(RfPlan::new(
+            "rf_a2_y",
+            6,
+            &["bus_ipb", "bus_alu_1", "bus_alu_2"],
+        ))
+        .rf(RfPlan::new("rf_out", 4, &["bus_alu_1", "bus_alu_2"]))
+        .unit(UnitPlan::new(OpuKind::Input, "ipb", &[("read", 1)]).bus("bus_ipb"))
+        .unit(UnitPlan::new(OpuKind::Output, "opb", &[("write", 1)]).inputs(&["rf_out"]))
+        .unit(
+            UnitPlan::new(OpuKind::Alu, "alu_1", &ALU_OPS)
+                .inputs(&["rf_a1_x", "rf_a1_y"])
+                .bus("bus_alu_1"),
         )
-        .write_port("rf_a2_y", &["bus_ipb", "bus_alu_1", "bus_alu_2"])
-        .write_port("rf_out", &["bus_alu_1", "bus_alu_2"])
+        .unit(
+            UnitPlan::new(OpuKind::Alu, "alu_2", &ALU_OPS)
+                .inputs(&["rf_a2_x", "rf_a2_y"])
+                .bus("bus_alu_2"),
+        )
+        .unit(UnitPlan::new(OpuKind::ProgConst, "prgc", &[("const", 1)]).bus("bus_prgc"))
         .build()
         .expect("intermediate datapath is valid");
     Core {
@@ -261,6 +267,32 @@ pub fn unmerged_intermediate() -> Core {
         classification: None,
         instruction_set: None,
         cover: CoverStrategy::GreedyMaximal,
+    }
+}
+
+/// A seeded random-but-valid core: the architecture from
+/// [`dspcc_arch::generate::CoreGenerator`] plus the instruction set
+/// derived by [`dspcc_isa::derive_isa`] — the unit of the conformance
+/// fleet ([`crate::conform`]).
+///
+/// Deterministic: the same seed yields a byte-identical core on every
+/// run, platform, and thread.
+pub fn generated_core(seed: u64) -> Core {
+    generated_core_from(CoreGenerator::new().generate(seed))
+}
+
+/// As [`generated_core`], from an already-generated architecture (e.g.
+/// one drawn with a custom [`dspcc_arch::GenConfig`]).
+pub fn generated_core_from(arch: GeneratedArch) -> Core {
+    let isa = derive_isa(&arch.datapath, arch.seed);
+    Core {
+        name: format!("gen_{:x}", arch.seed),
+        datapath: arch.datapath,
+        controller: arch.controller,
+        format: WordFormat::new(arch.word_width).expect("generator draws valid widths"),
+        classification: Some(isa.classification),
+        instruction_set: isa.instruction_set,
+        cover: isa.cover,
     }
 }
 

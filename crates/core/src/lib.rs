@@ -27,8 +27,13 @@
 //!   grid of cores × budgets × covers × priorities × CSE swept through
 //!   one shared session into a deterministic feasibility table;
 //! * [`cores`] — ready-made cores: the figure-8 digital-audio core (with
-//!   the section-7 instruction set), a teaching-sized core, and an
-//!   intermediate-architecture variant for merging experiments;
+//!   the section-7 instruction set), a teaching-sized core, an
+//!   intermediate-architecture variant for merging experiments, and
+//!   seeded random-but-valid cores ([`cores::generated_core`]);
+//! * [`conform`] — the cross-core differential conformance fleet: a seed
+//!   block × the application corpus, each cell compiled and pinned
+//!   bit-exact against the `dspcc_dfg::Interpreter` golden model — any
+//!   `Mismatch` cell is a compiler bug by construction;
 //! * [`apps`] — ready-made applications: the figure-7 stereo audio
 //!   application and parametric filter generators.
 //!
@@ -50,12 +55,14 @@
 //! ```
 
 pub mod apps;
+pub mod conform;
 pub mod cores;
 pub mod explore;
 mod pipeline;
 mod session;
 pub mod stages;
 
+pub use conform::{CellOutcome, ConformCell, ConformFleet, ConformReport};
 pub use explore::{DesignSpace, Exploration, VariantMetrics, VariantRow};
 pub use pipeline::{CompileError, CompileStats, Compiled, Compiler, Core};
 pub use session::{CompileOptions, CompileSession};

@@ -6,10 +6,50 @@
 //! bit-exactly.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use dspcc_num::WordFormat;
 
 use crate::graph::{Dfg, DfgOp};
+
+/// Invalid frame input handed to [`Interpreter::try_step`].
+///
+/// The same surface the cycle-accurate simulator checks
+/// (`dspcc_sim::SimError::InputCount`): golden model and microcode
+/// execution must agree not only on outputs but on *which inputs are
+/// malformed* — the conformance fleet relies on that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepError {
+    /// Wrong number of input samples for a frame.
+    InputCount {
+        /// Samples provided.
+        got: usize,
+        /// Samples expected (one per DFG input port).
+        expected: usize,
+    },
+    /// An input sample is not representable in the word format.
+    InputOutOfRange {
+        /// The input port.
+        port: usize,
+        /// The offending sample.
+        value: i64,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::InputCount { got, expected } => {
+                write!(f, "frame got {got} input samples, expected {expected}")
+            }
+            StepError::InputOutOfRange { port, value } => {
+                write!(f, "input sample {value} on port {port} out of format range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
 
 /// Frame-by-frame executor of a [`Dfg`].
 ///
@@ -74,19 +114,43 @@ impl<'a> Interpreter<'a> {
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the number of input ports or
-    /// if an input sample is not representable in the word format.
+    /// if an input sample is not representable in the word format — use
+    /// [`Interpreter::try_step`] for the non-panicking variant.
     pub fn step(&mut self, inputs: &[i64]) -> Vec<i64> {
-        assert_eq!(
-            inputs.len(),
-            self.dfg.input_ports().len(),
-            "expected one sample per input port"
-        );
-        for &x in inputs {
-            assert!(
-                self.format.contains(x),
-                "input sample {x} out of range for {}",
-                self.format
-            );
+        match self.try_step(inputs) {
+            Ok(outputs) => outputs,
+            Err(StepError::InputCount { .. }) => {
+                panic!("expected one sample per input port")
+            }
+            Err(StepError::InputOutOfRange { value, .. }) => {
+                panic!("input sample {value} out of range for {}", self.format)
+            }
+        }
+    }
+
+    /// As [`Interpreter::step`], but malformed frames are reported as
+    /// [`StepError`] instead of panicking — the golden model mirrors the
+    /// simulator's own input validation, so differential drivers can treat
+    /// a disagreement on *validity* exactly like a disagreement on values.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::InputCount`] on wrong arity,
+    /// [`StepError::InputOutOfRange`] on unrepresentable samples; the
+    /// interpreter state is untouched in both cases.
+    pub fn try_step(&mut self, inputs: &[i64]) -> Result<Vec<i64>, StepError> {
+        if inputs.len() != self.dfg.input_ports().len() {
+            return Err(StepError::InputCount {
+                got: inputs.len(),
+                expected: self.dfg.input_ports().len(),
+            });
+        }
+        if let Some((port, &value)) = inputs
+            .iter()
+            .enumerate()
+            .find(|&(_, &x)| !self.format.contains(x))
+        {
+            return Err(StepError::InputOutOfRange { port, value });
         }
         let fmt = self.format;
         let mut outputs = vec![0; self.dfg.output_ports().len()];
@@ -136,7 +200,7 @@ impl<'a> Interpreter<'a> {
             self.history[s].truncate(info.max_tap_depth as usize);
         }
         self.frames_run += 1;
-        outputs
+        Ok(outputs)
     }
 
     /// Runs one frame per row of `input_frames`, collecting output frames.
@@ -258,6 +322,47 @@ mod tests {
     fn wrong_input_count_panics() {
         let dfg = build("input u; output y; y = pass(u);");
         Interpreter::new(&dfg, WordFormat::q15()).step(&[]);
+    }
+
+    #[test]
+    fn try_step_reports_arity_and_range_errors() {
+        let dfg = build("input u; input v; output y; y = add(u, v);");
+        let mut i = Interpreter::new(&dfg, WordFormat::q15());
+        assert_eq!(
+            i.try_step(&[1]),
+            Err(StepError::InputCount {
+                got: 1,
+                expected: 2
+            })
+        );
+        assert_eq!(
+            i.try_step(&[1, 2, 3]),
+            Err(StepError::InputCount {
+                got: 3,
+                expected: 2
+            })
+        );
+        assert_eq!(
+            i.try_step(&[1, 1 << 20]),
+            Err(StepError::InputOutOfRange {
+                port: 1,
+                value: 1 << 20
+            })
+        );
+        // Errors leave the state untouched: no frame was consumed...
+        assert_eq!(i.frames_run(), 0);
+        // ...and a well-formed frame still works.
+        assert_eq!(i.try_step(&[3, 4]), Ok(vec![7]));
+        assert_eq!(i.frames_run(), 1);
+        // Display strings name the numbers.
+        let e = StepError::InputCount {
+            got: 1,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("got 1"));
+        assert!(StepError::InputOutOfRange { port: 0, value: 9 }
+            .to_string()
+            .contains("port 0"));
     }
 
     #[test]

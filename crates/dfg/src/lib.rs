@@ -59,7 +59,7 @@ mod parser;
 mod sema;
 
 pub use graph::{Dfg, DfgNode, DfgOp, NodeId, SignalInfo};
-pub use interp::Interpreter;
+pub use interp::{Interpreter, StepError};
 pub use lexer::{LexError, Token, TokenKind};
 pub use parser::{parse, ParseError};
 pub use sema::SemaError;

@@ -531,6 +531,64 @@ mod tests {
     }
 
     #[test]
+    fn immediate_overflow_reported() {
+        // A raw immediate wider than the program-constant field (the
+        // datapath word width): the sign-extension round trip fails and
+        // the encoder reports the field overflow instead of silently
+        // truncating bits into the ROM.
+        let dp = dp();
+        let layout = FieldLayout::derive(&dp, WordFormat::q15());
+        let mut p = Program::new();
+        let mut rt = Rt::new("huge");
+        rt.add_dest(RegRef::new("rf_a", 0));
+        rt.add_usage("prgc", Usage::token("const"));
+        let id = p.add_rt(rt);
+        let mut s = Schedule::new();
+        s.place(id, 0);
+        let imms: BTreeMap<RtId, Immediate> = [(id, Immediate::Raw(1 << 40))].into_iter().collect();
+        let err = encode(&p, &s, &layout, &imms, WordFormat::q15()).unwrap_err();
+        match err {
+            EncodeError::ImmediateOverflow {
+                ref opu,
+                value,
+                bits,
+            } => {
+                assert_eq!(opu, "prgc");
+                assert_eq!(value, 1 << 40);
+                assert!(bits < 40);
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        assert!(err.to_string().contains("overflows"));
+        // The largest representable value still encodes.
+        let max = WordFormat::q15().max_value();
+        let ok: BTreeMap<RtId, Immediate> = [(id, Immediate::Raw(max))].into_iter().collect();
+        let words = encode(&p, &s, &layout, &ok, WordFormat::q15()).unwrap();
+        let d = decode(&words[0], &layout, WordFormat::q15());
+        assert_eq!(d.actions[0].imm, Some(max));
+    }
+
+    #[test]
+    fn unknown_op_reported() {
+        // An RT whose operation is absent from its OPU's opcode table:
+        // `mult` is not an ALU opcode.
+        let dp = dp();
+        let layout = FieldLayout::derive(&dp, WordFormat::q15());
+        let mut p = Program::new();
+        let mut rt = Rt::new("misop");
+        rt.add_usage("alu", Usage::token("mult"));
+        let id = p.add_rt(rt);
+        let mut s = Schedule::new();
+        s.place(id, 0);
+        let err = encode(&p, &s, &layout, &BTreeMap::new(), WordFormat::q15()).unwrap_err();
+        assert!(
+            matches!(err, EncodeError::UnknownOp { ref opu, ref op } if opu == "alu" && op == "mult"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("not an opcode"));
+    }
+
+    #[test]
     fn unknown_opu_reported() {
         let dp = dp();
         let layout = FieldLayout::derive(&dp, WordFormat::q15());

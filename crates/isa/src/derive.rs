@@ -1,0 +1,303 @@
+//! Seeded instruction-set derivation for generated datapaths.
+//!
+//! The architecture generator (`dspcc_arch::generate`) produces raw
+//! datapaths; this module is its companion step on the ISA axis: from a
+//! datapath and a seed it derives a [`Classification`] (randomized merges
+//! of the identified (OPU, operation) classes) and optionally an
+//! [`InstructionSet`] over the merged classes, plus a [`CoverStrategy`]
+//! draw — everything `dspcc::Core` needs beyond the datapath itself.
+//!
+//! Three instruction-set *styles* are drawn per seed:
+//!
+//! * **horizontal** — no instruction set at all: only datapath conflicts
+//!   restrict parallelism (the `tiny_core` situation);
+//! * **IO-exclusive** — the audio-core pattern of section 7: the classes
+//!   of the input/output ports are mutually exclusive ("input via the IPB
+//!   or output via the OPB₁ or the OPB₂ but not simultaneously"), every
+//!   other class freely parallel — this yields a single ABC-style
+//!   artificial resource;
+//! * **random-conflict** — IO exclusion plus a few extra randomly drawn
+//!   forbidden class pairs, producing richer conflict graphs and thus
+//!   richer artificial-resource covers.
+//!
+//! # Validity
+//!
+//! The derived set always satisfies construction rules 1–4: desired types
+//! are handed to [`InstructionSet::closure`], which completes them by the
+//! rules, and `derive_isa` asserts `validate()` in debug builds. Because
+//! [`InstructionSet::closure`] enumerates subsets of each compatibility
+//! clique, any style that imposes an instruction set first **merges every
+//! multi-operation OPU's classes down to one class per OPU** (a repair the
+//! [`DerivedIsa::notes`] record): class count = OPU count ≤ ~14, keeping
+//! the closure tractable. Merging same-OPU classes is always sound — RTs
+//! of one OPU conflict physically anyway (see [`Classification::merge`]).
+
+use dspcc_arch::{Datapath, OpuKind, SplitMix64};
+
+use crate::classes::{ClassId, Classification};
+use crate::conflict::CoverStrategy;
+use crate::iset::InstructionSet;
+
+/// The ISA bundle derived for a generated datapath.
+#[derive(Debug, Clone)]
+pub struct DerivedIsa {
+    /// The classification (merges already applied).
+    pub classification: Classification,
+    /// The instruction set, `None` for the fully horizontal style.
+    pub instruction_set: Option<InstructionSet>,
+    /// The clique-cover strategy drawn for the artificial resources.
+    pub cover: CoverStrategy,
+    /// Human-readable notes on merges/repairs applied (mirrors the
+    /// generator's repair log).
+    pub notes: Vec<String>,
+}
+
+/// Upper bound on the class count underneath an instruction set: keeps
+/// `InstructionSet::closure` (exponential in the largest compatible
+/// clique) comfortably tractable.
+const MAX_ISA_CLASSES: usize = 14;
+
+/// Derives a seeded classification + instruction set for `dp`. Pure
+/// function of `(dp, seed)` — same inputs, same ISA, on every run and
+/// thread.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if the derived instruction set fails its own
+/// construction-rule validation — impossible by construction.
+pub fn derive_isa(dp: &Datapath, seed: u64) -> DerivedIsa {
+    let mut rng = SplitMix64::substream(seed, 0x15a);
+    let mut notes = Vec::new();
+    let mut c = Classification::identify(dp);
+
+    // Randomized per-OPU merges. An instruction-set style (drawn below)
+    // forces *all* multi-op OPUs merged so the class count stays small;
+    // the horizontal style merges each OPU only with some probability,
+    // exercising unmerged classifications too.
+    let style = rng.range(0, 99);
+    let want_iset = style >= 30; // 30% horizontal, 40% IO-exclusive, 30% random-conflict
+    let random_conflicts = style >= 70;
+    let merge_all = want_iset;
+    let opu_names: Vec<String> = dp.opus().iter().map(|o| o.name().to_owned()).collect();
+    for opu in &opu_names {
+        let members: Vec<String> = c
+            .classes()
+            .iter()
+            .filter(|cl| cl.opu().name() == opu)
+            .map(|cl| cl.name().to_owned())
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        if merge_all || rng.chance(60) {
+            let refs: Vec<&str> = members.iter().map(String::as_str).collect();
+            let merged_name = format!("M{opu}");
+            c.merge(&refs, &merged_name)
+                .expect("same-OPU classes always merge");
+            if merge_all {
+                notes.push(format!(
+                    "merged {} classes of `{opu}` into `{merged_name}` \
+                     (class-count cap for the instruction-set closure)",
+                    members.len()
+                ));
+            } else {
+                notes.push(format!(
+                    "merged {} classes of `{opu}` into `{merged_name}`",
+                    members.len()
+                ));
+            }
+        }
+    }
+
+    let cover = *rng.pick(&[
+        CoverStrategy::PerEdge,
+        CoverStrategy::GreedyMaximal,
+        CoverStrategy::ExactMinimum,
+    ]);
+
+    if !want_iset {
+        return DerivedIsa {
+            classification: c,
+            instruction_set: None,
+            cover,
+            notes,
+        };
+    }
+    debug_assert!(
+        c.len() <= MAX_ISA_CLASSES,
+        "merged classification has {} classes (> {MAX_ISA_CLASSES})",
+        c.len()
+    );
+
+    // Partition classes: the IO classes (input/output port OPUs) are
+    // mutually exclusive; all others are pairwise compatible unless a
+    // random conflict forbids them.
+    let n = c.len();
+    let io: Vec<usize> = (0..n)
+        .filter(|&i| {
+            let opu = c.class(ClassId(i)).opu().name();
+            dp.opu(opu)
+                .map(|o| matches!(o.kind(), OpuKind::Input | OpuKind::Output))
+                .unwrap_or(false)
+        })
+        .collect();
+    let compute: Vec<usize> = (0..n).filter(|i| !io.contains(i)).collect();
+
+    // Extra random conflicts among compute classes (random-conflict style).
+    let mut forbidden: Vec<(usize, usize)> = Vec::new();
+    if random_conflicts && compute.len() >= 2 {
+        let pairs = rng.range(1, 3);
+        for _ in 0..pairs {
+            let a = *rng.pick(&compute);
+            let b = *rng.pick(&compute);
+            if a != b && !forbidden.contains(&(a.min(b), a.max(b))) {
+                forbidden.push((a.min(b), a.max(b)));
+            }
+        }
+        if !forbidden.is_empty() {
+            let named: Vec<String> = forbidden
+                .iter()
+                .map(|&(a, b)| {
+                    format!(
+                        "{}-{}",
+                        c.class(ClassId(a)).name(),
+                        c.class(ClassId(b)).name()
+                    )
+                })
+                .collect();
+            notes.push(format!("extra forbidden pairs: {}", named.join(", ")));
+        }
+    }
+
+    // Desired types: for each IO class, {that class} ∪ {compute classes
+    // compatible with everything in the type}. Conflicting compute pairs
+    // are split greedily into separate types so no desired type contains
+    // a forbidden pair — the closure then derives the exact rule-conforming
+    // set (pairwise compatibility is what matters; see iset rules 3+4).
+    let conflicts = |a: usize, b: usize| forbidden.contains(&(a.min(b), a.max(b)));
+    let mut compute_groups: Vec<Vec<usize>> = Vec::new();
+    for &cls in &compute {
+        match compute_groups
+            .iter_mut()
+            .find(|g| g.iter().all(|&m| !conflicts(m, cls)))
+        {
+            Some(g) => g.push(cls),
+            None => compute_groups.push(vec![cls]),
+        }
+    }
+    if compute_groups.is_empty() {
+        compute_groups.push(Vec::new());
+    }
+    let mut desired: Vec<Vec<usize>> = Vec::new();
+    if io.is_empty() {
+        desired.extend(compute_groups.iter().cloned());
+    } else {
+        for &io_cls in &io {
+            for group in &compute_groups {
+                let mut t = vec![io_cls];
+                t.extend(group.iter().copied());
+                desired.push(t);
+            }
+        }
+    }
+    let iset = InstructionSet::closure(n, &desired);
+    debug_assert_eq!(iset.validate(), Ok(()), "closure output always validates");
+
+    DerivedIsa {
+        classification: c,
+        instruction_set: Some(iset),
+        cover,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspcc_arch::CoreGenerator;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let arch = CoreGenerator::new().generate(3);
+        let a = derive_isa(&arch.datapath, 3);
+        let b = derive_isa(&arch.datapath, 3);
+        assert_eq!(a.classification, b.classification);
+        assert_eq!(a.instruction_set, b.instruction_set);
+        assert_eq!(a.cover, b.cover);
+        assert_eq!(a.notes, b.notes);
+    }
+
+    #[test]
+    fn derived_sets_validate_across_many_seeds() {
+        let gen = CoreGenerator::new();
+        let mut with_iset = 0;
+        let mut without = 0;
+        for seed in 0..96u64 {
+            let arch = gen.generate(seed);
+            let isa = derive_isa(&arch.datapath, seed);
+            assert!(!isa.classification.is_empty());
+            match &isa.instruction_set {
+                Some(iset) => {
+                    with_iset += 1;
+                    iset.validate().unwrap();
+                    assert_eq!(iset.class_count(), isa.classification.len());
+                    assert!(iset.class_count() <= MAX_ISA_CLASSES);
+                }
+                None => without += 1,
+            }
+        }
+        // All three styles must actually occur over 96 seeds.
+        assert!(with_iset > 0 && without > 0, "{with_iset} / {without}");
+    }
+
+    #[test]
+    fn io_classes_are_mutually_exclusive_when_iset_present() {
+        let gen = CoreGenerator::new();
+        let mut checked = 0;
+        for seed in 0..64u64 {
+            let arch = gen.generate(seed);
+            let isa = derive_isa(&arch.datapath, seed);
+            let Some(iset) = &isa.instruction_set else {
+                continue;
+            };
+            let io: Vec<ClassId> = (0..isa.classification.len())
+                .map(ClassId)
+                .filter(|&id| {
+                    let opu = isa.classification.class(id).opu().name();
+                    matches!(
+                        arch.datapath.opu(opu).unwrap().kind(),
+                        OpuKind::Input | OpuKind::Output
+                    )
+                })
+                .collect();
+            let g = iset.conflict_graph();
+            for (i, &a) in io.iter().enumerate() {
+                for &b in &io[i + 1..] {
+                    assert!(g.has_edge(a.0, b.0), "seed {seed}: {a:?}/{b:?} compatible");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no IO pairs checked");
+    }
+
+    #[test]
+    fn classification_merges_are_per_opu() {
+        let gen = CoreGenerator::new();
+        for seed in 0..32u64 {
+            let arch = gen.generate(seed);
+            let isa = derive_isa(&arch.datapath, seed);
+            // Each class's usages all belong to its OPU's op set.
+            for class in isa.classification.classes() {
+                let opu = arch.datapath.opu(class.opu().name()).unwrap();
+                for usage in class.usages() {
+                    assert!(
+                        opu.supports(usage),
+                        "seed {seed}: {usage} on {}",
+                        opu.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod classes;
 pub mod conflict;
+pub mod derive;
 pub mod iset;
 
 pub use classes::{ClassId, Classification, RtClass};
@@ -48,4 +49,5 @@ pub use conflict::{
     apply_artificial_resources, artificial_resources, artificial_resources_for_graph,
     ArtificialResource, CoverStrategy,
 };
+pub use derive::{derive_isa, DerivedIsa};
 pub use iset::{InstructionSet, IsaError};

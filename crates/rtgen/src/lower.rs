@@ -140,6 +140,19 @@ pub enum LowerError {
         /// Words available.
         available: u32,
     },
+    /// A coefficient address lies beyond the ROM image.
+    ///
+    /// Caught at RT generation rather than encode time: the address field
+    /// is `ceil(log2(size))` bits wide, so an address can fit the *field*
+    /// while still lying past the *image* — executing it would read
+    /// outside the ROM (found by the conformance fleet on generated cores
+    /// with small ROMs).
+    RomOverflow {
+        /// Words required (highest fetched address + 1).
+        needed: u32,
+        /// Words available.
+        available: u32,
+    },
 }
 
 impl fmt::Display for LowerError {
@@ -156,6 +169,12 @@ impl fmt::Display for LowerError {
                 write!(
                     f,
                     "delay lines need {needed} RAM words, only {available} available"
+                )
+            }
+            LowerError::RomOverflow { needed, available } => {
+                write!(
+                    f,
+                    "coefficients need {needed} ROM words, only {available} available"
                 )
             }
         }
@@ -730,6 +749,14 @@ impl<'a> Ctx<'a> {
                 OpuKind::Rom => "coefficient ROM",
                 _ => "program-constant unit",
             }))?;
+        if let Immediate::RomAddr(a) = imm {
+            if a >= opu.memory_size() {
+                return Err(LowerError::RomOverflow {
+                    needed: a + 1,
+                    available: opu.memory_size(),
+                });
+            }
+        }
         let value = self.program.add_value(name);
         let bus = self.syms.opus[opu.name()]
             .bus
@@ -1482,6 +1509,34 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn rom_overflow_detected() {
+        // 65 distinct coefficients on a 64-word ROM: address 64 fits the
+        // 7-bit field width_for(64) derives but lies past the image, so
+        // the lowering must reject it (the simulator would otherwise trap
+        // at runtime — the conformance-fleet bug this check pins).
+        let mut src = String::from("input u; output y;\n");
+        for i in 0..65 {
+            src.push_str(&format!("coeff k{i} = 0.{:03};\n", i + 1));
+        }
+        src.push_str("acc0 := mlt(k0, u);\n");
+        for i in 1..65 {
+            src.push_str(&format!("acc{i} := add(acc{}, mlt(k{i}, u));\n", i - 1));
+        }
+        src.push_str("y = pass_clip(acc64);\n");
+        let dfg = Dfg::build(&parse(&src).unwrap()).unwrap();
+        let err = lower(&dfg, &test_core(), &LowerOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            LowerError::RomOverflow {
+                needed: 65,
+                available: 64
+            },
+            "{err}"
+        );
+        assert!(err.to_string().contains("ROM words"));
     }
 
     #[test]

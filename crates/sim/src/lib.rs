@@ -830,6 +830,217 @@ mod tests {
     }
 
     #[test]
+    fn input_arity_surface_matches_interpreter() {
+        // The golden model (Interpreter::try_step) and the microcode
+        // executor (CoreSim::step_frame) must agree on *which* frames are
+        // malformed, not only on outputs: for every arity, both error or
+        // both succeed, with identical got/expected counts.
+        let (dp, dfg, microcode) = compile(
+            "input l; input r; output y; y = add(l, r);
+             /* two ports so arity 0,1,3,4 are all wrong */",
+        );
+        let mut sim = CoreSim::new(&dp, &microcode).unwrap();
+        let mut interp = Interpreter::new(&dfg, WordFormat::q15());
+        for arity in 0..5usize {
+            let frame = vec![7i64; arity];
+            let golden = interp.try_step(&frame);
+            let micro = sim.step_frame(&frame);
+            match (golden, micro) {
+                (Ok(expected), Ok(got)) => {
+                    assert_eq!(arity, 2);
+                    assert_eq!(got, expected);
+                }
+                (
+                    Err(dspcc_dfg::StepError::InputCount {
+                        got: g0,
+                        expected: e0,
+                    }),
+                    Err(SimError::InputCount {
+                        got: g1,
+                        expected: e1,
+                    }),
+                ) => {
+                    assert_eq!((g0, e0), (g1, e1), "arity {arity}");
+                    assert_eq!(g0, arity);
+                }
+                (g, m) => panic!("arity {arity}: surfaces disagree: {g:?} vs {m:?}"),
+            }
+        }
+        // Neither side consumed state on the malformed frames: the counts
+        // advanced once (the single well-formed frame).
+        assert_eq!(sim.frames_run(), 1);
+        assert_eq!(interp.frames_run(), 1);
+    }
+
+    #[test]
+    fn input_underflow_reported() {
+        // Tampered IO plan: the program reads two samples from the IPB but
+        // the input order claims only one — the second read underflows.
+        let (dp, _, mut microcode) = compile(
+            "input l; input r; output y; y = add(l, r);
+             /* both inputs arrive through the single ipb */",
+        );
+        assert_eq!(microcode.input_order.len(), 2);
+        microcode.input_order.truncate(1);
+        let mut sim = CoreSim::new(&dp, &microcode).unwrap();
+        let err = sim.step_frame(&[5]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InputUnderflow {
+                opu: "ipb".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("past the end"));
+    }
+
+    #[test]
+    fn missing_outputs_reported() {
+        // Tampered IO plan: the output order expects one more write than
+        // the program performs.
+        let (dp, _, mut microcode) = compile("input u; output y; y = pass(u);");
+        microcode.output_order.push(("opb_1".to_owned(), 1));
+        let mut sim = CoreSim::new(&dp, &microcode).unwrap();
+        let err = sim.step_frame(&[5]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MissingOutputs {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn ram_address_out_of_range_reported() {
+        // Valid microcode for a 64-word RAM executed on a datapath whose
+        // RAM shrank to 2 words: the delay-line region walks out of
+        // bounds. Both the fast path and the reference report it (and
+        // agree), leaving the frame uncommitted.
+        let (_, _, microcode) = compile("input u; output y; y = pass(u@3);");
+        let small = {
+            let mut b = DatapathBuilder::new();
+            b = b
+                .register_file("rf_acu_base", 2)
+                .register_file("rf_acu_off", 8)
+                .register_file("rf_ram_addr", 8)
+                .register_file("rf_ram_data", 8)
+                .register_file("rf_mult_c", 8)
+                .register_file("rf_mult_x", 8)
+                .register_file("rf_alu_a", 8)
+                .register_file("rf_alu_b", 8)
+                .register_file("rf_opb_1", 4)
+                .register_file("rf_opb_2", 4)
+                .opu(OpuKind::Input, "ipb", &[("read", 1)])
+                .opu(OpuKind::Output, "opb_1", &[("write", 1)])
+                .opu(OpuKind::Output, "opb_2", &[("write", 1)])
+                .opu(OpuKind::Acu, "acu", &[("addmod", 1)])
+                .opu(OpuKind::Ram, "ram", &[("read", 1), ("write", 1)])
+                .opu(OpuKind::Rom, "rom", &[("const", 1)])
+                .opu(OpuKind::ProgConst, "prgc", &[("const", 1)])
+                .opu(OpuKind::Mult, "mult", &[("mult", 1)])
+                .opu(
+                    OpuKind::Alu,
+                    "alu",
+                    &[
+                        ("add", 1),
+                        ("add_clip", 1),
+                        ("sub", 1),
+                        ("pass", 1),
+                        ("pass_clip", 1),
+                    ],
+                );
+            b = b
+                .output("ipb", "bus_ipb")
+                .inputs("opb_1", &["rf_opb_1"])
+                .inputs("opb_2", &["rf_opb_2"])
+                .inputs("acu", &["rf_acu_base", "rf_acu_off"])
+                .output("acu", "bus_acu")
+                .memory("ram", 2)
+                .inputs("ram", &["rf_ram_addr", "rf_ram_data"])
+                .output("ram", "bus_ram")
+                .memory("rom", 64)
+                .output("rom", "bus_rom")
+                .output("prgc", "bus_prgc")
+                .inputs("mult", &["rf_mult_c", "rf_mult_x"])
+                .output("mult", "bus_mult")
+                .inputs("alu", &["rf_alu_a", "rf_alu_b"])
+                .output("alu", "bus_alu")
+                .write_port("rf_acu_base", &["bus_acu"])
+                .write_port("rf_acu_off", &["bus_prgc"])
+                .write_port("rf_ram_addr", &["bus_acu"])
+                .write_port("rf_ram_data", &["bus_alu", "bus_ipb"])
+                .write_port("rf_mult_c", &["bus_rom", "bus_prgc"])
+                .write_port("rf_mult_x", &["bus_ram", "bus_ipb", "bus_alu"])
+                .write_port(
+                    "rf_alu_a",
+                    &["bus_mult", "bus_ram", "bus_ipb", "bus_prgc", "bus_alu"],
+                )
+                .write_port("rf_alu_b", &["bus_alu", "bus_mult", "bus_ram"])
+                .write_port("rf_opb_1", &["bus_alu"])
+                .write_port("rf_opb_2", &["bus_alu"]);
+            b.build().unwrap()
+        };
+        let mut fast = CoreSim::new(&small, &microcode).unwrap();
+        let mut oracle = reference::ReferenceSim::new(&small, &microcode).unwrap();
+        let fe = fast.step_frame(&[1]).unwrap_err();
+        let oe = oracle.step_frame(&[1]).unwrap_err();
+        assert!(
+            matches!(fe, SimError::AddressOutOfRange { ref opu, .. } if opu == "ram"),
+            "{fe}"
+        );
+        assert_eq!(fe, oe, "fast path and reference disagree on the error");
+        assert!(fe.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn unsupported_unit_reported() {
+        // The same microcode executed on a datapath whose ALU became an
+        // application-specific unit: decode still resolves the action but
+        // execution has no semantics for it.
+        let (dp, _, microcode) = compile("input u; output y; y = pass(u);");
+        let mut b = DatapathBuilder::new();
+        for rf in dp.register_files() {
+            b = b.register_file(rf.name(), rf.size());
+        }
+        for opu in dp.opus() {
+            let ops: Vec<(&str, u32)> = opu.ops().collect();
+            let kind = if opu.name() == "alu" {
+                OpuKind::Asu
+            } else {
+                opu.kind()
+            };
+            b = b.opu(kind, opu.name(), &ops);
+            let inputs: Vec<&str> = opu.inputs().iter().map(String::as_str).collect();
+            if !inputs.is_empty() {
+                b = b.inputs(opu.name(), &inputs);
+            }
+            if let Some(bus) = opu.output_bus() {
+                b = b.output(opu.name(), bus);
+            }
+            if opu.memory_size() > 0 {
+                b = b.memory(opu.name(), opu.memory_size());
+            }
+        }
+        for rf in dp.register_files() {
+            let buses: Vec<&str> = rf.write_buses().iter().map(String::as_str).collect();
+            if !buses.is_empty() {
+                b = b.write_port(rf.name(), &buses);
+            }
+        }
+        let asu_dp = b.build().unwrap();
+        let mut sim = CoreSim::new(&asu_dp, &microcode).unwrap();
+        let err = sim.step_frame(&[5]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Unsupported {
+                opu: "alu".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("no semantics"));
+    }
+
+    #[test]
     fn wrong_input_count_errors() {
         let (dp, _, microcode) = compile("input u; output y; y = pass(u);");
         let mut sim = CoreSim::new(&dp, &microcode).unwrap();

@@ -1,0 +1,71 @@
+//! Cross-core differential conformance sweep.
+//!
+//! Compiles the standard application corpus on a block of generated cores
+//! and pins the simulated microcode bit-exact against the
+//! `dspcc_dfg::Interpreter` golden model. Any `MISMATCH` cell is a
+//! compiler bug by construction; the process exits non-zero and prints
+//! the offending `(seed, app)` pair for reproduction.
+//!
+//! ```text
+//! cargo run --release --example conform -- [--seeds N] [--start S]
+//!     [--apps fir8,biquad3,sop6,addtree8,audio] [--frames F] [--threads T]
+//! ```
+
+use dspcc::conform::{standard_corpus, ConformFleet};
+
+fn main() {
+    let mut seeds = 64u64;
+    let mut start = 0u64;
+    let mut frames = 8u32;
+    let mut threads = 0usize;
+    let mut apps: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds").parse().expect("--seeds: integer"),
+            "--start" => start = value("--start").parse().expect("--start: integer"),
+            "--frames" => frames = value("--frames").parse().expect("--frames: integer"),
+            "--threads" => threads = value("--threads").parse().expect("--threads: integer"),
+            "--apps" => {
+                apps = Some(value("--apps").split(',').map(str::to_owned).collect());
+            }
+            other => panic!("unknown argument `{other}` (see the example's docs)"),
+        }
+    }
+
+    let mut fleet = ConformFleet::new()
+        .seed_range(start..start + seeds)
+        .frames(frames)
+        .threads(threads);
+    let corpus = standard_corpus();
+    match &apps {
+        None => fleet = fleet.standard_corpus(),
+        Some(names) => {
+            for name in names {
+                let (n, src) = corpus
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .unwrap_or_else(|| panic!("unknown app `{name}` (corpus: {corpus:?})"));
+                fleet = fleet.app(n.clone(), src.clone());
+            }
+        }
+    }
+
+    let report = fleet.run();
+    println!("{report}");
+    let mismatches: Vec<_> = report.mismatches().collect();
+    if !mismatches.is_empty() {
+        eprintln!("\nconformance FAILED — reproduce with:");
+        for cell in &mismatches {
+            eprintln!(
+                "  cargo run --release --example conform -- --start {} --seeds 1 --apps {} --frames {frames}",
+                cell.seed, cell.app
+            );
+        }
+        std::process::exit(1);
+    }
+}
