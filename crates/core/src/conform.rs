@@ -56,6 +56,18 @@ pub enum CellOutcome {
     /// The pipeline accepted the combination but execution diverged from
     /// the golden model — a compiler bug by construction.
     Mismatch(String),
+    /// The cell's deterministic fuel cap ran out before a schedule met
+    /// the budget. The cell is quarantined (the sweep continues) and the
+    /// message carries a repro command.
+    Exhausted(String),
+    /// The compiler panicked inside this cell. The panic was contained
+    /// by the fleet worker — the sweep continues — and the message
+    /// carries the payload plus a repro command.
+    Panicked {
+        /// The panic payload (or a placeholder for non-string payloads)
+        /// plus the repro command.
+        message: String,
+    },
 }
 
 impl CellOutcome {
@@ -67,6 +79,15 @@ impl CellOutcome {
     /// Whether this cell is a mismatch (a bug).
     pub fn is_mismatch(&self) -> bool {
         matches!(self, CellOutcome::Mismatch(_))
+    }
+
+    /// Whether this cell was quarantined (panic or fuel exhaustion)
+    /// rather than verified one way or the other.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(
+            self,
+            CellOutcome::Panicked { .. } | CellOutcome::Exhausted(_)
+        )
     }
 }
 
@@ -124,10 +145,14 @@ impl Default for ConformFleet {
             frames: 8,
             threads: 0,
             // Breadth over per-cell polish: few restarts, and the fleet's
-            // parallelism lives at the cell level.
+            // parallelism lives at the cell level. The fuel cap bounds
+            // every cell deterministically — a pathological (seed, app)
+            // combination degrades or quarantines instead of hanging the
+            // sweep (the cap is far above what any corpus cell spends).
             options: CompileOptions {
                 restarts: 2,
                 sched_threads: 1,
+                fuel: Some(10_000),
                 ..CompileOptions::default()
             },
         }
@@ -190,6 +215,26 @@ impl ConformFleet {
     ///
     /// Panics if the fleet has no seeds or no apps.
     pub fn run(&self) -> ConformReport {
+        self.run_with(conform_cell)
+    }
+
+    /// Runs the fleet with a custom per-cell runner — the fault-injection
+    /// audit ([`crate::fault`]) reuses the fleet's parallelism, slot
+    /// determinism, and quarantine through this hook.
+    ///
+    /// Every runner invocation is wrapped in `catch_unwind`: a panicking
+    /// cell is quarantined as [`CellOutcome::Panicked`] (payload plus a
+    /// repro command) and the sweep continues — one poisoned cell can
+    /// never take down the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has no seeds or no apps.
+    pub fn run_with<F>(&self, runner: F) -> ConformReport
+    where
+        F: Fn(&CompileSession, &Arc<Core>, u64, &str, &str, u32, &CompileOptions) -> CellOutcome
+            + Sync,
+    {
         assert!(!self.seeds.is_empty(), "fleet needs at least one seed");
         assert!(!self.apps.is_empty(), "fleet needs at least one app");
         let workers = match self.threads {
@@ -234,15 +279,24 @@ impl ConformFleet {
                     let Some(&(s, a)) = cells.get(i) else { break };
                     let seed = self.seeds[s];
                     let (app, source) = &self.apps[a];
-                    let outcome = conform_cell(
-                        &session,
-                        &cores[s],
-                        seed,
-                        app,
-                        source,
-                        self.frames,
-                        &self.options,
-                    );
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        runner(
+                            &session,
+                            &cores[s],
+                            seed,
+                            app,
+                            source,
+                            self.frames,
+                            &self.options,
+                        )
+                    }))
+                    .unwrap_or_else(|payload| CellOutcome::Panicked {
+                        message: format!(
+                            "{}; repro: {}",
+                            panic_message(payload.as_ref()),
+                            repro_command(seed, app, self.frames)
+                        ),
+                    });
                     *slots[i].lock().unwrap() = Some(ConformCell {
                         seed,
                         app: app.clone(),
@@ -277,6 +331,13 @@ pub fn conform_cell(
 ) -> CellOutcome {
     let compiled = match session.compile(core, source, options) {
         Ok(c) => c,
+        Err(CompileError::Schedule(dspcc_sched::SchedError::FuelExhausted { spent, budget })) => {
+            return CellOutcome::Exhausted(format!(
+                "fuel exhausted after {spent} unit(s) with no schedule within {budget} \
+                 cycles; repro: {}",
+                repro_command(seed, app, frames)
+            ))
+        }
         Err(e) => return classify_error(e),
     };
     let mut sim = match compiled.simulator() {
@@ -341,9 +402,32 @@ fn classify_error(e: CompileError) -> CellOutcome {
     }
 }
 
+/// Renders a contained panic payload. `panic!` with a literal or a
+/// formatted string covers effectively every payload the compiler can
+/// produce; anything else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// The command that reruns exactly one quarantined cell outside the
+/// fleet, for debugging.
+fn repro_command(seed: u64, app: &str, frames: u32) -> String {
+    format!(
+        "cargo run --example conform -- --seeds 1 --start {seed} --apps {app} --frames {frames}"
+    )
+}
+
 /// The deterministic stimulus stream of a cell: a named substream of the
 /// core seed, decoupled per app name so cells never share samples.
-fn stimulus_rng(seed: u64, app: &str) -> SplitMix64 {
+/// Shared with the fault audit ([`crate::fault`]) so injected faults are
+/// hunted with exactly the stimulus the fleet would use.
+pub(crate) fn stimulus_rng(seed: u64, app: &str) -> SplitMix64 {
     let tag = dspcc_arch::Fnv64::of_parts(|h| h.write_text(app));
     SplitMix64::substream(seed, tag)
 }
@@ -374,6 +458,12 @@ impl ConformReport {
     pub fn mismatches(&self) -> impl Iterator<Item = &ConformCell> {
         self.cells.iter().filter(|c| c.outcome.is_mismatch())
     }
+
+    /// Quarantined cells (contained panics and fuel exhaustion) — the
+    /// sweep completed around them, each carries a repro command.
+    pub fn quarantined(&self) -> impl Iterator<Item = &ConformCell> {
+        self.cells.iter().filter(|c| c.outcome.is_quarantined())
+    }
 }
 
 impl fmt::Display for ConformReport {
@@ -392,6 +482,8 @@ impl fmt::Display for ConformReport {
                     }
                     CellOutcome::Infeasible(_) => write!(f, " {:>9}", "infeas")?,
                     CellOutcome::Mismatch(_) => write!(f, " {:>9}", "MISMATCH")?,
+                    CellOutcome::Exhausted(_) => write!(f, " {:>9}", "EXHAUST")?,
+                    CellOutcome::Panicked { .. } => write!(f, " {:>9}", "PANIC")?,
                 }
             }
             writeln!(f)?;
@@ -408,13 +500,22 @@ impl fmt::Display for ConformReport {
                 }
             )?;
         }
+        for cell in self.quarantined() {
+            let (tag, detail) = match &cell.outcome {
+                CellOutcome::Panicked { message } => ("PANIC", message.as_str()),
+                CellOutcome::Exhausted(m) => ("EXHAUSTED", m.as_str()),
+                _ => unreachable!(),
+            };
+            writeln!(f, "{tag} seed={:#x} app={}: {detail}", cell.seed, cell.app)?;
+        }
         write!(
             f,
-            "{} cells: {} pass, {} infeasible, {} mismatch",
+            "{} cells: {} pass, {} infeasible, {} mismatch, {} quarantined",
             self.cells.len(),
             self.passes().count(),
             self.infeasible().count(),
-            self.mismatches().count()
+            self.mismatches().count(),
+            self.quarantined().count()
         )
     }
 }
@@ -422,6 +523,38 @@ impl fmt::Display for ConformReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn panicking_cell_is_quarantined_and_sweep_completes() {
+        let fleet = ConformFleet::new()
+            .seed_range(0..4)
+            .app("fir4", crate::apps::fir(4))
+            .frames(2)
+            .threads(2);
+        let report = fleet.run_with(|session, core, seed, app, source, frames, options| {
+            if seed == 2 {
+                panic!("injected cell panic for seed {seed}");
+            }
+            conform_cell(session, core, seed, app, source, frames, options)
+        });
+        assert_eq!(report.cells.len(), 4);
+        let quarantined: Vec<_> = report.quarantined().collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].seed, 2);
+        match &quarantined[0].outcome {
+            CellOutcome::Panicked { message } => {
+                assert!(message.contains("injected cell panic"), "{message}");
+                assert!(message.contains("repro:"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Every other cell still verified normally through the shared
+        // session — the panic neither stopped the sweep nor poisoned it.
+        assert_eq!(report.passes().count() + report.infeasible().count(), 3);
+        let rendered = report.to_string();
+        assert!(rendered.contains("PANIC"), "{rendered}");
+        assert!(rendered.contains("quarantined"), "{rendered}");
+    }
 
     #[test]
     fn small_fleet_runs_clean() {

@@ -269,39 +269,50 @@ impl DesignSpace {
             sched_threads: 1,
             ..CompileOptions::default()
         };
-        let outcome = session
-            .compile(core, &self.source, &options)
-            .map(|compiled| {
-                // Mean OPU occupation: the figure-9 quality signal,
-                // reduced to one number per variant.
-                let rows: Vec<(&str, &str)> = core
-                    .datapath
-                    .opus()
+        // Contain panics at the grid-point boundary: one poisoned design
+        // point reports `CompileError::Panicked` and the sweep finishes
+        // the rest of the table.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.compile(core, &self.source, &options)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_owned()
+            };
+            Err(CompileError::Panicked(msg))
+        })
+        .map(|compiled| {
+            // Mean OPU occupation: the figure-9 quality signal,
+            // reduced to one number per variant.
+            let rows: Vec<(&str, &str)> = core
+                .datapath
+                .opus()
+                .iter()
+                .map(|opu| (opu.name(), opu.name()))
+                .collect();
+            let report =
+                OccupationReport::compute(&compiled.lowering.program, &compiled.schedule, &rows);
+            let occupancy = if report.rows().is_empty() {
+                0.0
+            } else {
+                report
+                    .rows()
                     .iter()
-                    .map(|opu| (opu.name(), opu.name()))
-                    .collect();
-                let report = OccupationReport::compute(
-                    &compiled.lowering.program,
-                    &compiled.schedule,
-                    &rows,
-                );
-                let occupancy = if report.rows().is_empty() {
-                    0.0
-                } else {
-                    report
-                        .rows()
-                        .iter()
-                        .map(|r| f64::from(r.percent()))
-                        .sum::<f64>()
-                        / report.rows().len() as f64
-                };
-                VariantMetrics {
-                    cycles: compiled.cycles(),
-                    bound: compiled.schedule_lower_bound(),
-                    occupancy,
-                    cache_hits: compiled.stats.cache_hits,
-                }
-            });
+                    .map(|r| f64::from(r.percent()))
+                    .sum::<f64>()
+                    / report.rows().len() as f64
+            };
+            VariantMetrics {
+                cycles: compiled.cycles(),
+                bound: compiled.schedule_lower_bound(),
+                occupancy,
+                cache_hits: compiled.stats.cache_hits,
+            }
+        });
         VariantRow {
             core: core.name.clone(),
             budget: variant.budget,

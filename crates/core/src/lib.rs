@@ -58,12 +58,14 @@ pub mod apps;
 pub mod conform;
 pub mod cores;
 pub mod explore;
+pub mod fault;
 mod pipeline;
 mod session;
 pub mod stages;
 
 pub use conform::{CellOutcome, ConformCell, ConformFleet, ConformReport};
 pub use explore::{DesignSpace, Exploration, VariantMetrics, VariantRow};
+pub use fault::{FaultAudit, FaultCell, FaultOutcome, FaultReport, MutationKind};
 pub use pipeline::{CompileError, CompileStats, Compiled, Compiler, Core};
 pub use session::{CompileOptions, CompileSession};
 

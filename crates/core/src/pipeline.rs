@@ -87,6 +87,14 @@ pub enum CompileError {
         /// Program memory depth.
         available: u32,
     },
+    /// The caller's [`dspcc_sched::CancelToken`] was raised; the partial
+    /// result was discarded and nothing was cached.
+    Cancelled,
+    /// A pipeline stage panicked and the panic was contained at a
+    /// quarantine boundary (fleet cell, design-space point). The payload
+    /// is the panic message — a compiler bug to be reported, not a user
+    /// error.
+    Panicked(String),
 }
 
 impl fmt::Display for CompileError {
@@ -103,6 +111,10 @@ impl fmt::Display for CompileError {
                 f,
                 "program needs {needed} instructions, controller stores {available}"
             ),
+            CompileError::Cancelled => write!(f, "compilation cancelled by the caller"),
+            CompileError::Panicked(msg) => {
+                write!(f, "compiler panic (contained): {msg}")
+            }
         }
     }
 }
@@ -141,6 +153,10 @@ pub struct CompileStats {
     /// (0 on a cold compile; up to 7 — frontend, lower, modify,
     /// deps+matrix, schedule, regalloc, encode — on a full repeat).
     pub cache_hits: u32,
+    /// `Some` when the fuel budget truncated the scheduling search and
+    /// the compile returned its best-so-far result (see
+    /// [`dspcc_sched::Degradation`]); `None` on a full-budget compile.
+    pub degradation: Option<dspcc_sched::Degradation>,
 }
 
 impl CompileStats {
@@ -175,7 +191,11 @@ impl fmt::Display for CompileStats {
             self.encode,
             self.total(),
             self.cache_hits
-        )
+        )?;
+        if let Some(d) = &self.degradation {
+            write!(f, " [degraded: {d}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -266,6 +286,18 @@ impl<'c> Compiler<'c> {
     /// weak-scheduler baseline of experiment E10.
     pub fn compaction(&mut self, on: bool) -> &mut Self {
         self.options.compaction = on;
+        self
+    }
+
+    /// Deterministic compute budget for the scheduling search, in work
+    /// units (one unit = one attempt, justification pass, or
+    /// branch-and-bound node; never wall-clock, so budgeted output is
+    /// bit-identical on every machine and thread count). On exhaustion
+    /// the compile degrades gracefully — best-so-far schedule, with a
+    /// [`dspcc_sched::Degradation`] report on
+    /// [`CompileStats::degradation`].
+    pub fn fuel(&mut self, units: u64) -> &mut Self {
+        self.options.fuel = Some(units);
         self
     }
 

@@ -79,6 +79,13 @@ pub struct CompileOptions {
     pub compaction: bool,
     /// Scheduler worker threads (`0` = one per core; output-invariant).
     pub sched_threads: usize,
+    /// Deterministic compute budget for the scheduling search, in work
+    /// units (one unit = one attempt, justification pass, or
+    /// branch-and-bound node — never wall-clock). `None` = unlimited.
+    /// Exhaustion degrades gracefully: the compile returns its
+    /// best-so-far schedule plus a [`dspcc_sched::Degradation`] report on
+    /// the stats.
+    pub fuel: Option<u64>,
 }
 
 impl Default for CompileOptions {
@@ -92,6 +99,7 @@ impl Default for CompileOptions {
             restarts: 6,
             compaction: true,
             sched_threads: 0,
+            fuel: None,
         }
     }
 }
@@ -162,9 +170,14 @@ impl CompileSession {
             return cached.clone();
         }
         let result = compute().map(Arc::new);
-        table(&mut self.memo.lock().unwrap())
-            .entry(key)
-            .or_insert_with(|| result.clone());
+        // Cancellation is a property of *this caller's* token, not of the
+        // stage inputs: caching it would poison the key for every later
+        // compile. Deterministic failures stay cached.
+        if !matches!(result, Err(CompileError::Cancelled)) {
+            table(&mut self.memo.lock().unwrap())
+                .entry(key)
+                .or_insert_with(|| result.clone());
+        }
         result
     }
 
@@ -181,6 +194,40 @@ impl CompileSession {
         source: &str,
         options: &CompileOptions,
     ) -> Result<Compiled, CompileError> {
+        self.compile_inner(core, source, options, None)
+    }
+
+    /// As [`CompileSession::compile`], under a cooperative cancellation
+    /// token. The token is polled at every stage boundary and inside the
+    /// scheduling search (round barriers, branch-and-bound nodes); a
+    /// raised token aborts with [`CompileError::Cancelled`], whose result
+    /// is **never cached** — the session stays healthy for later
+    /// compiles of the same variant.
+    ///
+    /// The token travels out-of-band rather than inside [`CompileOptions`]
+    /// because options are hashed into stage keys and a cancellation flag
+    /// is not an input of any stage's output.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileSession::compile`], plus [`CompileError::Cancelled`].
+    pub fn compile_cancellable(
+        &self,
+        core: &Arc<Core>,
+        source: &str,
+        options: &CompileOptions,
+        cancel: &dspcc_sched::CancelToken,
+    ) -> Result<Compiled, CompileError> {
+        self.compile_inner(core, source, options, Some(cancel))
+    }
+
+    fn compile_inner(
+        &self,
+        core: &Arc<Core>,
+        source: &str,
+        options: &CompileOptions,
+        cancel: Option<&dspcc_sched::CancelToken>,
+    ) -> Result<Compiled, CompileError> {
         let mut hits = 0u32;
         let frontend = self.memoize(
             |m| &mut m.frontend,
@@ -189,7 +236,7 @@ impl CompileSession {
             || stages::run_frontend(source),
         )?;
         let frontend_hit = hits > 0;
-        self.compile_stages(core, &frontend, options, hits, frontend_hit)
+        self.compile_stages(core, &frontend, options, hits, frontend_hit, cancel)
     }
 
     /// As [`CompileSession::compile`], from an already-built signal-flow
@@ -205,7 +252,7 @@ impl CompileSession {
         options: &CompileOptions,
     ) -> Result<Compiled, CompileError> {
         let frontend = Arc::new(stages::frontend_from_dfg(Arc::clone(dfg)));
-        self.compile_stages(core, &frontend, options, 0, false)
+        self.compile_stages(core, &frontend, options, 0, false, None)
     }
 
     fn compile_stages(
@@ -215,7 +262,14 @@ impl CompileSession {
         options: &CompileOptions,
         mut hits: u32,
         frontend_hit: bool,
+        cancel: Option<&dspcc_sched::CancelToken>,
     ) -> Result<Compiled, CompileError> {
+        // Stage-boundary cancellation check: one closure, called before
+        // each stage dispatch below.
+        let check_cancel = || match cancel {
+            Some(c) if c.is_cancelled() => Err(CompileError::Cancelled),
+            _ => Ok(()),
+        };
         // Stage timings in the stats reflect *this* compile: a stage
         // served from cache cost nothing here, so it reports zero and
         // bumps `cache_hits` instead. `charged` zeroes an artifact's
@@ -230,6 +284,7 @@ impl CompileSession {
         };
         let lkey = stages::lower_key(frontend.dfg_fp, core, options);
         let h = hits;
+        check_cancel()?;
         let lowered = self.memoize(
             |m| &mut m.lower,
             lkey,
@@ -239,6 +294,7 @@ impl CompileSession {
         let lower_time = charged(h, hits, lowered.time);
         let mkey = stages::modify_key(lkey, core);
         let h = hits;
+        check_cancel()?;
         let modified = self.memoize(
             |m| &mut m.modify,
             mkey,
@@ -248,6 +304,7 @@ impl CompileSession {
         let modify_time = charged(h, hits, modified.time);
         let akey = stages::analysis_key(mkey);
         let h = hits;
+        check_cancel()?;
         let analysis = self.memoize(
             |m| &mut m.analysis,
             akey,
@@ -258,15 +315,17 @@ impl CompileSession {
         let matrix_time = charged(h, hits, analysis.matrix_time);
         let skey = stages::schedule_key(akey, core, options);
         let h = hits;
+        check_cancel()?;
         let scheduled = self.memoize(
             |m| &mut m.schedule,
             skey,
             &mut hits,
-            || stages::run_schedule(&modified, &analysis, core, options),
+            || stages::run_schedule(&modified, &analysis, core, options, cancel),
         )?;
         let schedule_time = charged(h, hits, scheduled.time);
         let rkey = stages::regalloc_key(skey);
         let h = hits;
+        check_cancel()?;
         let allocated = self.memoize(
             |m| &mut m.regalloc,
             rkey,
@@ -276,6 +335,7 @@ impl CompileSession {
         let regalloc_time = charged(h, hits, allocated.time);
         let ekey = stages::encode_key(skey, core);
         let h = hits;
+        check_cancel()?;
         let encoded = self.memoize(
             |m| &mut m.encode,
             ekey,
@@ -294,6 +354,7 @@ impl CompileSession {
             regalloc: regalloc_time,
             encode: encode_time,
             cache_hits: hits,
+            degradation: scheduled.degradation,
         };
         Ok(Compiled {
             core: Arc::clone(core),

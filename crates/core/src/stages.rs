@@ -36,11 +36,13 @@ use dspcc_encode::{allocate_registers, encode, FieldLayout, Microcode, RegAssign
 use dspcc_isa::{artificial_resources, Classification};
 use dspcc_rtgen::{apply_instruction_set, lower, LowerOptions, Lowering};
 use dspcc_sched::bounds::length_lower_bound;
-use dspcc_sched::compact::schedule_and_compact_in;
+use dspcc_sched::compact::schedule_and_compact_fueled;
 use dspcc_sched::deps::DependenceGraph;
 use dspcc_sched::exact::{exact_schedule, ExactConfig};
 use dspcc_sched::list::{list_schedule_with_matrix, ListConfig, Priority};
-use dspcc_sched::{ConflictMatrix, Schedule};
+use dspcc_sched::{
+    CancelToken, ConflictMatrix, Degradation, DegradeAction, Fuel, SchedError, Schedule,
+};
 
 use crate::pipeline::{CompileError, Core};
 use crate::session::CompileOptions;
@@ -156,6 +158,20 @@ pub fn schedule_key(analysis_key: u64, core: &Core, options: &CompileOptions) ->
         } else {
             h.write_u8(priority_tag(options.priority));
         }
+        // Fuel is an *input* of the exact and restart schedulers (a
+        // truncated search produces a different — possibly degraded —
+        // schedule), so a fuel-limited result must never be cached under
+        // a full-budget key. The plain list scheduler runs exactly one
+        // mandatory attempt whatever the fuel, so there — like
+        // `sched_threads` everywhere — fuel is excluded as
+        // output-invariant.
+        match options.fuel {
+            Some(f) if options.exact || options.compaction => {
+                h.write_bool(true);
+                h.write_u64(f);
+            }
+            _ => h.write_bool(false),
+        }
     })
 }
 
@@ -238,6 +254,9 @@ pub struct ScheduleArtifact {
     pub schedule: Arc<Schedule>,
     /// Provable lower bound on the schedule length.
     pub bound: u32,
+    /// `Some` when the fuel budget truncated the search and this is the
+    /// best-so-far rather than the full-budget result.
+    pub degradation: Option<Degradation>,
     /// Wall-clock time of the stage.
     pub time: Duration,
 }
@@ -383,18 +402,37 @@ pub fn run_analysis(modified: &ModifyArtifact) -> Result<AnalysisArtifact, Compi
     })
 }
 
+/// Maps scheduler errors into the pipeline taxonomy, lifting the
+/// cooperative-cancellation case out of the stage-provenance wrapper.
+fn schedule_error(e: SchedError) -> CompileError {
+    match e {
+        SchedError::Cancelled => CompileError::Cancelled,
+        other => CompileError::Schedule(other),
+    }
+}
+
 /// Scheduling (compiler step 3): exact, compacting-restart, or plain list
 /// scheduling per the options, plus the provable length lower bound and
 /// the controller's program-memory check.
 ///
+/// When [`CompileOptions::fuel`] is set, the search runs under that
+/// deterministic unit budget (one unit = one attempt, justification
+/// pass, or branch-and-bound node): exhaustion degrades — the exact
+/// scheduler falls back to the heuristic, the heuristic returns its
+/// best-so-far — and the artifact carries the [`Degradation`] report.
+/// `cancel` is polled inside the search; a raised token aborts with
+/// [`CompileError::Cancelled`].
+///
 /// # Errors
 ///
-/// [`CompileError::Schedule`] / [`CompileError::ProgramTooLong`].
+/// [`CompileError::Schedule`] / [`CompileError::ProgramTooLong`] /
+/// [`CompileError::Cancelled`].
 pub fn run_schedule(
     modified: &ModifyArtifact,
     analysis: &AnalysisArtifact,
     core: &Core,
     options: &CompileOptions,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScheduleArtifact, CompileError> {
     let program = &modified.lowering.program;
     let deps = &analysis.deps;
@@ -402,34 +440,81 @@ pub fn run_schedule(
     let t = Instant::now();
     let hard_cap = core.controller.program_depth();
     let budget = options.budget.map(|b| b.min(hard_cap)).unwrap_or(hard_cap);
-    let (schedule, bound) = if options.exact {
+    let mut fuel = options.fuel.map(Fuel::limited).unwrap_or_default();
+    let (schedule, bound, degradation) = if options.exact {
+        // Fuel counts branch-and-bound node expansions here: the node cap
+        // is the smaller of the configured cap and the remaining fuel,
+        // and the nodes actually explored are charged afterwards.
         let mut config = ExactConfig::new(budget);
-        config.max_nodes = options.exact_max_nodes;
+        config.max_nodes = options.exact_max_nodes.min(fuel.remaining());
+        config.cancel = cancel.cloned();
+        let fuel_capped = config.max_nodes < options.exact_max_nodes;
         let result = exact_schedule(program, deps, &config);
-        let schedule = match result.schedule {
-            Some(s) => s,
-            None => {
-                return Err(CompileError::Schedule(
-                    dspcc_sched::SchedError::BudgetExceeded {
-                        budget,
-                        unplaced: program.rt_count(),
-                    },
-                ))
+        fuel.charge_saturating(result.nodes_explored);
+        if result.cancelled {
+            return Err(CompileError::Cancelled);
+        }
+        match result.schedule {
+            Some(s) => {
+                let bound = length_lower_bound(program, deps, matrix);
+                (s, bound, None)
             }
-        };
-        let bound = length_lower_bound(program, deps, matrix);
-        (schedule, bound)
+            None if !result.complete && fuel_capped => {
+                // The fuel budget (not the user's node cap) stopped the
+                // exact search short of an answer: degrade to the
+                // heuristic scheduler on whatever fuel remains instead of
+                // failing a compile that more machinery could still
+                // serve.
+                let fallback = schedule_and_compact_fueled(
+                    program,
+                    deps,
+                    matrix,
+                    Some(budget),
+                    options.restarts,
+                    options.sched_threads,
+                    &mut fuel,
+                    cancel,
+                )
+                .map_err(schedule_error)?;
+                let degradation = Degradation {
+                    stage: "schedule",
+                    spent: fuel.used(),
+                    action: DegradeAction::ExactToHeuristic {
+                        nodes_explored: result.nodes_explored,
+                    },
+                };
+                (fallback.schedule, fallback.bound, Some(degradation))
+            }
+            None => {
+                // Proven infeasibility, or the user's own node cap gave
+                // up: both keep their historical error surface.
+                return Err(CompileError::Schedule(SchedError::BudgetExceeded {
+                    budget,
+                    unplaced: program.rt_count(),
+                }));
+            }
+        }
     } else if options.compaction {
-        schedule_and_compact_in(
+        let r = schedule_and_compact_fueled(
             program,
             deps,
             matrix,
             Some(budget),
             options.restarts,
             options.sched_threads,
+            &mut fuel,
+            cancel,
         )
-        .map_err(CompileError::Schedule)?
+        .map_err(schedule_error)?;
+        (r.schedule, r.bound, r.degradation)
     } else {
+        // One mandatory list attempt: runs whatever the fuel (the
+        // baseline every degradation ladder bottoms out at), so fuel is
+        // charged saturating and never changes the output.
+        if cancel.map(CancelToken::is_cancelled).unwrap_or(false) {
+            return Err(CompileError::Cancelled);
+        }
+        fuel.charge_saturating(1);
         let config = ListConfig {
             budget: Some(budget),
             priority: options.priority,
@@ -438,7 +523,7 @@ pub fn run_schedule(
         let schedule = list_schedule_with_matrix(program, deps, matrix, &config)
             .map_err(CompileError::Schedule)?;
         let bound = length_lower_bound(program, deps, matrix);
-        (schedule, bound)
+        (schedule, bound, None)
     };
     let time = t.elapsed();
     if schedule.length() > hard_cap {
@@ -450,6 +535,7 @@ pub fn run_schedule(
     Ok(ScheduleArtifact {
         schedule: Arc::new(schedule),
         bound,
+        degradation,
         time,
     })
 }

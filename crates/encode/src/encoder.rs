@@ -55,6 +55,14 @@ pub enum EncodeError {
         /// Field width.
         bits: u32,
     },
+    /// [`decode`] met an opcode past the field's operation table — a
+    /// word no encoder produced (corrupted or hand-forged microcode).
+    BadOpcode {
+        /// The OPU whose field held the opcode.
+        opu: String,
+        /// The out-of-table opcode value.
+        opcode: u64,
+    },
 }
 
 impl fmt::Display for EncodeError {
@@ -75,6 +83,9 @@ impl fmt::Display for EncodeError {
             }
             EncodeError::ImmediateOverflow { opu, value, bits } => {
                 write!(f, "immediate {value} of `{opu}` overflows {bits} bits")
+            }
+            EncodeError::BadOpcode { opu, opcode } => {
+                write!(f, "opcode {opcode} of `{opu}` is past its operation table")
             }
         }
     }
@@ -303,7 +314,19 @@ pub struct DecodedInstruction {
 }
 
 /// Decodes one instruction word.
-pub fn decode(word: &Word, layout: &FieldLayout, format: WordFormat) -> DecodedInstruction {
+///
+/// # Errors
+///
+/// [`EncodeError::BadOpcode`] when a field holds an opcode past its
+/// operation table — a word that no encoder produced (corrupted or
+/// hand-forged microcode). Well-formed words always decode: the opcode
+/// field is `ceil(log2(ops+1))` bits, so only the unused tail encodings
+/// of a non-power-of-two table can trigger this.
+pub fn decode(
+    word: &Word,
+    layout: &FieldLayout,
+    format: WordFormat,
+) -> Result<DecodedInstruction, EncodeError> {
     let mut actions = Vec::new();
     for field in layout.fields() {
         let opcode = if field.opcode_bits == 0 {
@@ -318,7 +341,14 @@ pub fn decode(word: &Word, layout: &FieldLayout, format: WordFormat) -> DecodedI
         if opcode == 0 {
             continue;
         }
-        let op = field.ops[(opcode - 1) as usize].clone();
+        let op = field
+            .ops
+            .get((opcode - 1) as usize)
+            .ok_or_else(|| EncodeError::BadOpcode {
+                opu: field.opu.clone(),
+                opcode,
+            })?
+            .clone();
         let operand_regs: Vec<u32> = field
             .operands
             .iter()
@@ -355,7 +385,7 @@ pub fn decode(word: &Word, layout: &FieldLayout, format: WordFormat) -> DecodedI
             imm,
         });
     }
-    DecodedInstruction { actions }
+    Ok(DecodedInstruction { actions })
 }
 
 #[cfg(test)]
@@ -399,7 +429,7 @@ mod tests {
         s.place(id, 0);
         let words = encode(&p, &s, &layout, &BTreeMap::new(), WordFormat::q15()).unwrap();
         assert_eq!(words.len(), 1);
-        let d = decode(&words[0], &layout, WordFormat::q15());
+        let d = decode(&words[0], &layout, WordFormat::q15()).unwrap();
         assert_eq!(d.actions.len(), 1);
         let a = &d.actions[0];
         assert_eq!(a.opu, "alu");
@@ -421,9 +451,11 @@ mod tests {
         assert_eq!(words.len(), 3);
         assert!(words[0].is_zero());
         assert!(decode(&words[1], &layout, WordFormat::q15())
+            .unwrap()
             .actions
             .is_empty());
         assert!(!decode(&words[2], &layout, WordFormat::q15())
+            .unwrap()
             .actions
             .is_empty());
     }
@@ -443,7 +475,7 @@ mod tests {
             let imms: BTreeMap<RtId, Immediate> =
                 [(id, Immediate::Fixed(value))].into_iter().collect();
             let words = encode(&p, &s, &layout, &imms, WordFormat::q15()).unwrap();
-            let d = decode(&words[0], &layout, WordFormat::q15());
+            let d = decode(&words[0], &layout, WordFormat::q15()).unwrap();
             let expected = WordFormat::q15().from_f64(value);
             assert_eq!(d.actions[0].imm, Some(expected), "value {value}");
         }
@@ -462,7 +494,7 @@ mod tests {
         s.place(id, 0);
         let imms: BTreeMap<RtId, Immediate> = [(id, Immediate::Raw(37))].into_iter().collect();
         let words = encode(&p, &s, &layout, &imms, WordFormat::q15()).unwrap();
-        let d = decode(&words[0], &layout, WordFormat::q15());
+        let d = decode(&words[0], &layout, WordFormat::q15()).unwrap();
         assert_eq!(d.actions[0].imm, Some(37));
     }
 
@@ -510,7 +542,7 @@ mod tests {
         s.place(a, 0);
         s.place(b, 0);
         let words = encode(&p, &s, &layout, &BTreeMap::new(), WordFormat::q15()).unwrap();
-        let d = decode(&words[0], &layout, WordFormat::q15());
+        let d = decode(&words[0], &layout, WordFormat::q15()).unwrap();
         assert_eq!(d.actions.len(), 1);
     }
 
@@ -564,7 +596,7 @@ mod tests {
         let max = WordFormat::q15().max_value();
         let ok: BTreeMap<RtId, Immediate> = [(id, Immediate::Raw(max))].into_iter().collect();
         let words = encode(&p, &s, &layout, &ok, WordFormat::q15()).unwrap();
-        let d = decode(&words[0], &layout, WordFormat::q15());
+        let d = decode(&words[0], &layout, WordFormat::q15()).unwrap();
         assert_eq!(d.actions[0].imm, Some(max));
     }
 
@@ -617,7 +649,7 @@ mod tests {
         s.place(b, 0);
         let imms: BTreeMap<RtId, Immediate> = [(b, Immediate::Fixed(0.5))].into_iter().collect();
         let words = encode(&p, &s, &layout, &imms, WordFormat::q15()).unwrap();
-        let d = decode(&words[0], &layout, WordFormat::q15());
+        let d = decode(&words[0], &layout, WordFormat::q15()).unwrap();
         assert_eq!(d.actions.len(), 2);
         let names: Vec<&str> = d.actions.iter().map(|a| a.opu.as_str()).collect();
         assert!(names.contains(&"alu") && names.contains(&"prgc"));

@@ -614,7 +614,7 @@ impl<'a> Ctx<'a> {
         self.syms
             .rfs
             .get(rf)
-            .unwrap_or_else(|| panic!("rf `{rf}` exists in validated datapath"))
+            .unwrap_or_else(|| unreachable!("rf `{rf}` exists in validated datapath"))
     }
 
     fn value_for(&mut self, node: NodeId) -> ValueId {

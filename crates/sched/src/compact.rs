@@ -18,6 +18,7 @@ use dspcc_ir::{Program, RtId};
 
 use crate::bounds::length_lower_bound;
 use crate::deps::DependenceGraph;
+use crate::fuel::{CancelToken, Degradation, DegradeAction, Fuel};
 use crate::list::best_effort_bounded;
 use crate::schedule::{ConflictMatrix, SchedError, Schedule};
 
@@ -187,10 +188,52 @@ pub fn compact_to_bound(
     max_rounds: u32,
     bound: u32,
 ) -> Schedule {
+    compact_to_bound_fueled(
+        program,
+        deps,
+        matrix,
+        schedule,
+        max_rounds,
+        bound,
+        &mut Fuel::unlimited(),
+        None,
+    )
+    .map(|(schedule, _)| schedule)
+    .unwrap_or_else(|_| unreachable!("unlimited fuel, no cancel token"))
+}
+
+/// As [`compact_to_bound`], paying one [`Fuel`] unit per justification
+/// round *before* running it (rounds are atomic: paid-for work always
+/// completes). Exhaustion returns the best schedule so far plus the
+/// number of rounds skipped; compaction only ever shortens, so a
+/// truncated run is still valid. `cancel` is polled per round.
+///
+/// # Errors
+///
+/// [`SchedError::Cancelled`] when the token is raised mid-compaction.
+#[allow(clippy::too_many_arguments)]
+pub fn compact_to_bound_fueled(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    schedule: Schedule,
+    max_rounds: u32,
+    bound: u32,
+    fuel: &mut Fuel,
+    cancel: Option<&CancelToken>,
+) -> Result<(Schedule, u64), SchedError> {
     let mut best = schedule;
-    for _ in 0..max_rounds {
+    let mut skipped = 0u64;
+    for round in 0..max_rounds {
         let len = best.length();
         if len == 0 || len <= bound {
+            break;
+        }
+        if cancel.map(CancelToken::is_cancelled).unwrap_or(false) {
+            return Err(SchedError::Cancelled);
+        }
+        if !fuel.try_charge(1) {
+            skipped = (max_rounds - round) as u64;
             break;
         }
         let right = right_justify(program, deps, matrix, &best, len);
@@ -204,7 +247,7 @@ pub fn compact_to_bound(
         }
         best = left;
     }
-    best
+    Ok((best, skipped))
 }
 
 /// The production scheduler: best-effort construction (multiple
@@ -266,11 +309,71 @@ pub fn schedule_and_compact_in(
     restarts: u32,
     threads: usize,
 ) -> Result<(Schedule, u32), SchedError> {
+    schedule_and_compact_fueled(
+        program,
+        deps,
+        matrix,
+        budget,
+        restarts,
+        threads,
+        &mut Fuel::unlimited(),
+        None,
+    )
+    .map(|r| (r.schedule, r.bound))
+}
+
+/// The result of a fuel-bounded scheduling run.
+#[derive(Debug, Clone)]
+pub struct FueledSchedule {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// The provable length lower bound the cutoffs used.
+    pub bound: u32,
+    /// `Some` when fuel ran out and search work was skipped; the
+    /// schedule is then best-so-far rather than the full-budget result.
+    pub degradation: Option<Degradation>,
+}
+
+/// As [`schedule_and_compact_in`], under a deterministic compute budget
+/// and an optional cancellation token.
+///
+/// One fuel unit pays for one construction attempt, one justification
+/// round, or one perturbation seed — never wall-clock — so the same
+/// `(input, fuel)` pair produces bit-identical output on every machine
+/// and thread count. The baseline construction round is mandatory
+/// (charged saturating); everything after it must pay up front, and a
+/// failed charge truncates the search *there*, keeping the best schedule
+/// found so far. A truncated run that still meets the cycle budget
+/// succeeds with a [`Degradation`] report; only when the budget is
+/// missed *and* fuel was the binding constraint does the attributable
+/// [`SchedError::FuelExhausted`] replace the generic
+/// [`SchedError::BudgetExceeded`].
+///
+/// # Errors
+///
+/// [`SchedError::Cancelled`] when `cancel` is raised;
+/// [`SchedError::FuelExhausted`] / [`SchedError::BudgetExceeded`] when
+/// no schedule meets `budget`.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_and_compact_fueled(
+    program: &Program,
+    deps: &DependenceGraph,
+    matrix: &ConflictMatrix,
+    budget: Option<u32>,
+    restarts: u32,
+    threads: usize,
+    fuel: &mut Fuel,
+    cancel: Option<&CancelToken>,
+) -> Result<FueledSchedule, SchedError> {
     let bound = length_lower_bound(program, deps, matrix);
     // Construct without a hard budget so a too-tight target cannot wedge
     // the greedy pass, then compact and check the budget at the end.
-    let initial = best_effort_bounded(program, deps, matrix, None, restarts, threads, bound)?;
-    let mut best = compact_to_bound(program, deps, matrix, initial, 32, bound);
+    let (initial, mut skipped) = best_effort_bounded(
+        program, deps, matrix, None, restarts, threads, bound, fuel, cancel,
+    )?;
+    let (mut best, compact_skipped) =
+        compact_to_bound_fueled(program, deps, matrix, initial, 32, bound, fuel, cancel)?;
+    skipped += compact_skipped;
     let good_enough =
         |s: &Schedule| s.length() <= bound || budget.map(|b| s.length() <= b).unwrap_or(false);
     if !good_enough(&best) {
@@ -284,8 +387,17 @@ pub fn schedule_and_compact_in(
         let first_seed = restarts as u64 + 1;
         let last_seed = restarts as u64 + (restarts as u64 * 4).max(8);
         for seed in first_seed..=last_seed {
+            if cancel.map(CancelToken::is_cancelled).unwrap_or(false) {
+                return Err(SchedError::Cancelled);
+            }
+            if !fuel.try_charge(1) {
+                skipped += last_seed - seed + 1;
+                break;
+            }
             let perturbed = left_justify_seeded(program, deps, matrix, &best, seed);
-            let candidate = compact_to_bound(program, deps, matrix, perturbed, 8, bound);
+            let (candidate, ils_skipped) =
+                compact_to_bound_fueled(program, deps, matrix, perturbed, 8, bound, fuel, cancel)?;
+            skipped += ils_skipped;
             if candidate.length() < best.length() {
                 best = candidate;
             }
@@ -294,12 +406,30 @@ pub fn schedule_and_compact_in(
             }
         }
     }
+    let degradation = (skipped > 0).then_some(Degradation {
+        stage: "schedule",
+        spent: fuel.used(),
+        action: DegradeAction::SearchTruncated { skipped },
+    });
     match budget {
-        Some(b) if best.length() > b => Err(SchedError::BudgetExceeded {
-            budget: b,
-            unplaced: 0,
+        Some(b) if best.length() > b => {
+            if degradation.is_some() {
+                Err(SchedError::FuelExhausted {
+                    spent: fuel.used(),
+                    budget: b,
+                })
+            } else {
+                Err(SchedError::BudgetExceeded {
+                    budget: b,
+                    unplaced: 0,
+                })
+            }
+        }
+        _ => Ok(FueledSchedule {
+            schedule: best,
+            bound,
+            degradation,
         }),
-        _ => Ok((best, bound)),
     }
 }
 

@@ -18,6 +18,7 @@ use dspcc_graph::matching::BipartiteGraph;
 use dspcc_ir::{Program, RtId};
 
 use crate::deps::DependenceGraph;
+use crate::fuel::CancelToken;
 use crate::schedule::{ConflictMatrix, Schedule};
 
 /// Configuration of the exact scheduler.
@@ -30,6 +31,9 @@ pub struct ExactConfig {
     /// Abort after this many search nodes (`complete = false` in the
     /// result).
     pub max_nodes: u64,
+    /// Cooperative cancellation, polled every few hundred search nodes
+    /// (`cancelled = true` in the result).
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExactConfig {
@@ -39,6 +43,7 @@ impl ExactConfig {
             budget,
             prune: true,
             max_nodes: 10_000_000,
+            cancel: None,
         }
     }
 }
@@ -51,8 +56,11 @@ pub struct ExactResult {
     /// Search nodes visited (placements tried).
     pub nodes_explored: u64,
     /// `true` if the search ran to completion (found a schedule or proved
-    /// infeasibility); `false` if the node limit stopped it.
+    /// infeasibility); `false` if the node limit or cancellation stopped
+    /// it.
     pub complete: bool,
+    /// `true` if the caller's [`CancelToken`] stopped the search.
+    pub cancelled: bool,
 }
 
 /// Runs exact branch-and-bound scheduling: finds *a* schedule within
@@ -69,6 +77,7 @@ pub fn exact_schedule(
             schedule: Some(Schedule::new()),
             nodes_explored: 0,
             complete: true,
+            cancelled: false,
         };
     }
     let asap = deps.asap();
@@ -79,6 +88,7 @@ pub fn exact_schedule(
             schedule: None,
             nodes_explored: 0,
             complete: true,
+            cancelled: false,
         };
     }
     // Resource census: resource name → RT ids using it.
@@ -99,10 +109,12 @@ pub fn exact_schedule(
         budget: config.budget,
         prune: config.prune,
         max_nodes: config.max_nodes,
+        cancel: config.cancel.as_ref(),
         by_resource,
         issue: vec![None; n],
         nodes: 0,
         hit_limit: false,
+        cancelled: false,
     };
     let mut lo = asap;
     let mut hi = alap;
@@ -117,7 +129,8 @@ pub fn exact_schedule(
     ExactResult {
         schedule,
         nodes_explored: search.nodes,
-        complete: !search.hit_limit,
+        complete: !search.hit_limit && !search.cancelled,
+        cancelled: search.cancelled,
     }
 }
 
@@ -128,16 +141,32 @@ struct Search<'a> {
     budget: u32,
     prune: bool,
     max_nodes: u64,
+    cancel: Option<&'a CancelToken>,
     by_resource: BTreeMap<String, Vec<usize>>,
     issue: Vec<Option<u32>>,
     nodes: u64,
     hit_limit: bool,
+    cancelled: bool,
 }
+
+/// How many search nodes pass between cancellation polls: cheap enough
+/// to land promptly, coarse enough that the atomic load never shows up
+/// in a profile. (Fuel, by contrast, is accounted *outside* the search —
+/// the caller caps `max_nodes` to its remaining fuel and charges
+/// `nodes_explored` afterwards — so the search itself stays free of
+/// budget bookkeeping.)
+const CANCEL_POLL_INTERVAL: u64 = 256;
 
 impl Search<'_> {
     fn solve(&mut self, lo: &mut [u32], hi: &mut [u32]) -> bool {
         if self.nodes >= self.max_nodes {
             self.hit_limit = true;
+            return false;
+        }
+        if self.nodes.is_multiple_of(CANCEL_POLL_INTERVAL)
+            && self.cancel.map(CancelToken::is_cancelled).unwrap_or(false)
+        {
+            self.cancelled = true;
             return false;
         }
         // Pick the unscheduled RT with the smallest interval (fail first).
@@ -167,7 +196,7 @@ impl Search<'_> {
                 return true;
             }
             self.issue[rt] = None;
-            if self.hit_limit {
+            if self.hit_limit || self.cancelled {
                 return false;
             }
         }
@@ -370,6 +399,7 @@ mod tests {
             budget: 7, // infeasible
             prune: false,
             max_nodes: 10,
+            cancel: None,
         };
         let r = exact_schedule(&p, &deps, &cfg);
         assert!(!r.complete);

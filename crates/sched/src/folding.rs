@@ -492,7 +492,10 @@ fn try_modulo_schedule_ordered(
     }
     // Loop-carried out-edges may still be violated for consumers placed
     // before producers in topological order; verify and reject.
-    let issue: Vec<u32> = issue.into_iter().map(|t| t.unwrap()).collect();
+    let issue: Vec<u32> = issue
+        .into_iter()
+        .map(|t| t.expect("every RT was placed by the loop above"))
+        .collect();
     for e in loop_edges {
         let lat = program.rt(e.from).latency();
         if issue[e.to.0 as usize] + e.distance * ii < issue[e.from.0 as usize] + lat {

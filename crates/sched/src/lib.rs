@@ -58,8 +58,10 @@ pub mod compact;
 pub mod deps;
 pub mod exact;
 pub mod folding;
+pub mod fuel;
 pub mod list;
 pub mod report;
 mod schedule;
 
+pub use fuel::{CancelToken, Degradation, DegradeAction, Fuel};
 pub use schedule::{ConflictMatrix, SchedError, Schedule, VerifyError};

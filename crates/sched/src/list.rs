@@ -24,6 +24,7 @@ use dspcc_ir::{Program, RtId};
 
 use crate::bounds::distinct_usage_bound;
 use crate::deps::DependenceGraph;
+use crate::fuel::{CancelToken, Fuel};
 use crate::schedule::{ConflictMatrix, SchedError, Schedule};
 
 /// Priority function for choosing among ready RTs.
@@ -458,12 +459,33 @@ pub fn best_effort_schedule_with(
     // The stopping rule: computed once per run (not per single-pass entry
     // point — the single-pass schedulers have no restart loop to stop).
     let bound = crate::bounds::length_lower_bound(program, deps, matrix);
-    best_effort_bounded(program, deps, matrix, budget, restarts, threads, bound)
+    best_effort_bounded(
+        program,
+        deps,
+        matrix,
+        budget,
+        restarts,
+        threads,
+        bound,
+        &mut Fuel::unlimited(),
+        None,
+    )
+    .map(|(schedule, _)| schedule)
 }
 
 /// The restart engine behind [`best_effort_schedule_with`], taking the
 /// already-computed length lower bound so callers that need the bound
 /// themselves (the compaction pipeline) don't pay for it twice.
+///
+/// `fuel` is charged one unit per attempt, at round barriers only.
+/// Round 0 (the unjittered roster) is mandatory — it charges
+/// saturating, so even a zero budget yields a best-effort schedule —
+/// while every jittered round must pay up front or the run ends there.
+/// The returned `u64` counts the attempts that were skipped because fuel
+/// ran out (`0` = the search was not truncated). `cancel` is polled at
+/// the same barriers; a raised token aborts with
+/// [`SchedError::Cancelled`] and discards the partial result.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn best_effort_bounded(
     program: &Program,
     deps: &DependenceGraph,
@@ -472,7 +494,9 @@ pub(crate) fn best_effort_bounded(
     restarts: u32,
     threads: usize,
     bound: u32,
-) -> Result<Schedule, SchedError> {
+    fuel: &mut Fuel,
+    cancel: Option<&CancelToken>,
+) -> Result<(Schedule, u64), SchedError> {
     let ctx = ScheduleContext::build(program, deps, budget);
     let reversed = deps.reversed();
     let ctx_rev = ScheduleContext::build(program, &reversed, budget);
@@ -507,7 +531,22 @@ pub(crate) fn best_effort_bounded(
     let threads = resolve_threads(threads, rounds[0].len() as u32);
     let mut outcome = BestOutcome::default();
     let mut scratch = SchedScratch::default();
+    let mut skipped = 0u64;
     for (r, range) in rounds.iter().enumerate() {
+        // Cancellation and fuel both live at the round barrier: the
+        // decision to run a round is taken once, serially, so budgeted
+        // output stays bit-identical for every thread count.
+        if cancel.map(CancelToken::is_cancelled).unwrap_or(false) {
+            return Err(SchedError::Cancelled);
+        }
+        if r == 0 {
+            // The baseline roster is mandatory — exhaustion must still
+            // yield a schedule to degrade to.
+            fuel.charge_saturating(range.len() as u64);
+        } else if !fuel.try_charge(range.len() as u64) {
+            skipped = (attempts.len() - range.start) as u64;
+            break;
+        }
         let before = outcome.best_len();
         // Jittered rounds hold only 3 short attempts — too little work to
         // amortise a thread spawn — so only round 0 fans out.
@@ -520,13 +559,13 @@ pub(crate) fn best_effort_bounded(
                     bound,
                 );
                 if outcome.bound_met() {
-                    return outcome.winner();
+                    return outcome.winner().map(|s| (s, 0));
                 }
             }
         } else {
             outcome = parallel_round(&set, &attempts, range.clone(), bound, threads, outcome);
             if outcome.bound_met() {
-                return outcome.winner();
+                return outcome.winner().map(|s| (s, 0));
             }
         }
         // Stagnation: a jittered round that improved nothing ends the run
@@ -536,7 +575,7 @@ pub(crate) fn best_effort_bounded(
             break;
         }
     }
-    outcome.winner()
+    outcome.winner().map(|s| (s, skipped))
 }
 
 /// Evaluates one round's attempts on `threads` workers, merging into

@@ -240,6 +240,19 @@ pub enum SchedError {
     },
     /// The dependence graph is unschedulable (e.g. a cycle).
     Dependences(String),
+    /// The caller's [`crate::fuel::CancelToken`] was raised; the partial
+    /// result was discarded.
+    Cancelled,
+    /// The deterministic compute budget ([`crate::fuel::Fuel`]) ran out
+    /// before any schedule within the cycle budget was found. Unlike
+    /// [`SchedError::BudgetExceeded`] this is attributable to the fuel
+    /// limit, not the program: more fuel may still succeed.
+    FuelExhausted {
+        /// Work units consumed when the search was cut off.
+        spent: u64,
+        /// The cycle budget that went unmet.
+        budget: u32,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -251,6 +264,12 @@ impl fmt::Display for SchedError {
                  rewrite the source or relax the budget"
             ),
             SchedError::Dependences(m) => write!(f, "dependence problem: {m}"),
+            SchedError::Cancelled => write!(f, "scheduling cancelled by the caller"),
+            SchedError::FuelExhausted { spent, budget } => write!(
+                f,
+                "compute fuel exhausted after {spent} unit(s) with no schedule within \
+                 {budget} cycles; raise the fuel limit or relax the budget"
+            ),
         }
     }
 }

@@ -70,6 +70,23 @@ pub enum SimError {
         /// The OPU.
         opu: String,
     },
+    /// The microcode references a register outside the datapath's files
+    /// — a word no encoder produced (corrupted or hand-forged
+    /// microcode), caught at construction.
+    RegisterOutOfRange {
+        /// The register file (or the unknown name the word referenced).
+        rf: String,
+        /// The offending register index.
+        index: u32,
+    },
+    /// An instruction word failed to decode (corrupted or hand-forged
+    /// microcode), caught at construction.
+    BadWord {
+        /// The program-memory address of the word.
+        cycle: usize,
+        /// The decoder's diagnostic.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -89,6 +106,12 @@ impl fmt::Display for SimError {
             }
             SimError::Unsupported { opu } => {
                 write!(f, "simulator has no semantics for `{opu}`")
+            }
+            SimError::RegisterOutOfRange { rf, index } => {
+                write!(f, "register {index} out of range for `{rf}`")
+            }
+            SimError::BadWord { cycle, detail } => {
+                write!(f, "instruction word {cycle} does not decode: {detail}")
             }
         }
     }
@@ -199,16 +222,14 @@ impl CoreSim {
     ///
     /// # Errors
     ///
-    /// Currently infallible (malformed actions become
+    /// [`SimError::BadWord`] when an instruction word does not decode and
+    /// [`SimError::RegisterOutOfRange`] when the microcode references a
+    /// register outside the datapath's files — both describe corrupted or
+    /// hand-forged microcode (no encoder produces such words; these used
+    /// to panic, and typed errors are what lets the fault-injection audit
+    /// count them as *detected*). Other malformed actions become
     /// [`SimError::Unsupported`] at execution, matching the
-    /// decode-per-cycle path); the `Result` keeps room for construction
-    /// diagnostics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the microcode references registers outside the
-    /// datapath's register files — the same inputs panicked the
-    /// decode-per-cycle path at execution time.
+    /// decode-per-cycle path.
     pub fn new(dp: &Datapath, microcode: &Microcode) -> Result<Self, SimError> {
         let format = microcode.word_format;
         // Flat register-file layout: (name, base, size) in datapath order.
@@ -218,13 +239,21 @@ impl CoreSim {
             rf_layout.push((r.name().to_owned(), total_regs, r.size()));
             total_regs += r.size();
         }
-        let flat_reg = |rf: &str, reg: u32| -> u32 {
+        let flat_reg = |rf: &str, reg: u32| -> Result<u32, SimError> {
             let &(_, base, size) = rf_layout
                 .iter()
                 .find(|(name, _, _)| name == rf)
-                .expect("known rf");
-            assert!(reg < size, "register {reg} out of range for `{rf}`");
-            base + reg
+                .ok_or_else(|| SimError::RegisterOutOfRange {
+                    rf: rf.to_owned(),
+                    index: reg,
+                })?;
+            if reg >= size {
+                return Err(SimError::RegisterOutOfRange {
+                    rf: rf.to_owned(),
+                    index: reg,
+                });
+            }
+            Ok(base + reg)
         };
         // OPU tables and memory slots.
         let mut opu_names: Vec<String> = Vec::new();
@@ -282,9 +311,14 @@ impl CoreSim {
         let mut micro = Vec::new();
         let mut dest_regs = Vec::new();
         let mut max_latency = 1u32;
-        for word in &microcode.words {
+        for (cycle, word) in microcode.words.iter().enumerate() {
             let start = micro.len() as u32;
-            for action in decode(word, &microcode.layout, format).actions {
+            let decoded =
+                decode(word, &microcode.layout, format).map_err(|e| SimError::BadWord {
+                    cycle,
+                    detail: e.to_string(),
+                })?;
+            for action in decoded.actions {
                 let spec = dp.opu(&action.opu);
                 let opu = match opu_names.iter().position(|n| n == &action.opu) {
                     Some(i) => i as u32,
@@ -294,11 +328,12 @@ impl CoreSim {
                     }
                 };
                 let mut src = [0u32; 2];
-                let mut resolve_srcs = |ports: &[usize]| {
+                let mut resolve_srcs = |ports: &[usize]| -> Result<(), SimError> {
                     let spec = spec.expect("resolved op implies known opu");
                     for &p in ports {
-                        src[p] = flat_reg(&spec.inputs()[p], action.operand_regs[p]);
+                        src[p] = flat_reg(&spec.inputs()[p], action.operand_regs[p])?;
                     }
+                    Ok(())
                 };
                 let (op, mem, imm) = match spec.map(|s| s.kind()) {
                     Some(OpuKind::Input) => {
@@ -306,7 +341,7 @@ impl CoreSim {
                         (Op::InputRead, slot, 0)
                     }
                     Some(OpuKind::Output) => {
-                        resolve_srcs(&[0]);
+                        resolve_srcs(&[0])?;
                         let slot = slot_of(&mut out_slots, &action.opu);
                         (Op::OutputWrite, slot, 0)
                     }
@@ -322,7 +357,7 @@ impl CoreSim {
                         (Op::RomConst, slot, action.imm.expect("rom imm decoded"))
                     }
                     Some(OpuKind::Acu) => {
-                        resolve_srcs(&[0, 1]);
+                        resolve_srcs(&[0, 1])?;
                         (Op::AcuAddMod, 0, 0)
                     }
                     Some(OpuKind::Ram) => {
@@ -332,15 +367,15 @@ impl CoreSim {
                             .expect("ram opu has a memory")
                             as u32;
                         if action.op == "write" {
-                            resolve_srcs(&[0, 1]);
+                            resolve_srcs(&[0, 1])?;
                             (Op::RamWrite, slot, 0)
                         } else {
-                            resolve_srcs(&[0]);
+                            resolve_srcs(&[0])?;
                             (Op::RamRead, slot, 0)
                         }
                     }
                     Some(OpuKind::Mult) => {
-                        resolve_srcs(&[0, 1]);
+                        resolve_srcs(&[0, 1])?;
                         (Op::Mult, 0, 0)
                     }
                     Some(OpuKind::Alu) => {
@@ -358,7 +393,7 @@ impl CoreSim {
                                     &[0]
                                 } else {
                                     &[0, 1]
-                                });
+                                })?;
                                 (op, 0, 0)
                             }
                             None => (Op::Unsupported, 0, 0),
@@ -373,7 +408,7 @@ impl CoreSim {
                 max_latency = max_latency.max(latency);
                 let dest_start = dest_regs.len() as u32;
                 for (rf, reg) in &action.dests {
-                    dest_regs.push(flat_reg(rf, *reg));
+                    dest_regs.push(flat_reg(rf, *reg)?);
                 }
                 micro.push(MicroOp {
                     op,

@@ -51,14 +51,22 @@ impl ReferenceSim {
     ///
     /// # Errors
     ///
-    /// Currently infallible; the `Result` mirrors [`crate::CoreSim::new`].
+    /// Returns [`SimError::BadWord`] when an instruction word does not
+    /// decode under the datapath's field layout, mirroring
+    /// [`crate::CoreSim::new`].
     pub fn new(dp: &Datapath, microcode: &Microcode) -> Result<Self, SimError> {
         let format = microcode.word_format;
         let program = microcode
             .words
             .iter()
-            .map(|w| decode(w, &microcode.layout, format))
-            .collect();
+            .enumerate()
+            .map(|(cycle, w)| {
+                decode(w, &microcode.layout, format).map_err(|e| SimError::BadWord {
+                    cycle,
+                    detail: e.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         let mut opus = BTreeMap::new();
         let mut ram = BTreeMap::new();
         let mut rom = BTreeMap::new();

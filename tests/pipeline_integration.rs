@@ -68,7 +68,8 @@ fn encoding_round_trips_the_schedule() {
             &compiled.microcode.words[cycle as usize],
             &compiled.microcode.layout,
             core.format,
-        );
+        )
+        .unwrap();
         // Every scheduled RT's OPU appears among the decoded actions
         // (identical RTs share one field).
         for &rt_id in instr {
