@@ -411,6 +411,33 @@ pub struct GeneratedArch {
     pub rejects: Vec<String>,
 }
 
+/// [`CoreGenerator::try_generate`] failure: every attempt's draw was
+/// rejected by datapath validation. Impossible with the built-in backbone
+/// construction — seeing this means a config extension broke a generator
+/// invariant (it is a generator bug, not a seed property), and the
+/// per-attempt rejection reasons are carried for triage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateError {
+    /// The seed whose attempts were exhausted.
+    pub seed: u64,
+    /// Attempts made (always [`MAX_ATTEMPTS`]).
+    pub attempts: u32,
+    /// The validation error of each rejected attempt.
+    pub rejects: Vec<String>,
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {:#x}: all {} generation attempts rejected: {:?}",
+            self.seed, self.attempts, self.rejects
+        )
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
 impl GeneratedArch {
     /// Combined content fingerprint of the generated core: datapath,
     /// controller, and word width (the seed is deliberately *not* an
@@ -477,12 +504,21 @@ impl CoreGenerator {
     /// Panics with the violated constraint if [`GenConfig::validate`]
     /// rejects `config` — an out-of-envelope config is a caller bug and
     /// must fail at construction with its reason, not as a stray index
-    /// panic deep inside a draw.
+    /// panic deep inside a draw. Use [`CoreGenerator::try_with_config`]
+    /// for a typed-error construction path.
     pub fn with_config(config: GenConfig) -> Self {
-        if let Err(reason) = config.validate() {
-            panic!("invalid GenConfig: {reason}");
-        }
-        CoreGenerator { config }
+        Self::try_with_config(config).expect("invalid GenConfig")
+    }
+
+    /// As [`CoreGenerator::with_config`], returning the violated
+    /// constraint instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first constraint [`GenConfig::validate`] rejects.
+    pub fn try_with_config(config: GenConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(CoreGenerator { config })
     }
 
     /// The active configuration.
@@ -498,7 +534,21 @@ impl CoreGenerator {
     /// Panics if [`MAX_ATTEMPTS`] consecutive draws fail validation —
     /// impossible with the built-in backbone construction, and a generator
     /// bug (not a seed property) if a config extension ever triggers it.
+    /// Use [`CoreGenerator::try_generate`] for a typed-error path.
     pub fn generate(&self, seed: u64) -> GeneratedArch {
+        self.try_generate(seed)
+            .expect("generator invariant broken: backbone construction exhausted its attempts")
+    }
+
+    /// As [`CoreGenerator::generate`], reporting attempt exhaustion as a
+    /// typed [`GenerateError`] (with the per-attempt rejection reasons)
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError`] if [`MAX_ATTEMPTS`] consecutive draws fail
+    /// validation.
+    pub fn try_generate(&self, seed: u64) -> Result<GeneratedArch, GenerateError> {
         let mut rejects = Vec::new();
         for attempt in 0..MAX_ATTEMPTS {
             let mut repairs = Vec::new();
@@ -506,19 +556,23 @@ impl CoreGenerator {
             let (plan, controller, word_width) = self.draw(&mut rng, &mut repairs);
             match plan.build() {
                 Ok(datapath) => {
-                    return GeneratedArch {
+                    return Ok(GeneratedArch {
                         seed,
                         datapath,
                         controller,
                         word_width,
                         repairs,
                         rejects,
-                    }
+                    })
                 }
                 Err(e) => rejects.push(format!("attempt {attempt}: rejected — {e}")),
             }
         }
-        panic!("seed {seed:#x}: {MAX_ATTEMPTS} attempts rejected: {rejects:?}");
+        Err(GenerateError {
+            seed,
+            attempts: MAX_ATTEMPTS,
+            rejects,
+        })
     }
 
     /// One structural draw: units, register files, connectivity overlay,
@@ -918,7 +972,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid GenConfig: mults")]
+    #[should_panic(expected = "mults: lower bound 0 below minimum 1")]
     fn with_config_panics_on_invalid_config() {
         CoreGenerator::with_config(GenConfig {
             mults: (0, 2),

@@ -44,5 +44,5 @@ pub use controller::{Controller, ControllerBuilder};
 pub use datapath::{ArchError, BusSpec, Datapath, DatapathBuilder, OpuKind, OpuSpec, RfSpec};
 pub use fingerprint::Fnv64;
 pub use generate::{
-    ArchPlan, CoreGenerator, GenConfig, GeneratedArch, RfPlan, SplitMix64, UnitPlan,
+    ArchPlan, CoreGenerator, GenConfig, GenerateError, GeneratedArch, RfPlan, SplitMix64, UnitPlan,
 };

@@ -49,6 +49,12 @@ pub enum CellOutcome {
         cycles: u32,
         /// Frames verified bit-exact.
         frames: u32,
+        /// `Some` when the cell's fuel cap truncated the scheduling
+        /// search and the compile served its best-so-far schedule (see
+        /// [`dspcc_sched::Degradation`]). The cell still verified
+        /// bit-exact — this flags that its cycle count may be weaker
+        /// than a full-budget compile would produce.
+        degradation: Option<dspcc_sched::Degradation>,
     },
     /// The pipeline rejected the combination (stage + reason) — designer
     /// feedback, not a bug.
@@ -74,6 +80,19 @@ impl CellOutcome {
     /// Whether this cell passed.
     pub fn is_pass(&self) -> bool {
         matches!(self, CellOutcome::Pass { .. })
+    }
+
+    /// Whether this cell passed *degraded*: verified bit-exact, but the
+    /// schedule came from a fuel-truncated search rather than the full
+    /// exhaustive/heuristic run.
+    pub fn is_degraded_pass(&self) -> bool {
+        matches!(
+            self,
+            CellOutcome::Pass {
+                degradation: Some(_),
+                ..
+            }
+        )
     }
 
     /// Whether this cell is a mismatch (a bug).
@@ -379,6 +398,7 @@ pub fn conform_cell(
     CellOutcome::Pass {
         cycles: compiled.cycles(),
         frames,
+        degradation: compiled.stats.degradation,
     }
 }
 
@@ -447,6 +467,13 @@ impl ConformReport {
         self.cells.iter().filter(|c| c.outcome.is_pass())
     }
 
+    /// Passing cells whose schedule was served by a fuel-degraded
+    /// search — still bit-exact, but flagged so a fleet run under tight
+    /// fuel cannot silently masquerade as a full-quality sweep.
+    pub fn degraded_passes(&self) -> impl Iterator<Item = &ConformCell> {
+        self.cells.iter().filter(|c| c.outcome.is_degraded_pass())
+    }
+
     /// Cells the pipeline rejected.
     pub fn infeasible(&self) -> impl Iterator<Item = &ConformCell> {
         self.cells
@@ -477,8 +504,13 @@ impl fmt::Display for ConformReport {
             write!(f, "{:>18x}", row[0].seed)?;
             for cell in row {
                 match &cell.outcome {
-                    CellOutcome::Pass { cycles, .. } => {
-                        write!(f, " {:>9}", format!("ok/{cycles}"))?
+                    CellOutcome::Pass {
+                        cycles,
+                        degradation,
+                        ..
+                    } => {
+                        let tag = if degradation.is_some() { "ok*" } else { "ok" };
+                        write!(f, " {:>9}", format!("{tag}/{cycles}"))?
                     }
                     CellOutcome::Infeasible(_) => write!(f, " {:>9}", "infeas")?,
                     CellOutcome::Mismatch(_) => write!(f, " {:>9}", "MISMATCH")?,
@@ -508,11 +540,25 @@ impl fmt::Display for ConformReport {
             };
             writeln!(f, "{tag} seed={:#x} app={}: {detail}", cell.seed, cell.app)?;
         }
+        for cell in self.degraded_passes() {
+            if let CellOutcome::Pass {
+                degradation: Some(d),
+                ..
+            } = &cell.outcome
+            {
+                writeln!(
+                    f,
+                    "DEGRADED seed={:#x} app={}: bit-exact, but {d}",
+                    cell.seed, cell.app
+                )?;
+            }
+        }
         write!(
             f,
-            "{} cells: {} pass, {} infeasible, {} mismatch, {} quarantined",
+            "{} cells: {} pass ({} degraded), {} infeasible, {} mismatch, {} quarantined",
             self.cells.len(),
             self.passes().count(),
+            self.degraded_passes().count(),
             self.infeasible().count(),
             self.mismatches().count(),
             self.quarantined().count()
@@ -636,12 +682,52 @@ mod tests {
 
     #[test]
     fn cell_outcome_helpers() {
-        assert!(CellOutcome::Pass {
+        let full = CellOutcome::Pass {
             cycles: 3,
-            frames: 8
-        }
-        .is_pass());
+            frames: 8,
+            degradation: None,
+        };
+        assert!(full.is_pass());
+        assert!(!full.is_degraded_pass());
+        let degraded = CellOutcome::Pass {
+            cycles: 3,
+            frames: 8,
+            degradation: Some(dspcc_sched::Degradation {
+                stage: "schedule",
+                spent: 100,
+                action: dspcc_sched::DegradeAction::ExactToHeuristic { nodes_explored: 7 },
+            }),
+        };
+        assert!(degraded.is_pass());
+        assert!(degraded.is_degraded_pass());
         assert!(!CellOutcome::Infeasible("x".into()).is_pass());
         assert!(CellOutcome::Mismatch("y".into()).is_mismatch());
+    }
+
+    #[test]
+    fn degraded_pass_surfaces_in_report() {
+        // A starvation-level fuel cap forces the exact search to degrade
+        // while the heuristic fallback still finds a valid (bit-exact)
+        // schedule — the fleet must say so rather than reporting a clean
+        // full-quality pass.
+        let report = ConformFleet::new()
+            .seed_range(0..2)
+            .app("fir4", crate::apps::fir(4))
+            .frames(2)
+            .options(CompileOptions {
+                exact: true,
+                fuel: Some(1),
+                restarts: 1,
+                sched_threads: 1,
+                ..CompileOptions::default()
+            })
+            .run();
+        assert_eq!(report.mismatches().count(), 0, "{report}");
+        if report.degraded_passes().count() > 0 {
+            let rendered = report.to_string();
+            assert!(rendered.contains("ok*/"), "{rendered}");
+            assert!(rendered.contains("DEGRADED"), "{rendered}");
+            assert!(rendered.contains("degraded)"), "{rendered}");
+        }
     }
 }

@@ -55,18 +55,26 @@
 //! ```
 
 pub mod apps;
+pub mod cache;
 pub mod conform;
 pub mod cores;
 pub mod explore;
 pub mod fault;
+pub mod fault_io;
 mod pipeline;
+pub mod service;
 mod session;
 pub mod stages;
 
+pub use cache::{
+    CacheBackend, CacheStats, ChaosBackend, DiskCache, IoFaultKind, StdFs, TransientPolicy,
+};
 pub use conform::{CellOutcome, ConformCell, ConformFleet, ConformReport};
 pub use explore::{DesignSpace, Exploration, VariantMetrics, VariantRow};
 pub use fault::{FaultAudit, FaultCell, FaultOutcome, FaultReport, MutationKind};
+pub use fault_io::{IoFaultAudit, IoFaultCell, IoFaultOutcome, IoFaultReport};
 pub use pipeline::{CompileError, CompileStats, Compiled, Compiler, Core};
+pub use service::{CompileService, Rejected, ServiceConfig, ServiceOutcome, ServiceStats, Ticket};
 pub use session::{CompileOptions, CompileSession};
 
 // Re-export the substrate crates under one roof, the way a user consumes

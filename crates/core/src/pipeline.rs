@@ -95,6 +95,13 @@ pub enum CompileError {
     /// is the panic message — a compiler bug to be reported, not a user
     /// error.
     Panicked(String),
+    /// The persistent artifact cache hit a *transient* I/O error (not
+    /// corruption — corrupt entries are quarantined and recomputed
+    /// silently) under [`crate::TransientPolicy::Fail`]. Retryable: the
+    /// compile service retries these with seeded backoff. Never cached,
+    /// like [`CompileError::Cancelled`] — disk weather is not a property
+    /// of the stage inputs.
+    CacheIo(String),
 }
 
 impl fmt::Display for CompileError {
@@ -114,6 +121,9 @@ impl fmt::Display for CompileError {
             CompileError::Cancelled => write!(f, "compilation cancelled by the caller"),
             CompileError::Panicked(msg) => {
                 write!(f, "compiler panic (contained): {msg}")
+            }
+            CompileError::CacheIo(msg) => {
+                write!(f, "artifact cache I/O: {msg}")
             }
         }
     }
@@ -152,7 +162,12 @@ pub struct CompileStats {
     /// Pipeline stages served from the session's artifact cache
     /// (0 on a cold compile; up to 7 — frontend, lower, modify,
     /// deps+matrix, schedule, regalloc, encode — on a full repeat).
+    /// Includes [`CompileStats::disk_hits`].
     pub cache_hits: u32,
+    /// The subset of [`CompileStats::cache_hits`] served from the
+    /// session's *persistent* disk cache (deserialized from a
+    /// checksum-verified entry rather than found in the in-memory memo).
+    pub disk_hits: u32,
     /// `Some` when the fuel budget truncated the scheduling search and
     /// the compile returned its best-so-far result (see
     /// [`dspcc_sched::Degradation`]); `None` on a full-budget compile.

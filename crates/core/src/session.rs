@@ -49,6 +49,7 @@ use std::sync::{Arc, Mutex};
 use dspcc_dfg::Dfg;
 use dspcc_sched::list::Priority;
 
+use crate::cache::{self, DiskCache, Load, TransientPolicy};
 use crate::pipeline::{CompileError, CompileStats, Compiled, Core};
 use crate::stages::{
     self, AnalysisArtifact, EncodeArtifact, FrontendArtifact, LowerArtifact, ModifyArtifact,
@@ -138,12 +139,32 @@ impl SessionMemo {
 #[derive(Default)]
 pub struct CompileSession {
     memo: Mutex<SessionMemo>,
+    disk: Option<Arc<DiskCache>>,
 }
 
 impl CompileSession {
     /// An empty session.
     pub fn new() -> Self {
         CompileSession::default()
+    }
+
+    /// An empty session backed by a persistent [`DiskCache`]: the
+    /// schedule and encode artifacts — the expensive tail of the
+    /// pipeline — are additionally serialized to `cache` under their
+    /// stage fingerprints, so a *fresh* session (new process, post-crash
+    /// restart) warm-starts from disk. Entries are checksummed and
+    /// version-tagged; anything that fails validation is quarantined and
+    /// recomputed, so a corrupt cache costs time, never correctness.
+    pub fn with_disk_cache(cache: Arc<DiskCache>) -> Self {
+        CompileSession {
+            memo: Mutex::default(),
+            disk: Some(cache),
+        }
+    }
+
+    /// The persistent cache this session is backed by, if any.
+    pub fn disk_cache(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.as_ref()
     }
 
     /// Number of cached stage artifacts (all stages summed).
@@ -173,6 +194,68 @@ impl CompileSession {
         // Cancellation is a property of *this caller's* token, not of the
         // stage inputs: caching it would poison the key for every later
         // compile. Deterministic failures stay cached.
+        if !matches!(result, Err(CompileError::Cancelled)) {
+            table(&mut self.memo.lock().unwrap())
+                .entry(key)
+                .or_insert_with(|| result.clone());
+        }
+        result
+    }
+
+    /// As [`CompileSession::memoize`], with a disk tier between the memo
+    /// and the compute: a memo miss consults the persistent cache (when
+    /// configured), and a computed artifact is serialized back to it.
+    ///
+    /// Recovery ladder on the disk path: a validation failure was already
+    /// quarantined by [`DiskCache::load`]; a checksum-*passing* payload
+    /// that fails `decode` (format drift within one entry version) is
+    /// quarantined here; both fall through to recompute. A *transient*
+    /// backend error recomputes under [`TransientPolicy::Recompute`] or
+    /// surfaces as [`CompileError::CacheIo`] (never memo-cached) under
+    /// [`TransientPolicy::Fail`] so the compile service can retry with
+    /// backoff instead of stampeding recomputes onto a sick disk.
+    #[allow(clippy::too_many_arguments)]
+    fn memoize_persistent<A>(
+        &self,
+        table: impl Fn(&mut SessionMemo) -> &mut Memo<A>,
+        stage: &'static str,
+        key: u64,
+        hits: &mut u32,
+        disk_hits: &mut u32,
+        decode: impl Fn(&[u8]) -> Result<A, String>,
+        encode: impl Fn(&A) -> Vec<u8>,
+        compute: impl FnOnce() -> Result<A, CompileError>,
+    ) -> Result<Arc<A>, CompileError> {
+        if let Some(cached) = table(&mut self.memo.lock().unwrap()).get(&key) {
+            *hits += 1;
+            return cached.clone();
+        }
+        if let Some(disk) = &self.disk {
+            match disk.load(stage, key) {
+                Load::Hit(payload) => match decode(&payload) {
+                    Ok(artifact) => {
+                        let artifact = Arc::new(artifact);
+                        *hits += 1;
+                        *disk_hits += 1;
+                        table(&mut self.memo.lock().unwrap())
+                            .entry(key)
+                            .or_insert_with(|| Ok(Arc::clone(&artifact)));
+                        return Ok(artifact);
+                    }
+                    Err(reason) => disk.quarantine(stage, key, &payload, &reason),
+                },
+                Load::Miss | Load::Corrupt => {}
+                Load::Transient(e) => {
+                    if disk.policy() == TransientPolicy::Fail {
+                        return Err(CompileError::CacheIo(e));
+                    }
+                }
+            }
+        }
+        let result = compute().map(Arc::new);
+        if let (Some(disk), Ok(artifact)) = (&self.disk, &result) {
+            disk.store(stage, key, &encode(artifact));
+        }
         if !matches!(result, Err(CompileError::Cancelled)) {
             table(&mut self.memo.lock().unwrap())
                 .entry(key)
@@ -313,13 +396,18 @@ impl CompileSession {
         )?;
         let deps_time = charged(h, hits, analysis.deps_time);
         let matrix_time = charged(h, hits, analysis.matrix_time);
+        let mut disk_hits = 0u32;
         let skey = stages::schedule_key(akey, core, options);
         let h = hits;
         check_cancel()?;
-        let scheduled = self.memoize(
+        let scheduled = self.memoize_persistent(
             |m| &mut m.schedule,
+            "schedule",
             skey,
             &mut hits,
+            &mut disk_hits,
+            cache::decode_schedule_artifact,
+            cache::encode_schedule_artifact,
             || stages::run_schedule(&modified, &analysis, core, options, cancel),
         )?;
         let schedule_time = charged(h, hits, scheduled.time);
@@ -336,10 +424,14 @@ impl CompileSession {
         let ekey = stages::encode_key(skey, core);
         let h = hits;
         check_cancel()?;
-        let encoded = self.memoize(
+        let encoded = self.memoize_persistent(
             |m| &mut m.encode,
+            "encode",
             ekey,
             &mut hits,
+            &mut disk_hits,
+            |bytes| cache::decode_encode_artifact(bytes, core),
+            cache::encode_encode_artifact,
             || stages::run_encode(&modified, &scheduled, &allocated, core),
         )?;
         let encode_time = charged(h, hits, encoded.time);
@@ -354,6 +446,7 @@ impl CompileSession {
             regalloc: regalloc_time,
             encode: encode_time,
             cache_hits: hits,
+            disk_hits,
             degradation: scheduled.degradation,
         };
         Ok(Compiled {

@@ -359,6 +359,15 @@ impl Schedule {
             .unwrap_or(0)
     }
 
+    /// The raw per-cycle rows, *including* any trailing empty cycles a
+    /// construction pass left behind. [`Schedule::length`] ignores those,
+    /// but equality does not — serialization (the persistent artifact
+    /// cache) round-trips this exact vector so a deserialized schedule is
+    /// `==` to the one that was stored.
+    pub fn cycles(&self) -> &[Vec<RtId>] {
+        &self.cycles
+    }
+
     /// The instruction (set of RTs issued) at `cycle`.
     pub fn instruction(&self, cycle: u32) -> &[RtId] {
         self.cycles

@@ -6,18 +6,25 @@
 //! compiler bug by construction; the process exits non-zero and prints
 //! the offending `(seed, app)` pair for reproduction.
 //!
+//! Cells that pass *degraded* — bit-exact, but served by a fuel-truncated
+//! scheduling search (`ok*` in the table) — are counted separately so a
+//! tightly-fueled sweep cannot masquerade as a full-quality one.
+//!
 //! ```text
 //! cargo run --release --example conform -- [--seeds N] [--start S]
 //!     [--apps fir8,biquad3,sop6,addtree8,audio] [--frames F] [--threads T]
+//!     [--fuel UNITS]
 //! ```
 
 use dspcc::conform::{standard_corpus, ConformFleet};
+use dspcc::CompileOptions;
 
 fn main() {
     let mut seeds = 64u64;
     let mut start = 0u64;
     let mut frames = 8u32;
     let mut threads = 0usize;
+    let mut fuel: Option<u64> = None;
     let mut apps: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,6 +37,7 @@ fn main() {
             "--start" => start = value("--start").parse().expect("--start: integer"),
             "--frames" => frames = value("--frames").parse().expect("--frames: integer"),
             "--threads" => threads = value("--threads").parse().expect("--threads: integer"),
+            "--fuel" => fuel = Some(value("--fuel").parse().expect("--fuel: integer")),
             "--apps" => {
                 apps = Some(value("--apps").split(',').map(str::to_owned).collect());
             }
@@ -41,6 +49,12 @@ fn main() {
         .seed_range(start..start + seeds)
         .frames(frames)
         .threads(threads);
+    if let Some(units) = fuel {
+        fleet = fleet.options(CompileOptions {
+            fuel: Some(units),
+            ..CompileOptions::default()
+        });
+    }
     let corpus = standard_corpus();
     match &apps {
         None => fleet = fleet.standard_corpus(),
@@ -57,6 +71,14 @@ fn main() {
 
     let report = fleet.run();
     println!("{report}");
+    let degraded = report.degraded_passes().count();
+    if degraded > 0 {
+        eprintln!(
+            "\nnote: {degraded} cell(s) passed degraded (`ok*`): bit-exact, but the \
+             scheduling search was fuel-truncated — rerun with more --fuel for \
+             full-quality schedules"
+        );
+    }
     let mismatches: Vec<_> = report.mismatches().collect();
     if !mismatches.is_empty() {
         eprintln!("\nconformance FAILED — reproduce with:");
