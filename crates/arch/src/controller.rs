@@ -85,6 +85,17 @@ impl Controller {
     pub fn max_for_depth(&self) -> u32 {
         self.stack_depth.saturating_sub(1)
     }
+
+    /// Least upper bound of two controllers: deep and wide enough for
+    /// programs targeting either donor. Used when two app-specialized
+    /// cores are unioned into one (`dspcc_arch::merge::union`).
+    pub fn merged(&self, other: &Controller) -> Controller {
+        Controller::new(
+            self.program_depth.max(other.program_depth),
+            self.stack_depth.max(other.stack_depth),
+            self.flag_count.max(other.flag_count),
+        )
+    }
 }
 
 /// Builder for [`Controller`], for cores that need to tune parameters
@@ -188,6 +199,18 @@ mod tests {
             c.to_string(),
             "controller(program=128, stack=3, flags=1, conditional=true)"
         );
+    }
+
+    #[test]
+    fn merged_takes_least_upper_bound() {
+        let a = Controller::new(64, 2, 0);
+        let b = Controller::new(128, 1, 2);
+        let m = a.merged(&b);
+        assert_eq!(m.program_depth(), 128);
+        assert_eq!(m.stack_depth(), 2);
+        assert_eq!(m.flag_count(), 2);
+        assert!(m.supports_conditionals());
+        assert_eq!(a.merged(&a).fingerprint(), a.fingerprint());
     }
 
     #[test]

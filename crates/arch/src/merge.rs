@@ -37,13 +37,26 @@ pub struct MergePlan {
     bus_groups: Vec<(Vec<String>, String)>,
 }
 
-/// Error applying a [`MergePlan`].
+/// Error applying a [`MergePlan`] or computing a cross-core [`union`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MergeError {
     /// A named component does not exist in the datapath.
     UnknownComponent(String),
     /// A component appears in more than one merge group.
     OverlappingGroups(String),
+    /// A merge target (or a name the rename map must claim for it, such
+    /// as a derived `wp_`/`mux_` name) collides with an existing
+    /// component that is not a member of the group — applying the plan
+    /// would silently absorb or shadow that component.
+    TargetCollision(String),
+    /// Two datapaths disagree structurally at a same-named component and
+    /// cannot be unioned.
+    UnionConflict {
+        /// The component both datapaths declare.
+        name: String,
+        /// Why the declarations are incompatible.
+        reason: String,
+    },
     /// The merged datapath failed validation.
     InvalidResult(ArchError),
 }
@@ -54,6 +67,13 @@ impl fmt::Display for MergeError {
             MergeError::UnknownComponent(n) => write!(f, "unknown component `{n}` in merge plan"),
             MergeError::OverlappingGroups(n) => {
                 write!(f, "component `{n}` appears in more than one merge group")
+            }
+            MergeError::TargetCollision(n) => write!(
+                f,
+                "merge target `{n}` collides with an existing component outside the group"
+            ),
+            MergeError::UnionConflict { name, reason } => {
+                write!(f, "cannot union datapaths at `{name}`: {reason}")
             }
             MergeError::InvalidResult(e) => write!(f, "merged datapath is invalid: {e}"),
         }
@@ -109,19 +129,56 @@ impl MergePlan {
     /// `dp`: register files, buses, and the derived write-port and
     /// multiplexer names.
     ///
+    /// Membership is tracked per component kind (register files and
+    /// buses have separate `claimed` namespaces). `DatapathBuilder`
+    /// keeps all component names globally unique, so a single shared
+    /// namespace could not actually cross-trip on a valid datapath —
+    /// but splitting them makes the invariant local instead of an
+    /// accident of validation elsewhere.
+    ///
     /// # Errors
     ///
-    /// Fails on unknown components or overlapping groups.
+    /// Fails on unknown components, overlapping groups, or target
+    /// collisions: a target (or a derived `wp_`/`mux_` name the map
+    /// must claim) that names an existing component outside the group
+    /// is rejected with [`MergeError::TargetCollision`] instead of
+    /// silently absorbing that component. Naming the target after one
+    /// of the group's own members remains legal.
     pub fn rename_map(&self, dp: &Datapath) -> Result<BTreeMap<String, String>, MergeError> {
+        let exists =
+            |n: &str| dp.register_file(n).is_some() || dp.bus(n).is_some() || dp.opu(n).is_some();
         let mut map = BTreeMap::new();
-        let mut claimed: BTreeMap<&str, ()> = BTreeMap::new();
+        let mut claimed_rf: BTreeMap<&str, ()> = BTreeMap::new();
+        let mut claimed_bus: BTreeMap<&str, ()> = BTreeMap::new();
+        let mut targets: BTreeMap<&str, ()> = BTreeMap::new();
         for (members, target) in &self.rf_groups {
+            if targets.insert(target, ()).is_some() {
+                return Err(MergeError::TargetCollision(target.clone()));
+            }
+            if exists(target) && !members.iter().any(|m| m == target) {
+                return Err(MergeError::TargetCollision(target.clone()));
+            }
+            // The merged file's derived write-port/mux resources must
+            // not shadow real components either.
+            for derived in [Datapath::wp_name(target), Datapath::mux_name(target)] {
+                if exists(&derived) {
+                    return Err(MergeError::TargetCollision(derived));
+                }
+            }
             for m in members {
                 if dp.register_file(m).is_none() {
                     return Err(MergeError::UnknownComponent(m.clone()));
                 }
-                if claimed.insert(m, ()).is_some() {
+                if claimed_rf.insert(m, ()).is_some() {
                     return Err(MergeError::OverlappingGroups(m.clone()));
+                }
+                // A real component literally named like a member's
+                // derived resource would be captured by the map and
+                // silently renamed along with it.
+                for derived in [Datapath::wp_name(m), Datapath::mux_name(m)] {
+                    if exists(&derived) {
+                        return Err(MergeError::TargetCollision(derived));
+                    }
                 }
                 map.insert(m.clone(), target.clone());
                 map.insert(Datapath::wp_name(m), Datapath::wp_name(target));
@@ -129,11 +186,17 @@ impl MergePlan {
             }
         }
         for (members, target) in &self.bus_groups {
+            if targets.insert(target, ()).is_some() {
+                return Err(MergeError::TargetCollision(target.clone()));
+            }
+            if exists(target) && !members.iter().any(|m| m == target) {
+                return Err(MergeError::TargetCollision(target.clone()));
+            }
             for m in members {
                 if dp.bus(m).is_none() {
                     return Err(MergeError::UnknownComponent(m.clone()));
                 }
-                if claimed.insert(m, ()).is_some() {
+                if claimed_bus.insert(m, ()).is_some() {
                     return Err(MergeError::OverlappingGroups(m.clone()));
                 }
                 map.insert(m.clone(), target.clone());
@@ -200,6 +263,175 @@ impl MergePlan {
         }
         b.build().map_err(MergeError::InvalidResult)
     }
+}
+
+/// Structural union of two datapaths, keyed by component name.
+///
+/// This is the cross-core step of the paper's in-house workflow: two
+/// app-specialized cores are folded into one machine that can run both
+/// applications, after which an intra-core [`MergePlan`] can trade the
+/// duplicated resources back for silicon. [`MergePlan::apply`] only
+/// merges components *within* one `Datapath`; `union` is what makes two
+/// separate cores one `Datapath` in the first place.
+///
+/// Semantics, per same-named component:
+///
+/// - **OPU**: kinds must match. Operations are the union (in `a`'s
+///   declaration order, then `b`'s extras); an operation both declare
+///   takes the *minimum* latency — union hardware is at least as capable
+///   as either donor. Operand inputs must be identical (port positions
+///   are semantic). Output buses must agree. Memory capacity is the max,
+///   flags are the union.
+/// - **Register file**: capacity is the max (the union core never holds
+///   both apps' live values at once — they run as separate programs),
+///   write buses are the union in `a`'s order then `b`'s extras.
+/// - A name that is one kind in `a` and another kind in `b` is a
+///   [`MergeError::UnionConflict`].
+///
+/// Components present in only one donor are carried verbatim. The result
+/// is re-validated through [`DatapathBuilder`].
+///
+/// # Errors
+///
+/// [`MergeError::UnionConflict`] on structural disagreement at a shared
+/// name; [`MergeError::InvalidResult`] if the union fails validation.
+pub fn union(a: &Datapath, b: &Datapath) -> Result<Datapath, MergeError> {
+    let conflict = |name: &str, reason: &str| MergeError::UnionConflict {
+        name: name.to_owned(),
+        reason: reason.to_owned(),
+    };
+    // Cross-kind collisions: a name must mean the same kind of thing in
+    // both donors.
+    for rf in a.register_files() {
+        if b.opu(rf.name()).is_some() || b.bus(rf.name()).is_some() {
+            return Err(conflict(
+                rf.name(),
+                "register file in one donor, not in the other",
+            ));
+        }
+    }
+    for rf in b.register_files() {
+        if a.opu(rf.name()).is_some() || a.bus(rf.name()).is_some() {
+            return Err(conflict(
+                rf.name(),
+                "register file in one donor, not in the other",
+            ));
+        }
+    }
+    for opu in a.opus() {
+        if b.bus(opu.name()).is_some() {
+            return Err(conflict(opu.name(), "opu in one donor, bus in the other"));
+        }
+    }
+    for opu in b.opus() {
+        if a.bus(opu.name()).is_some() {
+            return Err(conflict(opu.name(), "opu in one donor, bus in the other"));
+        }
+    }
+
+    let mut bld = DatapathBuilder::new();
+
+    // Register files: `a`'s order, then `b`'s extras.
+    for rf in a.register_files() {
+        let (size, buses) = match b.register_file(rf.name()) {
+            Some(rb) => {
+                let mut buses: Vec<&str> = rf.write_buses().iter().map(String::as_str).collect();
+                for wb in rb.write_buses() {
+                    if !buses.contains(&wb.as_str()) {
+                        buses.push(wb);
+                    }
+                }
+                (rf.size().max(rb.size()), buses)
+            }
+            None => (
+                rf.size(),
+                rf.write_buses().iter().map(String::as_str).collect(),
+            ),
+        };
+        bld = bld
+            .register_file(rf.name(), size)
+            .write_port(rf.name(), &buses);
+    }
+    for rf in b.register_files() {
+        if a.register_file(rf.name()).is_some() {
+            continue;
+        }
+        let buses: Vec<&str> = rf.write_buses().iter().map(String::as_str).collect();
+        bld = bld
+            .register_file(rf.name(), rf.size())
+            .write_port(rf.name(), &buses);
+    }
+
+    // OPUs: `a`'s order, then `b`'s extras.
+    for opu in a.opus() {
+        let (ops, memory, flags) = match b.opu(opu.name()) {
+            Some(ob) => {
+                if ob.kind() != opu.kind() {
+                    return Err(conflict(opu.name(), "opu kinds differ"));
+                }
+                if ob.inputs() != opu.inputs() {
+                    return Err(conflict(opu.name(), "operand inputs differ"));
+                }
+                if ob.output_bus() != opu.output_bus() {
+                    return Err(conflict(opu.name(), "output buses differ"));
+                }
+                let mut ops: Vec<(&str, u32)> = opu.ops().collect();
+                for (op, latency) in ob.ops() {
+                    match ops.iter_mut().find(|(n, _)| *n == op) {
+                        Some(slot) => slot.1 = slot.1.min(latency),
+                        None => ops.push((op, latency)),
+                    }
+                }
+                let mut flags: Vec<&str> = opu.flags().iter().map(String::as_str).collect();
+                for fl in ob.flags() {
+                    if !flags.contains(&fl.as_str()) {
+                        flags.push(fl);
+                    }
+                }
+                (ops, opu.memory_size().max(ob.memory_size()), flags)
+            }
+            None => (
+                opu.ops().collect(),
+                opu.memory_size(),
+                opu.flags().iter().map(String::as_str).collect(),
+            ),
+        };
+        bld = emit_opu(bld, opu, &ops, memory, &flags);
+    }
+    for opu in b.opus() {
+        if a.opu(opu.name()).is_some() {
+            continue;
+        }
+        let ops: Vec<(&str, u32)> = opu.ops().collect();
+        let flags: Vec<&str> = opu.flags().iter().map(String::as_str).collect();
+        bld = emit_opu(bld, opu, &ops, opu.memory_size(), &flags);
+    }
+
+    bld.build().map_err(MergeError::InvalidResult)
+}
+
+/// Replays one OPU declaration (with possibly-unioned ops/memory/flags)
+/// onto a builder.
+fn emit_opu(
+    mut bld: DatapathBuilder,
+    opu: &crate::datapath::OpuSpec,
+    ops: &[(&str, u32)],
+    memory: u32,
+    flags: &[&str],
+) -> DatapathBuilder {
+    bld = bld.opu(opu.kind(), opu.name(), ops);
+    let inputs: Vec<&str> = opu.inputs().iter().map(String::as_str).collect();
+    bld = bld.inputs(opu.name(), &inputs);
+    if let Some(bus) = opu.output_bus() {
+        bld = bld.output(opu.name(), bus);
+    }
+    if matches!(opu.kind(), OpuKind::Ram | OpuKind::Rom) {
+        bld = bld.memory(opu.name(), memory);
+    }
+    if !flags.is_empty() {
+        bld = bld.flags(opu.name(), flags);
+    }
+    bld
 }
 
 #[cfg(test)]
@@ -303,11 +535,214 @@ mod tests {
         );
     }
 
+    /// The intermediate fixture plus a pre-existing RF named like a
+    /// popular merge target, wired as a third ALU operand so it is not
+    /// dangling.
+    fn with_preexisting(extra_rf: &str) -> Datapath {
+        DatapathBuilder::new()
+            .register_file("rf_alu_a", 4)
+            .register_file("rf_alu_b", 4)
+            .register_file(extra_rf, 4)
+            .opu(OpuKind::Alu, "alu", &[("add", 1)])
+            .inputs("alu", &["rf_alu_a", "rf_alu_b", extra_rf])
+            .output("alu", "bus_alu")
+            .write_port("rf_alu_a", &["bus_alu"])
+            .write_port("rf_alu_b", &["bus_alu"])
+            .write_port(extra_rf, &["bus_alu"])
+            .build()
+            .unwrap()
+    }
+
+    /// Headline bug: before the `TargetCollision` check, the member
+    /// filter in `apply` matched the pre-existing `rf_shared` (rename is
+    /// the identity on unmapped names) and silently summed its capacity
+    /// into the merged file. It must be rejected instead.
+    #[test]
+    fn preexisting_rf_target_rejected_not_absorbed() {
+        let dp = with_preexisting("rf_shared");
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a", "rf_alu_b"], "rf_shared");
+        assert_eq!(
+            plan.apply(&dp).unwrap_err(),
+            MergeError::TargetCollision("rf_shared".into())
+        );
+    }
+
+    /// Same hazard on the bus side: renaming drivers onto a bus that
+    /// already exists would silently share it.
+    #[test]
+    fn preexisting_bus_target_rejected_not_absorbed() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_buses(&["bus_alu"], "bus_mult");
+        assert_eq!(
+            plan.apply(&dp).unwrap_err(),
+            MergeError::TargetCollision("bus_mult".into())
+        );
+    }
+
+    /// Naming the target after one of the group's own members stays
+    /// legal — that member is being merged, not absorbed.
+    #[test]
+    fn target_inside_group_is_allowed() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a", "rf_mult_a"], "rf_alu_a");
+        plan.merge_buses(&["bus_alu", "bus_mult"], "bus_alu");
+        let merged = plan.apply(&dp).unwrap();
+        assert_eq!(merged.register_file("rf_alu_a").unwrap().size(), 8);
+        assert_eq!(merged.buses().len(), 1);
+        assert_eq!(merged.drivers_of("bus_alu").len(), 2);
+    }
+
+    /// Two groups writing the same target would fuse silently — reject.
+    #[test]
+    fn duplicate_targets_across_groups_rejected() {
+        let dp = intermediate();
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a"], "rf_x");
+        plan.merge_rfs(&["rf_mult_a"], "rf_x");
+        assert_eq!(
+            plan.apply(&dp).unwrap_err(),
+            MergeError::TargetCollision("rf_x".into())
+        );
+    }
+
+    /// Satellite check: an RF and a bus with the same name cannot
+    /// coexist — `DatapathBuilder` keeps one global namespace — so the
+    /// per-kind `claimed` maps in `rename_map` can never be handed a
+    /// cross-kind duplicate from a valid datapath.
+    #[test]
+    fn rf_and_bus_sharing_a_name_is_unbuildable() {
+        let err = DatapathBuilder::new()
+            .register_file("x", 4)
+            .opu(OpuKind::Alu, "alu", &[("add", 1)])
+            .inputs("alu", &["x"])
+            .output("alu", "x")
+            .write_port("x", &["x"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::DuplicateName("x".into()));
+    }
+
+    /// A real RF literally named like a member's derived write-port
+    /// resource would be captured by the rename map and silently
+    /// renamed alongside it.
+    #[test]
+    fn derived_name_capture_rejected() {
+        let dp = with_preexisting("wp_rf_alu_a");
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a", "rf_alu_b"], "rf_t");
+        assert_eq!(
+            plan.apply(&dp).unwrap_err(),
+            MergeError::TargetCollision("wp_rf_alu_a".into())
+        );
+    }
+
+    /// A real RF named like the *target's* derived write port would be
+    /// shadowed in the RT resource namespace.
+    #[test]
+    fn derived_target_name_collision_rejected() {
+        let dp = with_preexisting("wp_rf_t");
+        let mut plan = MergePlan::new();
+        plan.merge_rfs(&["rf_alu_a", "rf_alu_b"], "rf_t");
+        assert_eq!(
+            plan.apply(&dp).unwrap_err(),
+            MergeError::TargetCollision("wp_rf_t".into())
+        );
+    }
+
+    fn alu_core(rf_size: u32, ops: &[(&str, u32)]) -> Datapath {
+        DatapathBuilder::new()
+            .register_file("rf_alu_a", rf_size)
+            .register_file("rf_alu_b", 4)
+            .opu(OpuKind::Alu, "alu", ops)
+            .inputs("alu", &["rf_alu_a", "rf_alu_b"])
+            .output("alu", "bus_alu")
+            .write_port("rf_alu_a", &["bus_alu"])
+            .write_port("rf_alu_b", &["bus_alu"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn union_with_self_is_identity() {
+        let dp = intermediate();
+        let u = union(&dp, &dp).unwrap();
+        assert_eq!(u.fingerprint(), dp.fingerprint());
+    }
+
+    #[test]
+    fn union_takes_max_sizes_min_latencies_and_op_union() {
+        let a = alu_core(4, &[("add", 2), ("pass", 1)]);
+        let b = alu_core(8, &[("add", 1), ("sub", 3)]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.register_file("rf_alu_a").unwrap().size(), 8);
+        let alu = u.opu("alu").unwrap();
+        let ops: Vec<(&str, u32)> = alu.ops().collect();
+        assert_eq!(ops, vec![("add", 1), ("pass", 1), ("sub", 3)]);
+    }
+
+    #[test]
+    fn union_carries_singletons_verbatim() {
+        let a = alu_core(4, &[("add", 1)]);
+        let b = intermediate();
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.opus().len(), 2);
+        assert_eq!(u.register_files().len(), 4);
+        assert!(u.opu("mult").is_some());
+        assert_eq!(u.register_file("rf_mult_a").unwrap().size(), 4);
+    }
+
+    #[test]
+    fn union_rejects_kind_conflict() {
+        let a = alu_core(4, &[("add", 1)]);
+        let b = DatapathBuilder::new()
+            .register_file("rf_alu_a", 4)
+            .register_file("rf_alu_b", 4)
+            .opu(OpuKind::Mult, "alu", &[("mult", 1)])
+            .inputs("alu", &["rf_alu_a", "rf_alu_b"])
+            .output("alu", "bus_alu")
+            .write_port("rf_alu_a", &["bus_alu"])
+            .write_port("rf_alu_b", &["bus_alu"])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            union(&a, &b).unwrap_err(),
+            MergeError::UnionConflict { name, .. } if name == "alu"
+        ));
+    }
+
+    #[test]
+    fn union_rejects_cross_kind_name() {
+        let a = alu_core(4, &[("add", 1)]);
+        // `rf_alu_a` is an RF in `a` but a *bus* in `b`.
+        let b = DatapathBuilder::new()
+            .register_file("rf_x", 4)
+            .opu(OpuKind::Alu, "other", &[("add", 1)])
+            .inputs("other", &["rf_x"])
+            .output("other", "rf_alu_a")
+            .write_port("rf_x", &["rf_alu_a"])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            union(&a, &b).unwrap_err(),
+            MergeError::UnionConflict { name, .. } if name == "rf_alu_a"
+        ));
+    }
+
     #[test]
     fn merge_error_display() {
         let e = MergeError::UnknownComponent("x".into());
         assert!(e.to_string().contains("unknown component"));
         let e = MergeError::OverlappingGroups("y".into());
         assert!(e.to_string().contains("more than one"));
+        let e = MergeError::TargetCollision("z".into());
+        assert!(e.to_string().contains("collides"));
+        let e = MergeError::UnionConflict {
+            name: "alu".into(),
+            reason: "opu kinds differ".into(),
+        };
+        assert!(e.to_string().contains("cannot union"));
     }
 }

@@ -23,11 +23,19 @@
 //!   future scheduler/encoder/regalloc change is now checked against
 //!   hundreds of architectures instead of three.
 //!
+//! The fleet also runs **merged-core** cells
+//! ([`ConformFleet::merged_pairs`]): each `(a, b)` pair compiles the
+//! corpus on the structural union of two generated cores
+//! ([`crate::cores::merged_core`]) — exactly the cross-core move the
+//! co-design search ([`crate::codesign`]) explores — so datapath merging
+//! is differentially verified at fleet scale, not just point-tested.
+//!
 //! Determinism: cores, stimulus, and compilation are all pure functions
 //! of the seed block, and the fleet table is assembled into pre-indexed
 //! slots — [`ConformFleet::run`] returns the same [`ConformReport`] for
 //! every worker-thread count (pinned by `tests/conform_fleet.rs`).
-//! Failures therefore reproduce from the `(seed, app)` pair alone.
+//! Failures therefore reproduce from the `(seed, app)` pair (plus the
+//! merge partner, for merged cells) alone.
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,7 +44,7 @@ use std::sync::{Arc, Mutex};
 use dspcc_arch::SplitMix64;
 use dspcc_dfg::Interpreter;
 
-use crate::cores::generated_core;
+use crate::cores::{generated_core, merged_core};
 use crate::pipeline::{CompileError, Core};
 use crate::session::{CompileOptions, CompileSession};
 
@@ -115,10 +123,25 @@ impl CellOutcome {
 pub struct ConformCell {
     /// The generator seed of the core.
     pub seed: u64,
+    /// `Some(b)` when this cell ran on the structural union of the
+    /// generated cores for `seed` and `b` ([`crate::cores::merged_core`])
+    /// rather than on `generated_core(seed)` alone.
+    pub merged_with: Option<u64>,
     /// The application's corpus name.
     pub app: String,
     /// The verdict.
     pub outcome: CellOutcome,
+}
+
+impl ConformCell {
+    /// The cell's core label for tables and failure lines: the seed in
+    /// hex, or `a+b` for a merged cell.
+    pub fn core_label(&self) -> String {
+        match self.merged_with {
+            Some(b) => format!("{:x}+{:x}", self.seed, b),
+            None => format!("{:x}", self.seed),
+        }
+    }
 }
 
 /// The standard application corpus: name → source, in fixed order. The
@@ -150,6 +173,7 @@ pub fn standard_corpus() -> Vec<(String, String)> {
 #[derive(Debug, Clone)]
 pub struct ConformFleet {
     seeds: Vec<u64>,
+    merged: Vec<(u64, u64)>,
     apps: Vec<(String, String)>,
     frames: u32,
     threads: usize,
@@ -160,6 +184,7 @@ impl Default for ConformFleet {
     fn default() -> Self {
         ConformFleet {
             seeds: Vec::new(),
+            merged: Vec::new(),
             apps: Vec::new(),
             frames: 8,
             threads: 0,
@@ -196,6 +221,17 @@ impl ConformFleet {
         self
     }
 
+    /// Adds merged-core cells: each `(a, b)` pair runs every app on the
+    /// structural union of the two generated cores
+    /// ([`crate::cores::merged_core`]), with its instruction set
+    /// re-derived on the union. A pair whose union cannot be built
+    /// becomes per-app [`CellOutcome::Infeasible`] cells with the merge
+    /// machinery's stated reason — never a silent skip.
+    pub fn merged_pairs(mut self, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        self.merged.extend(pairs);
+        self
+    }
+
     /// Adds one application.
     pub fn app(mut self, name: impl Into<String>, source: impl Into<String>) -> Self {
         self.apps.push((name.into(), source.into()));
@@ -228,11 +264,12 @@ impl ConformFleet {
     }
 
     /// Runs the fleet: every `(seed, app)` cell, in deterministic
-    /// (seed-major) order.
+    /// (seed-major) order — single-seed rows first, merged-pair rows
+    /// after, each row in builder order.
     ///
     /// # Panics
     ///
-    /// Panics if the fleet has no seeds or no apps.
+    /// Panics if the fleet has no seeds (nor merged pairs) or no apps.
     pub fn run(&self) -> ConformReport {
         self.run_with(conform_cell)
     }
@@ -254,7 +291,10 @@ impl ConformFleet {
         F: Fn(&CompileSession, &Arc<Core>, u64, &str, &str, u32, &CompileOptions) -> CellOutcome
             + Sync,
     {
-        assert!(!self.seeds.is_empty(), "fleet needs at least one seed");
+        assert!(
+            !self.seeds.is_empty() || !self.merged.is_empty(),
+            "fleet needs at least one seed or merged pair"
+        );
         assert!(!self.apps.is_empty(), "fleet needs at least one app");
         let workers = match self.threads {
             0 => std::thread::available_parallelism()
@@ -262,30 +302,46 @@ impl ConformFleet {
                 .unwrap_or(1),
             n => n,
         };
-        // Phase 1: generate the cores, one slot per seed (parallel — the
-        // ISA closure is the expensive part of generation).
-        let core_slots: Vec<Mutex<Option<Arc<Core>>>> =
-            self.seeds.iter().map(|_| Mutex::new(None)).collect();
+        // The table's row axis: single-seed cores first, merged-pair
+        // cores after, in builder order.
+        let units: Vec<(u64, Option<u64>)> = self
+            .seeds
+            .iter()
+            .map(|&s| (s, None))
+            .chain(self.merged.iter().map(|&(a, b)| (a, Some(b))))
+            .collect();
+        // Phase 1: generate the cores, one slot per unit (parallel — the
+        // ISA closure is the expensive part of generation). A merged pair
+        // whose union fails carries the reason to its cells instead of a
+        // core.
+        type CoreSlot = Mutex<Option<Result<Arc<Core>, String>>>;
+        let core_slots: Vec<CoreSlot> = units.iter().map(|_| Mutex::new(None)).collect();
         let next_core = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..workers.min(self.seeds.len()) {
+            for _ in 0..workers.min(units.len()) {
                 scope.spawn(|| loop {
                     let i = next_core.fetch_add(1, Ordering::Relaxed);
-                    let Some(&seed) = self.seeds.get(i) else {
+                    let Some(&(seed, merged_with)) = units.get(i) else {
                         break;
                     };
-                    *core_slots[i].lock().unwrap() = Some(Arc::new(generated_core(seed)));
+                    let core = match merged_with {
+                        None => Ok(Arc::new(generated_core(seed))),
+                        Some(b) => merged_core(seed, b)
+                            .map(Arc::new)
+                            .map_err(|e| e.to_string()),
+                    };
+                    *core_slots[i].lock().unwrap() = Some(core);
                 });
             }
         });
-        let cores: Vec<Arc<Core>> = core_slots
+        let cores: Vec<Result<Arc<Core>, String>> = core_slots
             .into_iter()
             .map(|slot| slot.into_inner().unwrap().expect("core generated"))
             .collect();
         // Phase 2: the cells, through one shared session (stage artifacts
         // keyed by content — apps shared across variants of one core).
-        let cells: Vec<(usize, usize)> = (0..self.seeds.len())
-            .flat_map(|s| (0..self.apps.len()).map(move |a| (s, a)))
+        let cells: Vec<(usize, usize)> = (0..units.len())
+            .flat_map(|u| (0..self.apps.len()).map(move |a| (u, a)))
             .collect();
         let session = CompileSession::new();
         let slots: Vec<Mutex<Option<ConformCell>>> =
@@ -295,29 +351,47 @@ impl ConformFleet {
             for _ in 0..workers.min(cells.len()).max(1) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(s, a)) = cells.get(i) else { break };
-                    let seed = self.seeds[s];
+                    let Some(&(u, a)) = cells.get(i) else { break };
+                    let (seed, merged_with) = units[u];
                     let (app, source) = &self.apps[a];
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        runner(
-                            &session,
-                            &cores[s],
-                            seed,
-                            app,
-                            source,
-                            self.frames,
-                            &self.options,
-                        )
-                    }))
-                    .unwrap_or_else(|payload| CellOutcome::Panicked {
-                        message: format!(
-                            "{}; repro: {}",
-                            panic_message(payload.as_ref()),
-                            repro_command(seed, app, self.frames)
-                        ),
-                    });
+                    let outcome = match &cores[u] {
+                        Err(reason) => {
+                            CellOutcome::Infeasible(format!("merged core unbuildable: {reason}"))
+                        }
+                        Ok(core) => {
+                            let ran =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    runner(
+                                        &session,
+                                        core,
+                                        seed,
+                                        app,
+                                        source,
+                                        self.frames,
+                                        &self.options,
+                                    )
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    CellOutcome::Panicked {
+                                        message: format!(
+                                            "{}; repro: {}",
+                                            panic_message(payload.as_ref()),
+                                            repro_command(seed, app, self.frames)
+                                        ),
+                                    }
+                                });
+                            match merged_with {
+                                None => ran,
+                                // A quarantined merged cell's inner repro
+                                // command names only `seed` — correct it
+                                // to the merged-core spelling.
+                                Some(b) => fix_merged_repro(ran, seed, b, app, self.frames),
+                            }
+                        }
+                    };
                     *slots[i].lock().unwrap() = Some(ConformCell {
                         seed,
+                        merged_with,
                         app: app.clone(),
                         outcome,
                     });
@@ -443,6 +517,31 @@ fn repro_command(seed: u64, app: &str, frames: u32) -> String {
     )
 }
 
+/// The repro command for a merged-core cell (decimal seeds, like
+/// `--start`).
+fn merged_repro_command(a: u64, b: u64, app: &str, frames: u32) -> String {
+    format!("cargo run --example conform -- --merge-pairs {a}+{b} --apps {app} --frames {frames}")
+}
+
+/// A quarantined merged cell's message embeds a single-seed repro command
+/// (the runner only knows `seed`); append the merged-core spelling so the
+/// printed command actually reproduces the cell.
+fn fix_merged_repro(outcome: CellOutcome, a: u64, b: u64, app: &str, frames: u32) -> CellOutcome {
+    let hint = |m: String| {
+        format!(
+            "{m}; merged-core cell, repro: {}",
+            merged_repro_command(a, b, app, frames)
+        )
+    };
+    match outcome {
+        CellOutcome::Exhausted(m) => CellOutcome::Exhausted(hint(m)),
+        CellOutcome::Panicked { message } => CellOutcome::Panicked {
+            message: hint(message),
+        },
+        other => other,
+    }
+}
+
 /// The deterministic stimulus stream of a cell: a named substream of the
 /// core seed, decoupled per app name so cells never share samples.
 /// Shared with the fault audit ([`crate::fault`]) so injected faults are
@@ -495,13 +594,13 @@ impl ConformReport {
 
 impl fmt::Display for ConformReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:>18}", "seed")?;
+        write!(f, "{:>18}", "core")?;
         for app in &self.apps {
             write!(f, " {app:>9}")?;
         }
         writeln!(f)?;
         for row in self.cells.chunks(self.apps.len().max(1)) {
-            write!(f, "{:>18x}", row[0].seed)?;
+            write!(f, "{:>18}", row[0].core_label())?;
             for cell in row {
                 match &cell.outcome {
                     CellOutcome::Pass {
@@ -523,8 +622,8 @@ impl fmt::Display for ConformReport {
         for cell in self.mismatches() {
             writeln!(
                 f,
-                "MISMATCH seed={:#x} app={}: {}",
-                cell.seed,
+                "MISMATCH core={} app={}: {}",
+                cell.core_label(),
                 cell.app,
                 match &cell.outcome {
                     CellOutcome::Mismatch(m) => m.as_str(),
@@ -538,7 +637,12 @@ impl fmt::Display for ConformReport {
                 CellOutcome::Exhausted(m) => ("EXHAUSTED", m.as_str()),
                 _ => unreachable!(),
             };
-            writeln!(f, "{tag} seed={:#x} app={}: {detail}", cell.seed, cell.app)?;
+            writeln!(
+                f,
+                "{tag} core={} app={}: {detail}",
+                cell.core_label(),
+                cell.app
+            )?;
         }
         for cell in self.degraded_passes() {
             if let CellOutcome::Pass {
@@ -548,8 +652,9 @@ impl fmt::Display for ConformReport {
             {
                 writeln!(
                     f,
-                    "DEGRADED seed={:#x} app={}: bit-exact, but {d}",
-                    cell.seed, cell.app
+                    "DEGRADED core={} app={}: bit-exact, but {d}",
+                    cell.core_label(),
+                    cell.app
                 )?;
             }
         }
@@ -614,6 +719,55 @@ mod tests {
         // The display renders a full table.
         let rendered = report.to_string();
         assert!(rendered.contains("cells:"), "{rendered}");
+    }
+
+    #[test]
+    fn merged_pairs_mode_tags_cells_and_runs_clean() {
+        let report = ConformFleet::new()
+            .seed_range(0..2)
+            .merged_pairs([(0, 1)])
+            .app("fir4", crate::apps::fir(4))
+            .frames(4)
+            .run();
+        // Two single-seed rows, then the merged row.
+        assert_eq!(report.cells.len(), 3);
+        assert_eq!(report.cells[0].merged_with, None);
+        assert_eq!(report.cells[1].merged_with, None);
+        assert_eq!(report.cells[2].merged_with, Some(1));
+        assert_eq!(report.cells[2].seed, 0);
+        assert_eq!(report.cells[2].core_label(), "0+1");
+        assert_eq!(report.mismatches().count(), 0, "{report}");
+        let rendered = report.to_string();
+        assert!(rendered.contains("0+1"), "{rendered}");
+    }
+
+    #[test]
+    fn merged_only_fleet_is_deterministic_across_thread_counts() {
+        let fleet = ConformFleet::new()
+            .merged_pairs([(0, 1), (2, 3)])
+            .app("sop4", crate::apps::sum_of_products(4))
+            .frames(4);
+        let serial = fleet.clone().threads(1).run();
+        let parallel = fleet.threads(4).run();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.cells.len(), 2);
+        assert_eq!(serial.mismatches().count(), 0, "{serial}");
+    }
+
+    #[test]
+    fn quarantined_merged_cell_carries_a_merged_repro() {
+        let fleet = ConformFleet::new()
+            .merged_pairs([(0, 1)])
+            .app("fir4", crate::apps::fir(4))
+            .frames(2);
+        let report = fleet.run_with(|_, _, _, _, _, _, _| panic!("boom"));
+        assert_eq!(report.cells.len(), 1);
+        match &report.cells[0].outcome {
+            CellOutcome::Panicked { message } => {
+                assert!(message.contains("--merge-pairs 0+1"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
     }
 
     #[test]

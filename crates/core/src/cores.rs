@@ -19,9 +19,10 @@
 //! [`ArchPlan`] blueprint, so hand-written and generated datapaths share
 //! one validation path.
 
+use dspcc_arch::merge::{self, MergeError};
 use dspcc_arch::{
-    ArchPlan, Controller, CoreGenerator, Datapath, DatapathBuilder, GeneratedArch, OpuKind, RfPlan,
-    UnitPlan,
+    ArchPlan, Controller, CoreGenerator, Datapath, DatapathBuilder, Fnv64, GeneratedArch, OpuKind,
+    RfPlan, UnitPlan,
 };
 use dspcc_isa::{derive_isa, Classification, CoverStrategy, InstructionSet};
 use dspcc_num::WordFormat;
@@ -296,6 +297,45 @@ pub fn generated_core_from(arch: GeneratedArch) -> Core {
     }
 }
 
+/// Merges two seeded generated cores into one machine that can run both
+/// apps — the paper's in-house workflow: specialize per application,
+/// then fold the specialized cores together.
+///
+/// The datapaths are joined with [`dspcc_arch::merge::union`] (same-name
+/// structural union: max capacities, min latencies, op/flag union), the
+/// controllers take their least upper bound, the word format the wider
+/// of the two, and the instruction set is **re-derived** on the union
+/// datapath under a seed fingerprinted from both donors — a merged core
+/// is a new architecture, not either donor's ISA.
+///
+/// Deterministic: same `(seed_a, seed_b)`, byte-identical core.
+///
+/// # Errors
+///
+/// [`MergeError`] if the two datapaths disagree structurally at a shared
+/// component name or the union fails validation.
+pub fn merged_core(seed_a: u64, seed_b: u64) -> Result<Core, MergeError> {
+    let gen = CoreGenerator::new();
+    let a = gen.generate(seed_a);
+    let b = gen.generate(seed_b);
+    let dp = merge::union(&a.datapath, &b.datapath)?;
+    let isa_seed = Fnv64::of_parts(|h| {
+        h.write_u64(seed_a);
+        h.write_u64(seed_b);
+    });
+    let isa = derive_isa(&dp, isa_seed);
+    Ok(Core {
+        name: format!("gen_{seed_a:x}+gen_{seed_b:x}"),
+        datapath: dp,
+        controller: a.controller.merged(&b.controller),
+        format: WordFormat::new(a.word_width.max(b.word_width))
+            .expect("generator draws valid widths"),
+        classification: Some(isa.classification),
+        instruction_set: isa.instruction_set,
+        cover: isa.cover,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,5 +419,31 @@ mod tests {
         assert!(t.instruction_set.is_none());
         let i = unmerged_intermediate();
         assert_eq!(i.datapath.opus_supporting("add").len(), 2);
+    }
+
+    #[test]
+    fn merged_core_is_deterministic_and_covers_both_donors() {
+        let gen = CoreGenerator::new();
+        let (a, b) = (gen.generate(3), gen.generate(7));
+        let m = merged_core(3, 7).unwrap();
+        assert_eq!(m.name, "gen_3+gen_7");
+        // Every donor component survives into the union.
+        for donor in [&a, &b] {
+            for opu in donor.datapath.opus() {
+                let u = m.datapath.opu(opu.name()).unwrap();
+                for (op, latency) in opu.ops() {
+                    assert!(u.latency_of(op).unwrap() <= latency);
+                }
+            }
+            for rf in donor.datapath.register_files() {
+                assert!(m.datapath.register_file(rf.name()).unwrap().size() >= rf.size());
+            }
+        }
+        assert!(m.controller.program_depth() >= a.controller.program_depth());
+        assert!(m.format.width() >= a.word_width.max(b.word_width));
+        // Byte-determinism across calls.
+        let m2 = merged_core(3, 7).unwrap();
+        assert_eq!(m.datapath.fingerprint(), m2.datapath.fingerprint());
+        assert_eq!(m.controller.fingerprint(), m2.controller.fingerprint());
     }
 }

@@ -26,6 +26,10 @@
 //! * [`explore`] — parallel design-space exploration: a [`DesignSpace`]
 //!   grid of cores × budgets × covers × priorities × CSE swept through
 //!   one shared session into a deterministic feasibility table;
+//! * [`codesign`] — the HW/SW co-design Pareto search: seeded cores,
+//!   cross-core unions, and intra-core merge moves scored on (corpus
+//!   cycles, hardware cost), every frontier point verified bit-exact
+//!   against the golden model;
 //! * [`cores`] — ready-made cores: the figure-8 digital-audio core (with
 //!   the section-7 instruction set), a teaching-sized core, an
 //!   intermediate-architecture variant for merging experiments, and
@@ -56,6 +60,7 @@
 
 pub mod apps;
 pub mod cache;
+pub mod codesign;
 pub mod conform;
 pub mod cores;
 pub mod explore;
@@ -69,6 +74,7 @@ pub mod stages;
 pub use cache::{
     CacheBackend, CacheStats, ChaosBackend, DiskCache, IoFaultKind, StdFs, TransientPolicy,
 };
+pub use codesign::{Codesign, CodesignReport, DesignPoint, HwCost, PointMetrics, PointOutcome};
 pub use conform::{CellOutcome, ConformCell, ConformFleet, ConformReport};
 pub use explore::{DesignSpace, Exploration, VariantMetrics, VariantRow};
 pub use fault::{FaultAudit, FaultCell, FaultOutcome, FaultReport, MutationKind};

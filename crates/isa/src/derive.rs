@@ -123,11 +123,24 @@ pub fn derive_isa(dp: &Datapath, seed: u64) -> DerivedIsa {
             notes,
         };
     }
-    debug_assert!(
-        c.len() <= MAX_ISA_CLASSES,
-        "merged classification has {} classes (> {MAX_ISA_CLASSES})",
-        c.len()
-    );
+    // A cross-core union (`dspcc_arch::merge::union`) can carry more
+    // distinct OPUs than the closure cap, which exists to keep
+    // `InstructionSet::closure` tractable. Fall back to the horizontal
+    // style instead of refusing: every class stays independently
+    // schedulable, just without an instruction-set restriction.
+    if c.len() > MAX_ISA_CLASSES {
+        notes.push(format!(
+            "{} classes exceed the instruction-set cap ({MAX_ISA_CLASSES}); \
+             falling back to the horizontal style",
+            c.len()
+        ));
+        return DerivedIsa {
+            classification: c,
+            instruction_set: None,
+            cover,
+            notes,
+        };
+    }
 
     // Partition classes: the IO classes (input/output port OPUs) are
     // mutually exclusive; all others are pairwise compatible unless a
@@ -248,6 +261,38 @@ mod tests {
         }
         // All three styles must actually occur over 96 seeds.
         assert!(with_iset > 0 && without > 0, "{with_iset} / {without}");
+    }
+
+    #[test]
+    fn oversized_class_count_falls_back_to_horizontal() {
+        // 16 single-op ALUs — more classes than the instruction-set cap
+        // can close over. Models a cross-core union larger than any
+        // single generated core.
+        let mut b = dspcc_arch::DatapathBuilder::new();
+        for i in 0..16 {
+            let rf = format!("rf_{i}");
+            let alu = format!("alu_{i}");
+            let bus = format!("bus_{i}");
+            b = b
+                .register_file(&rf, 4)
+                .opu(OpuKind::Alu, &alu, &[("add", 1)])
+                .inputs(&alu, &[&rf])
+                .output(&alu, &bus)
+                .write_port(&rf, &[&bus]);
+        }
+        let dp = b.build().unwrap();
+        let mut fell_back = 0;
+        for seed in 0..32u64 {
+            let isa = derive_isa(&dp, seed);
+            assert_eq!(isa.classification.len(), 16);
+            if isa.notes.iter().any(|n| n.contains("falling back")) {
+                assert!(isa.instruction_set.is_none());
+                fell_back += 1;
+            }
+        }
+        // The instruction-set styles are drawn ~70% of the time; over 32
+        // seeds the fallback must actually trigger.
+        assert!(fell_back > 0);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! HW/SW co-design Pareto sweep over generated cores.
+//!
+//! Sweeps a seed block of generated cores — plus adjacent-seed unions
+//! and intra-core merge moves — over an application corpus, scoring each
+//! feasible point on (total corpus cycles, hardware cost) and printing
+//! the Pareto frontier. Every feasible point (and therefore every
+//! frontier point) is verified bit-exact against the
+//! `dspcc_dfg::Interpreter` golden model; a `MISMATCH` point is a
+//! compiler bug by construction and exits the process non-zero, as does
+//! an empty frontier (the sweep found nothing it could verify).
+//!
+//! ```text
+//! cargo run --release --example codesign -- [--seeds N] [--start S]
+//!     [--apps fir8,biquad3,sop6,addtree8,audio] [--frames F]
+//!     [--threads T] [--budget CYCLES] [--no-unions] [--no-merge-moves]
+//! ```
+
+use dspcc::codesign::Codesign;
+use dspcc::conform::standard_corpus;
+
+fn main() {
+    let mut seeds = 8u64;
+    let mut start = 0u64;
+    let mut frames = 6u32;
+    let mut threads = 0usize;
+    let mut budget: Option<u32> = None;
+    let mut apps: Option<Vec<String>> = None;
+    let mut unions = true;
+    let mut merge_moves = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds").parse().expect("--seeds: integer"),
+            "--start" => start = value("--start").parse().expect("--start: integer"),
+            "--frames" => frames = value("--frames").parse().expect("--frames: integer"),
+            "--threads" => threads = value("--threads").parse().expect("--threads: integer"),
+            "--budget" => budget = Some(value("--budget").parse().expect("--budget: integer")),
+            "--apps" => {
+                apps = Some(value("--apps").split(',').map(str::to_owned).collect());
+            }
+            "--no-unions" => unions = false,
+            "--no-merge-moves" => merge_moves = false,
+            other => panic!("unknown argument `{other}` (see the example's docs)"),
+        }
+    }
+
+    let mut sweep = Codesign::new()
+        .seed_range(start..start + seeds)
+        .merge_moves(merge_moves)
+        .frames(frames)
+        .threads(threads);
+    if unions {
+        sweep = sweep.union_adjacent();
+    }
+    if let Some(b) = budget {
+        sweep = sweep.budgets([None, Some(b)]);
+    }
+    let corpus = standard_corpus();
+    let names = apps.unwrap_or_else(|| vec!["fir8".to_owned(), "sop6".to_owned()]);
+    for name in &names {
+        let (n, src) = corpus
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("unknown app `{name}` (corpus: {corpus:?})"));
+        sweep = sweep.app(n.clone(), src.clone());
+    }
+
+    let report = sweep.run();
+    println!("{report}");
+    let mismatches = report.mismatches().count();
+    if mismatches > 0 {
+        eprintln!(
+            "\nco-design sweep FAILED: {mismatches} mismatch point(s) — each is a compiler bug"
+        );
+        std::process::exit(1);
+    }
+    if report.frontier.is_empty() {
+        eprintln!("\nco-design sweep FAILED: empty frontier — no point verified bit-exact");
+        std::process::exit(1);
+    }
+}

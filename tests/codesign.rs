@@ -1,0 +1,125 @@
+//! End-to-end pin of the HW/SW co-design Pareto sweep (`dspcc::codesign`):
+//! a small seeded grid of generated cores plus cross-core unions and
+//! intra-core merge moves, scored over a two-app corpus. The acceptance
+//! properties pinned here:
+//!
+//! * the frontier is non-empty and every frontier point verified
+//!   bit-exact against the golden model (that is what `Feasible` means);
+//! * zero mismatch points — a mismatch is a compiler bug by construction;
+//! * the report is **byte-deterministic across worker-thread counts**:
+//!   serial and parallel sweeps produce `assert_eq!`-identical reports
+//!   and identical renderings;
+//! * the frontier is sorted and mutually non-dominated on
+//!   (corpus cycles, hardware cost).
+
+use dspcc::codesign::{CandidateKind, Codesign};
+use dspcc::{apps, PointOutcome};
+
+fn sweep() -> Codesign {
+    Codesign::new()
+        .seed_range(0..6)
+        .union_adjacent()
+        .app("fir8", apps::fir(8))
+        .app("sop6", apps::sum_of_products(6))
+        .frames(4)
+}
+
+#[test]
+fn codesign_sweep_is_deterministic_and_frontier_is_verified() {
+    let serial = sweep().threads(1).run();
+    let parallel = sweep().threads(4).run();
+
+    // Byte-determinism across thread counts: the whole report, then the
+    // rendered table (catches any Display-only divergence too).
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_string(), parallel.to_string());
+
+    // Zero mismatches anywhere in the sweep.
+    assert_eq!(
+        serial.mismatches().count(),
+        0,
+        "mismatch points in sweep:\n{serial}"
+    );
+
+    // A non-empty frontier of verified points.
+    assert!(!serial.frontier.is_empty(), "empty frontier:\n{serial}");
+    for p in serial.frontier_points() {
+        assert!(p.is_feasible(), "non-feasible frontier point {}", p.label);
+    }
+
+    // The sweep actually explored all three candidate kinds: seeds,
+    // cross-core unions, and intra-core merge moves.
+    let kinds = |k: fn(&CandidateKind) -> bool| serial.points.iter().filter(|p| k(&p.kind)).count();
+    assert_eq!(kinds(|k| matches!(k, CandidateKind::Seed(_))), 6);
+    assert_eq!(kinds(|k| matches!(k, CandidateKind::Union(..))), 3);
+    assert!(
+        kinds(|k| matches!(k, CandidateKind::Merged { .. })) > 0,
+        "no merge-move candidates were generated:\n{serial}"
+    );
+    assert!(
+        serial.points.iter().any(|p| p.label == "gen_0+gen_1"),
+        "adjacent union candidate missing:\n{serial}"
+    );
+
+    // Frontier ordering + mutual non-domination on (cycles, cost).
+    let axes: Vec<(u32, u64)> = serial
+        .frontier_points()
+        .map(|p| match &p.outcome {
+            PointOutcome::Feasible(m) => (m.total_cycles, m.score),
+            other => panic!("frontier point {} not feasible: {other:?}", p.label),
+        })
+        .collect();
+    for w in axes.windows(2) {
+        assert!(w[0] <= w[1], "frontier unsorted: {axes:?}");
+        assert!(
+            w[1].0 > w[0].0 || w[1].1 < w[0].1,
+            "frontier point dominated by predecessor: {axes:?}"
+        );
+    }
+
+    // Every frontier point beats or ties every feasible point on at
+    // least one axis (no feasible point dominates a frontier point).
+    for &(fc, fs) in &axes {
+        for p in serial.feasible() {
+            if let PointOutcome::Feasible(m) = &p.outcome {
+                assert!(
+                    !(m.total_cycles <= fc
+                        && m.score <= fs
+                        && (m.total_cycles < fc || m.score < fs)),
+                    "feasible point {} dominates a frontier point",
+                    p.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn codesign_budget_column_tightens_the_sweep() {
+    // Budgets multiply the point grid: each candidate appears once per
+    // budget, and an unbounded point is never slower than its bounded
+    // sibling when both are feasible.
+    let report = Codesign::new()
+        .seed_range(0..2)
+        .merge_moves(false)
+        .app("fir4", apps::fir(4))
+        .frames(4)
+        .budgets([None, Some(24)])
+        .threads(2)
+        .run();
+    assert_eq!(report.points.len(), 4, "{report}");
+    assert_eq!(report.mismatches().count(), 0, "{report}");
+    for pair in report.points.chunks(2) {
+        assert_eq!(pair[0].label, pair[1].label);
+        assert_eq!(pair[0].budget, None);
+        assert_eq!(pair[1].budget, Some(24));
+        if let (PointOutcome::Feasible(unbounded), PointOutcome::Feasible(bounded)) =
+            (&pair[0].outcome, &pair[1].outcome)
+        {
+            assert!(
+                unbounded.total_cycles <= bounded.total_cycles,
+                "budgeted point scheduled faster than unbounded:\n{report}"
+            );
+        }
+    }
+}

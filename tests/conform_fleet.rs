@@ -101,6 +101,39 @@ fn generated_fingerprints_stable_across_runs_and_threads() {
     assert_eq!(a.cover, b.cover);
 }
 
+/// The pinned merged-core block: adjacent-seed unions (the co-design
+/// search's cross-core move) across the corpus never mismatch, and the
+/// table is byte-identical for every worker-thread count. Buildable
+/// unions must also actually compile something — the merge machinery is
+/// exercised, not vacuously skipped.
+#[test]
+fn merged_pair_block_has_zero_mismatches_and_is_deterministic() {
+    let pairs: Vec<(u64, u64)> = (0..16u64).map(|i| (2 * i, 2 * i + 1)).collect();
+    let fleet = ConformFleet::new()
+        .merged_pairs(pairs)
+        .app("fir8", apps::fir(8))
+        .app("sop6", apps::sum_of_products(6))
+        .frames(6);
+    let serial = fleet.clone().threads(1).run();
+    let parallel = fleet.threads(4).run();
+    assert_eq!(serial, parallel, "merged fleet depends on thread count");
+    assert_eq!(serial.cells.len(), 16 * 2);
+    let mismatches: Vec<String> = serial
+        .mismatches()
+        .map(|c| format!("(core {}, {}): {:?}", c.core_label(), c.app, c.outcome))
+        .collect();
+    assert!(mismatches.is_empty(), "merged-core bugs: {mismatches:#?}");
+    for cell in &serial.cells {
+        assert_eq!(cell.merged_with, Some(cell.seed + 1));
+    }
+    assert!(
+        serial.passes().count() >= serial.cells.len() / 2,
+        "only {} of {} merged cells passed — union backbone regressed?\n{serial}",
+        serial.passes().count(),
+        serial.cells.len()
+    );
+}
+
 /// The fleet table is byte-identical for every worker-thread count.
 #[test]
 fn serial_and_parallel_fleet_tables_agree() {
